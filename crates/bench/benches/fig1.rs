@@ -1,0 +1,26 @@
+//! Figure 1 regeneration bench: the contribution-vs-reputation
+//! experiment at reduced scale, asserting the paper's shape (sharer /
+//! freerider reputation divergence and scatter consistency) on every
+//! run so the bench doubles as a regression check.
+
+use bartercast_experiments::{fig1, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_contribution_vs_reputation", |b| {
+        b.iter(|| {
+            let data = fig1::run(Scale::Quick, 42);
+            let s_end = data.reputation_sharers.last().unwrap().1;
+            let f_end = data.reputation_freeriders.last().unwrap().1;
+            assert!(s_end > f_end, "figure shape regressed: {s_end} <= {f_end}");
+            black_box((s_end, f_end))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 2 regeneration bench: rank vs ban policy runs at reduced
+//! scale, asserting that ban penalizes freeriders at least as hard as
+//! rank (the paper's headline comparison) on every iteration.
+
+use bartercast_experiments::{fig2, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_rank_and_ban_policies", |b| {
+        b.iter(|| {
+            let data = fig2::run(Scale::Quick, 42);
+            let rank = data.rank.ratio.unwrap_or(1.0);
+            let ban = data.ban.ratio.unwrap_or(1.0);
+            assert!(
+                ban <= rank + 0.05,
+                "ban should penalize at least as hard as rank: {ban} vs {rank}"
+            );
+            black_box((rank, ban))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

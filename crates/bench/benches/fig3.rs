@@ -1,0 +1,30 @@
+//! Figure 3 regeneration bench: the protocol-disobedience sweeps
+//! (ignore / lie) at reduced scale. Each iteration runs one full sweep
+//! of six parallel simulations.
+
+use bartercast_experiments::{fig3, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3a_ignore_sweep", |b| {
+        b.iter(|| {
+            let points = fig3::run(Scale::Quick, fig3::Mode::Ignore, 42);
+            assert_eq!(points.len(), fig3::FRACTIONS.len());
+            black_box(points.last().unwrap().ratio())
+        })
+    });
+    group.bench_function("fig3b_lie_sweep", |b| {
+        b.iter(|| {
+            let points = fig3::run(Scale::Quick, fig3::Mode::Lie, 42);
+            assert_eq!(points.len(), fig3::FRACTIONS.len());
+            black_box(points.last().unwrap().ratio())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

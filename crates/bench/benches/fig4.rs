@@ -1,0 +1,24 @@
+//! Figure 4 regeneration bench: the deployment study (community
+//! generation + month-long observation) at reduced scale, asserting
+//! the paper's distributional shape on every iteration.
+
+use bartercast_experiments::{fig4, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4_deployment_observation", |b| {
+        b.iter(|| {
+            let report = fig4::run(Scale::Quick, 42);
+            let (neg, _zero, pos) = report.reputation_split(0.01);
+            assert!(neg > pos, "figure shape regressed: neg {neg} <= pos {pos}");
+            black_box(report.messages_logged)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

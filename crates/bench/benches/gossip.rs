@@ -1,0 +1,92 @@
+//! Gossip-layer benches (DESIGN.md ablation): PSS shuffle rounds,
+//! §3.4 record selection under an Nh/Nr sweep, and the wire codec.
+
+use bartercast_core::codec;
+use bartercast_core::history::PrivateHistory;
+use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
+use bartercast_gossip::{shuffle, PssConfig, PssNode};
+use bartercast_util::units::{Bytes, PeerId, Seconds};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pss_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip/pss");
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("full_round", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = PssConfig::default();
+                let mut nodes: Vec<PssNode> =
+                    (0..n).map(|i| PssNode::new(PeerId(i as u32), cfg)).collect();
+                for i in 0..n {
+                    let next = PeerId(((i + 1) % n) as u32);
+                    nodes[i].bootstrap([next]);
+                }
+                let mut rng = StdRng::seed_from_u64(1);
+                for _ in 0..5 {
+                    for i in 0..n {
+                        if let Some(partner) = nodes[i].start_cycle() {
+                            let j = partner.index();
+                            if i != j && j < n {
+                                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                                let (l, r) = nodes.split_at_mut(hi);
+                                shuffle(&mut l[lo], &mut r[0], &mut rng);
+                            }
+                        }
+                    }
+                }
+                black_box(nodes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn big_history() -> PrivateHistory {
+    let mut h = PrivateHistory::new(PeerId(0));
+    for i in 1..=500u32 {
+        h.record_download(PeerId(i), Bytes::from_mb((i * 13 % 900 + 1) as u64), Seconds(i as u64));
+        h.record_upload(PeerId(i), Bytes::from_mb((i * 7 % 500 + 1) as u64), Seconds(i as u64));
+    }
+    h
+}
+
+fn bench_record_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip/selection");
+    let h = big_history();
+    for &(nh, nr) in &[(5usize, 5usize), (10, 10), (25, 25), (50, 50)] {
+        group.bench_with_input(
+            BenchmarkId::new("nh_nr", format!("{nh}_{nr}")),
+            &(nh, nr),
+            |b, &(nh, nr)| {
+                b.iter(|| {
+                    black_box(BarterCastMessage::from_history(
+                        black_box(&h),
+                        BarterCastConfig { nh, nr },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip/codec");
+    let h = big_history();
+    let msg = BarterCastMessage::from_history(&h, BarterCastConfig { nh: 10, nr: 10 });
+    group.bench_function("encode", |b| b.iter(|| black_box(codec::encode(black_box(&msg)))));
+    let frame = codec::encode(&msg);
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(codec::decode(black_box(&frame)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pss_rounds, bench_record_selection, bench_codec
+}
+criterion_main!(benches);

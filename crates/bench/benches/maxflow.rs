@@ -1,0 +1,65 @@
+//! Maxflow ablation bench (DESIGN.md): the deployed depth-2-bounded
+//! variant versus unbounded Ford–Fulkerson / Edmonds–Karp / Dinic, on
+//! random and small-world contribution graphs of increasing size.
+
+use bartercast_graph::maxflow::{compute, Method};
+use bartercast_util::units::PeerId;
+use bench::{random_graph, small_world_graph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn methods() -> Vec<(&'static str, Method)> {
+    vec![
+        ("ford_fulkerson", Method::FordFulkerson),
+        ("edmonds_karp", Method::EdmondsKarp),
+        ("dinic", Method::Dinic),
+        ("bounded2_deployed", Method::DEPLOYED),
+    ]
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow/random");
+    for &n in &[50u32, 100, 200] {
+        let g = random_graph(n, (n as usize) * 6, 42);
+        for (name, method) in methods() {
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| {
+                    black_box(compute(
+                        black_box(g),
+                        PeerId(0),
+                        PeerId(n - 1),
+                        method,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_small_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow/small_world");
+    for &n in &[100u32, 400] {
+        let g = small_world_graph(n, (n as usize) * 2, 7);
+        for (name, method) in methods() {
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| {
+                    black_box(compute(
+                        black_box(g),
+                        PeerId(0),
+                        PeerId(n / 2),
+                        method,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_random, bench_small_world
+}
+criterion_main!(benches);

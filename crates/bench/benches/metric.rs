@@ -1,0 +1,77 @@
+//! Reputation-metric ablation bench (DESIGN.md): arctan versus linear
+//! clamp, plus the full engine query path (maxflow + metric + cache)
+//! in cold and warm states.
+
+use bartercast_core::cache::ReputationEngine;
+use bartercast_core::metric::ReputationMetric;
+use bartercast_util::units::{Bytes, PeerId};
+use bench::small_world_graph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_metric_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric/eval");
+    let arctan = ReputationMetric::Arctan {
+        unit: Bytes::from_gb(1),
+    };
+    let linear = ReputationMetric::LinearClamp {
+        unit: Bytes::from_gb(1),
+    };
+    group.bench_function("arctan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mb in 0..100u64 {
+                acc += arctan.eval(black_box(Bytes::from_mb(mb * 37)), Bytes::from_mb(500));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("linear_clamp", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mb in 0..100u64 {
+                acc += linear.eval(black_box(Bytes::from_mb(mb * 37)), Bytes::from_mb(500));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric/engine");
+    let graph = small_world_graph(100, 200, 3);
+    group.bench_function("cold_cache_100_targets", |b| {
+        b.iter(|| {
+            let mut e = ReputationEngine::new();
+            *e.graph_mut() = graph.clone();
+            let mut acc = 0.0;
+            for t in 1..100 {
+                acc += e.reputation(PeerId(0), PeerId(t));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("warm_cache_100_targets", |b| {
+        let mut e = ReputationEngine::new();
+        *e.graph_mut() = graph.clone();
+        for t in 1..100 {
+            e.reputation(PeerId(0), PeerId(t));
+        }
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in 1..100 {
+                acc += e.reputation(PeerId(0), PeerId(t));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_metric_eval, bench_engine_query
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Scalability-study bench: one full `run_scale` at a 1 000-peer
+//! population, asserting the mechanism still discriminates so the
+//! bench doubles as a regression check (the paper's future-work
+//! experiment, see `bartercast-sim::scale`).
+
+use bartercast_sim::scale::{run_scale, ScaleConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("scale_1000_peers", |b| {
+        b.iter(|| {
+            let report = run_scale(&ScaleConfig {
+                peers: 1000,
+                probes: 50,
+                rounds: 20,
+                seed: 42,
+                ..Default::default()
+            });
+            assert!(
+                report.pairwise_accuracy > 0.6,
+                "discrimination regressed: {}",
+                report.pairwise_accuracy
+            );
+            black_box(report.mean_graph_edges)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! One bench target per paper figure (`fig1`–`fig4`) regenerates the
+//! corresponding experiment at reduced scale and reports its wall
+//! time; `maxflow`, `metric` and `gossip` are the ablation
+//! microbenches called out in DESIGN.md.
+
+use bartercast_graph::ContributionGraph;
+use bartercast_util::units::{Bytes, PeerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random contribution graph with `nodes` nodes and roughly
+/// `edges` edges, weights 1 MB – 1 GB. Deterministic per seed.
+pub fn random_graph(nodes: u32, edges: usize, seed: u64) -> ContributionGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ContributionGraph::new();
+    for _ in 0..edges {
+        let f = rng.gen_range(0..nodes);
+        let t = rng.gen_range(0..nodes);
+        if f != t {
+            g.add_transfer(
+                PeerId(f),
+                PeerId(t),
+                Bytes::from_mb(rng.gen_range(1..1024)),
+            );
+        }
+    }
+    g
+}
+
+/// A small-world-ish graph: a ring plus random chords, mimicking the
+/// structure BarterCast sees (§3.2 cites a 98 % two-hop reachability
+/// measurement).
+pub fn small_world_graph(nodes: u32, chords: usize, seed: u64) -> ContributionGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ContributionGraph::new();
+    for i in 0..nodes {
+        let next = (i + 1) % nodes;
+        g.add_transfer(PeerId(i), PeerId(next), Bytes::from_mb(rng.gen_range(10..500)));
+        g.add_transfer(PeerId(next), PeerId(i), Bytes::from_mb(rng.gen_range(10..500)));
+    }
+    for _ in 0..chords {
+        let f = rng.gen_range(0..nodes);
+        let t = rng.gen_range(0..nodes);
+        if f != t {
+            g.add_transfer(PeerId(f), PeerId(t), Bytes::from_mb(rng.gen_range(10..500)));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = random_graph(20, 60, 1);
+        let b = random_graph(20, 60, 1);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let sw = small_world_graph(20, 10, 2);
+        assert!(sw.edge_count() >= 40);
+    }
+}

@@ -1,0 +1,185 @@
+//! Piece bitfields.
+
+/// A fixed-size bitset recording which pieces a peer has.
+///
+/// ```
+/// use bartercast_bt::Bitfield;
+///
+/// let mut mine = Bitfield::new(4);
+/// let seeder = Bitfield::full(4);
+/// assert!(mine.interested_in(&seeder));
+/// for i in 0..4 {
+///     mine.set(i);
+/// }
+/// assert!(mine.is_complete());
+/// assert!(!mine.interested_in(&seeder));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitfield {
+    bits: Vec<u64>,
+    len: usize,
+    count: usize,
+}
+
+impl Bitfield {
+    /// An all-zero bitfield over `len` pieces.
+    pub fn new(len: usize) -> Self {
+        Bitfield {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+            count: 0,
+        }
+    }
+
+    /// An all-one bitfield (a seeder's).
+    pub fn full(len: usize) -> Self {
+        let mut bf = Self::new(len);
+        for i in 0..len {
+            bf.set(i);
+        }
+        bf
+    }
+
+    /// Number of pieces in the torrent.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the torrent has zero pieces (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether piece `i` is present.
+    #[inline]
+    pub fn has(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Mark piece `i` present. Returns `true` if it was newly set.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of pieces present.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True iff every piece is present.
+    pub fn is_complete(&self) -> bool {
+        self.count == self.len
+    }
+
+    /// Fraction of pieces present in `[0, 1]`.
+    pub fn completeness(&self) -> f64 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.count as f64 / self.len as f64
+        }
+    }
+
+    /// True iff `other` has at least one piece that `self` lacks —
+    /// i.e. `self`'s owner is *interested* in `other`'s owner.
+    pub fn interested_in(&self, other: &Bitfield) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .any(|(&mine, &theirs)| theirs & !mine != 0)
+    }
+
+    /// Iterate over the pieces present.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.has(i))
+    }
+
+    /// Iterate over the pieces missing.
+    pub fn iter_missing(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| !self.has(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_query() {
+        let mut b = Bitfield::new(100);
+        assert!(!b.has(3));
+        assert!(b.set(3));
+        assert!(!b.set(3), "setting twice reports false");
+        assert!(b.has(3));
+        assert_eq!(b.count(), 1);
+        assert!(!b.is_complete());
+    }
+
+    #[test]
+    fn full_is_complete() {
+        let b = Bitfield::full(65);
+        assert!(b.is_complete());
+        assert_eq!(b.count(), 65);
+        assert!((b.completeness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_boundary_pieces() {
+        let mut b = Bitfield::new(129);
+        b.set(63);
+        b.set(64);
+        b.set(128);
+        assert!(b.has(63) && b.has(64) && b.has(128));
+        assert!(!b.has(62) && !b.has(65) && !b.has(127));
+    }
+
+    #[test]
+    fn interest_semantics() {
+        let mut me = Bitfield::new(10);
+        let mut them = Bitfield::new(10);
+        assert!(!me.interested_in(&them), "empty peer is uninteresting");
+        them.set(4);
+        assert!(me.interested_in(&them));
+        me.set(4);
+        assert!(!me.interested_in(&them), "no interest once I have it all");
+        them.set(9);
+        assert!(me.interested_in(&them));
+    }
+
+    #[test]
+    fn seeder_never_interested() {
+        let me = Bitfield::full(20);
+        let mut them = Bitfield::new(20);
+        them.set(5);
+        assert!(!me.interested_in(&them));
+    }
+
+    #[test]
+    fn iterators() {
+        let mut b = Bitfield::new(5);
+        b.set(1);
+        b.set(3);
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(b.iter_missing().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_torrent_degenerate() {
+        let b = Bitfield::new(0);
+        assert!(b.is_empty());
+        assert!(b.is_complete());
+        assert_eq!(b.completeness(), 1.0);
+    }
+}

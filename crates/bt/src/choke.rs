@@ -1,0 +1,313 @@
+//! The choking algorithm (§4.1) with reputation-policy hooks (§4.2).
+//!
+//! Every unchoke period a peer reassigns its upload slots:
+//!
+//! * a **leecher** unchokes the interested peers currently providing
+//!   the highest upload rate *to it* (tit-for-tat);
+//! * a **seeder** rotates its slots **round-robin** over the
+//!   interested peers. (The original protocol description ranks by
+//!   download rate; in a deterministic bandwidth model that ranking is
+//!   self-reinforcing — the first unchoked peers are the only ones
+//!   with a rate — and locks each seeder onto four peers until their
+//!   downloads finish, which concentrates gigabytes onto single edges.
+//!   Round-robin seeding, as deployed clients do to spread pieces,
+//!   restores the load spreading a real swarm gets from rate noise and
+//!   churn. See DESIGN.md, "Modelling notes".)
+//! * one extra **optimistic** slot rotates round-robin over the
+//!   remaining interested peers every optimistic period.
+//!
+//! BarterCast plugs in here: the *rank* policy replaces the optimistic
+//! round-robin order with descending reputation, and the *ban* policy
+//! removes peers below δ from all slot assignment.
+
+use crate::config::BtConfig;
+use crate::swarm::Role;
+use bartercast_core::policy::{PolicyDecision, ReputationPolicy};
+use bartercast_util::units::PeerId;
+
+/// One interested peer competing for a slot, with its observed rates
+/// over the last unchoke period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The competing peer.
+    pub peer: PeerId,
+    /// Bytes this candidate uploaded to us during the last period
+    /// (tit-for-tat key for leechers).
+    pub rate_to_me: u64,
+    /// Bytes we uploaded to this candidate during the last period
+    /// (the candidate's download rate; seeder ranking key).
+    pub rate_from_me: u64,
+}
+
+/// Per-(peer, swarm) choking state.
+#[derive(Debug, Clone)]
+pub struct Choker {
+    config: BtConfig,
+    optimistic: Option<PeerId>,
+    rounds_since_rotation: u32,
+    rotation_cursor: u64,
+    seed_cursor: u64,
+}
+
+impl Choker {
+    /// Fresh state.
+    pub fn new(config: BtConfig) -> Self {
+        Choker {
+            config,
+            optimistic: None,
+            rounds_since_rotation: 0,
+            rotation_cursor: 0,
+            seed_cursor: 0,
+        }
+    }
+
+    /// The current optimistic unchoke target, if any.
+    pub fn optimistic(&self) -> Option<PeerId> {
+        self.optimistic
+    }
+
+    /// Recompute the unchoke set for one period.
+    ///
+    /// `candidates` are the currently *interested* connected peers.
+    /// `reputation` is consulted only when the policy requires it.
+    /// Returns the unchoked peers (regular slots plus the optimistic
+    /// slot).
+    pub fn unchoke<F>(
+        &mut self,
+        role: Role,
+        candidates: &[Candidate],
+        policy: &ReputationPolicy,
+        mut reputation: F,
+    ) -> Vec<PeerId>
+    where
+        F: FnMut(PeerId) -> f64,
+    {
+        // Ban policy gates everything (§4.2: "do not assign any upload
+        // slots to peers that have a reputation below δ").
+        let admitted: Vec<Candidate> = candidates
+            .iter()
+            .copied()
+            .filter(|c| policy.admission(reputation(c.peer)) == PolicyDecision::Allow)
+            .collect();
+
+        // Regular slots: leechers by tit-for-tat rate, seeders by
+        // round-robin rotation (see module docs).
+        let mut unchoked: Vec<PeerId> = match role {
+            Role::Leecher => {
+                let mut ranked = admitted.clone();
+                ranked.sort_by(|a, b| b.rate_to_me.cmp(&a.rate_to_me).then(a.peer.cmp(&b.peer)));
+                ranked
+                    .iter()
+                    .take(self.config.regular_slots)
+                    .map(|c| c.peer)
+                    .collect()
+            }
+            Role::Seeder => {
+                let mut pool: Vec<PeerId> = admitted.iter().map(|c| c.peer).collect();
+                pool.sort();
+                if pool.is_empty() {
+                    Vec::new()
+                } else {
+                    let offset = (self.seed_cursor as usize) % pool.len();
+                    pool.rotate_left(offset);
+                    self.seed_cursor = self
+                        .seed_cursor
+                        .wrapping_add(self.config.regular_slots as u64);
+                    pool.truncate(self.config.regular_slots);
+                    pool
+                }
+            }
+        };
+
+        // Optimistic slot.
+        self.rounds_since_rotation += 1;
+        let optimistic_still_valid = self
+            .optimistic
+            .is_some_and(|p| admitted.iter().any(|c| c.peer == p) && !unchoked.contains(&p));
+        if self.rounds_since_rotation >= self.config.optimistic_rounds() || !optimistic_still_valid
+        {
+            self.optimistic = self.pick_optimistic(&admitted, &unchoked, policy, &mut reputation);
+            self.rounds_since_rotation = 0;
+        }
+        if let Some(p) = self.optimistic {
+            unchoked.push(p);
+        }
+        unchoked
+    }
+
+    fn pick_optimistic<F>(
+        &mut self,
+        admitted: &[Candidate],
+        already: &[PeerId],
+        policy: &ReputationPolicy,
+        reputation: &mut F,
+    ) -> Option<PeerId>
+    where
+        F: FnMut(PeerId) -> f64,
+    {
+        let mut pool: Vec<PeerId> = admitted
+            .iter()
+            .map(|c| c.peer)
+            .filter(|p| !already.contains(p))
+            .collect();
+        if pool.is_empty() {
+            return None;
+        }
+        // Deterministic round-robin base order: sort by id, then rotate
+        // by the cursor so that over successive rotations every peer
+        // gets a turn (§4.1: "a 30 seconds round-robin shift over all
+        // the interested peers").
+        pool.sort();
+        let offset = (self.rotation_cursor as usize) % pool.len();
+        pool.rotate_left(offset);
+        self.rotation_cursor = self.rotation_cursor.wrapping_add(1);
+        // The rank policy reorders by reputation; ban has already
+        // filtered; none keeps round-robin order (§4.2).
+        let ordered = policy.order_optimistic(&pool, reputation);
+        ordered.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    fn cand(i: u32, to_me: u64, from_me: u64) -> Candidate {
+        Candidate {
+            peer: p(i),
+            rate_to_me: to_me,
+            rate_from_me: from_me,
+        }
+    }
+
+    fn cfg() -> BtConfig {
+        BtConfig {
+            regular_slots: 2,
+            unchoke_period: bartercast_util::units::Seconds(10),
+            optimistic_period: bartercast_util::units::Seconds(30),
+        }
+    }
+
+    #[test]
+    fn leecher_prefers_best_reciprocators() {
+        let mut ch = Choker::new(cfg());
+        let cands = vec![cand(1, 100, 0), cand(2, 500, 0), cand(3, 300, 0), cand(4, 10, 0)];
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        assert!(unchoked.contains(&p(2)));
+        assert!(unchoked.contains(&p(3)));
+        // 2 regular + 1 optimistic
+        assert_eq!(unchoked.len(), 3);
+    }
+
+    #[test]
+    fn seeder_rotates_over_all_interested_peers() {
+        let mut ch = Choker::new(cfg());
+        let cands: Vec<Candidate> = (1..=6).map(|i| cand(i, 0, 0)).collect();
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let unchoked = ch.unchoke(Role::Seeder, &cands, &ReputationPolicy::None, |_| 0.0);
+            assert!(unchoked.len() <= cfg().regular_slots + 1);
+            served.extend(unchoked);
+        }
+        // round-robin must reach every interested peer quickly
+        assert_eq!(served.len(), 6, "served: {served:?}");
+    }
+
+    #[test]
+    fn seeder_slots_spread_rather_than_lock_in() {
+        let mut ch = Choker::new(cfg());
+        // a peer with a huge observed rate must not monopolize seed slots
+        let cands = vec![cand(1, 0, 9000), cand(2, 0, 0), cand(3, 0, 0), cand(4, 0, 0)];
+        let mut first_slot_history = Vec::new();
+        for _ in 0..4 {
+            let unchoked = ch.unchoke(Role::Seeder, &cands, &ReputationPolicy::None, |_| 0.0);
+            first_slot_history.push(unchoked[0]);
+        }
+        let distinct: std::collections::HashSet<_> = first_slot_history.iter().collect();
+        assert!(distinct.len() > 1, "seed slots locked in: {first_slot_history:?}");
+    }
+
+    #[test]
+    fn optimistic_gives_new_peer_a_chance() {
+        let mut ch = Choker::new(cfg());
+        // peer 9 has no rate yet: never wins a regular slot
+        let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(9, 0, 0)];
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        assert!(unchoked.contains(&p(9)), "optimistic slot must pick the zero-rate peer");
+    }
+
+    #[test]
+    fn optimistic_rotates_round_robin() {
+        let mut ch = Choker::new(cfg());
+        let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(8, 0, 0), cand(9, 0, 0)];
+        let mut seen = std::collections::HashSet::new();
+        // rotation period is 3 rounds; run enough rounds to cycle
+        for _ in 0..12 {
+            let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+            seen.insert(*unchoked.last().unwrap());
+        }
+        assert!(seen.contains(&p(8)) && seen.contains(&p(9)), "both zero-rate peers get turns: {seen:?}");
+    }
+
+    #[test]
+    fn ban_policy_excludes_low_reputation_everywhere() {
+        let mut ch = Choker::new(cfg());
+        let cands = vec![cand(1, 900, 0), cand(2, 100, 0)];
+        let rep = |q: PeerId| if q == p(1) { -0.9 } else { 0.0 };
+        let unchoked = ch.unchoke(
+            Role::Leecher,
+            &cands,
+            &ReputationPolicy::Ban { delta: -0.5 },
+            rep,
+        );
+        assert!(!unchoked.contains(&p(1)), "banned even as top reciprocator");
+        assert!(unchoked.contains(&p(2)));
+    }
+
+    #[test]
+    fn rank_policy_orders_optimistic_by_reputation() {
+        let mut ch = Choker::new(cfg());
+        // regular slots go to 1 and 2; optimistic pool is {8, 9}
+        let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(8, 0, 0), cand(9, 0, 0)];
+        let rep = |q: PeerId| match q.0 {
+            8 => -0.4,
+            9 => 0.7,
+            _ => 0.0,
+        };
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::Rank, rep);
+        assert_eq!(*unchoked.last().unwrap(), p(9), "higher reputation wins the optimistic slot");
+    }
+
+    #[test]
+    fn empty_candidates_no_unchokes() {
+        let mut ch = Choker::new(cfg());
+        let unchoked = ch.unchoke(Role::Leecher, &[], &ReputationPolicy::None, |_| 0.0);
+        assert!(unchoked.is_empty());
+        assert_eq!(ch.optimistic(), None);
+    }
+
+    #[test]
+    fn departed_optimistic_is_replaced() {
+        let mut ch = Choker::new(cfg());
+        let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(9, 0, 0)];
+        ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        assert_eq!(ch.optimistic(), Some(p(9)));
+        // peer 9 leaves; next round someone else (or none) is optimistic
+        let cands2 = vec![cand(1, 500, 0), cand(2, 400, 0)];
+        let unchoked = ch.unchoke(Role::Leecher, &cands2, &ReputationPolicy::None, |_| 0.0);
+        assert!(!unchoked.contains(&p(9)));
+    }
+
+    #[test]
+    fn fewer_candidates_than_slots() {
+        let mut ch = Choker::new(cfg());
+        let cands = vec![cand(1, 5, 0)];
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        // peer 1 takes a regular slot; optimistic pool is empty
+        assert_eq!(unchoked, vec![p(1)]);
+    }
+}

@@ -1,0 +1,59 @@
+//! BitTorrent protocol parameters.
+
+use bartercast_util::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Protocol constants (§4.1). Defaults follow the paper's description:
+/// "a limited number of simultaneous upload slots (usually 4-7)", one
+/// extra optimistic slot rotated every 30 seconds, and a 10-second
+/// choke recalculation period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtConfig {
+    /// Regular (tit-for-tat) upload slots.
+    pub regular_slots: usize,
+    /// Choke recalculation period.
+    pub unchoke_period: Seconds,
+    /// Optimistic unchoke rotation period.
+    pub optimistic_period: Seconds,
+}
+
+impl Default for BtConfig {
+    fn default() -> Self {
+        BtConfig {
+            regular_slots: 4,
+            unchoke_period: Seconds(10),
+            optimistic_period: Seconds(30),
+        }
+    }
+}
+
+impl BtConfig {
+    /// Rotation period expressed in unchoke rounds (at least 1).
+    pub fn optimistic_rounds(&self) -> u32 {
+        (self.optimistic_period.0 / self.unchoke_period.0.max(1)).max(1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_protocol() {
+        let c = BtConfig::default();
+        assert_eq!(c.regular_slots, 4);
+        assert_eq!(c.unchoke_period, Seconds(10));
+        assert_eq!(c.optimistic_period, Seconds(30));
+        assert_eq!(c.optimistic_rounds(), 3);
+    }
+
+    #[test]
+    fn optimistic_rounds_floors_at_one() {
+        let c = BtConfig {
+            regular_slots: 4,
+            unchoke_period: Seconds(60),
+            optimistic_period: Seconds(30),
+        };
+        assert_eq!(c.optimistic_rounds(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! A piece-level BitTorrent protocol simulator (§4.1).
+//!
+//! Implements the protocol mechanics the paper's simulator models:
+//!
+//! * per-peer piece **bitfields** and interest ([`Bitfield`]);
+//! * **tit-for-tat choking**: leechers unchoke the peers that provide
+//!   the highest return rate, seeders unchoke the fastest downloaders,
+//!   with a limited number of upload slots ([`choke`]);
+//! * **optimistic unchoking** via round-robin rotation, the hook where
+//!   BarterCast's *rank* policy plugs in;
+//! * the *ban* policy filter that refuses all slots below a reputation
+//!   threshold (§4.2);
+//! * **rarest-first** piece selection ([`swarm`]);
+//! * leecher/seeder state per swarm with byte-credit accounting that
+//!   converts transferred bytes into completed pieces.
+//!
+//! The crate is deliberately independent of the trace/simulation
+//! engine: it holds per-swarm protocol state and pure decision logic,
+//! while `bartercast-sim` owns time, bandwidth and the network.
+
+#![warn(missing_docs)]
+
+pub mod bitfield;
+pub mod choke;
+pub mod config;
+pub mod swarm;
+
+pub use bitfield::Bitfield;
+pub use choke::{Candidate, Choker};
+pub use config::BtConfig;
+pub use swarm::{Member, Role, Swarm};

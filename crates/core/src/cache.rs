@@ -1,0 +1,258 @@
+//! The reputation engine: subjective graph + maxflow + metric + cache.
+//!
+//! Each peer owns one [`ReputationEngine`]. It holds the peer's
+//! subjective [`ContributionGraph`] (private history edges plus
+//! gossiped records), evaluates Equation 1 with a configurable maxflow
+//! method (the deployed default is two-hop-bounded), and memoizes
+//! results until the graph changes.
+
+use crate::history::PrivateHistory;
+use crate::message::BarterCastMessage;
+use crate::metric::ReputationMetric;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::{ContributionGraph, FlowNetwork};
+use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::FxHashMap;
+
+/// Subjective reputation evaluation with memoization.
+#[derive(Debug, Clone)]
+pub struct ReputationEngine {
+    graph: ContributionGraph,
+    method: Method,
+    metric: ReputationMetric,
+    cache: FxHashMap<(PeerId, PeerId), f64>,
+    cached_version: u64,
+    /// Flow network rebuilt lazily when the graph version moves, so a
+    /// burst of reputation queries against an unchanged graph shares
+    /// one network construction.
+    net: Option<(u64, FlowNetwork)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for ReputationEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReputationEngine {
+    /// An engine with an empty graph and the deployed configuration
+    /// (two-hop bounded maxflow, arctan metric with 1 GB unit).
+    pub fn new() -> Self {
+        ReputationEngine {
+            graph: ContributionGraph::new(),
+            method: Method::DEPLOYED,
+            metric: ReputationMetric::default(),
+            cache: FxHashMap::default(),
+            cached_version: 0,
+            net: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Seed an engine from a peer's own private history: each entry
+    /// `(j, up, down)` becomes the edges `owner → j` and `j → owner`.
+    pub fn from_private(history: &PrivateHistory) -> Self {
+        let mut engine = Self::new();
+        engine.absorb_private(history);
+        engine
+    }
+
+    /// Override the maxflow method (ablation: unbounded algorithms).
+    /// Invalidates any memoized reputations.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self.cache.clear();
+        self
+    }
+
+    /// Override the reputation metric. Invalidates any memoized
+    /// reputations.
+    pub fn with_metric(mut self, metric: ReputationMetric) -> Self {
+        self.metric = metric;
+        self.cache.clear();
+        self
+    }
+
+    /// Re-absorb the owner's private history (max-merge, so calling it
+    /// repeatedly as the history grows is safe and cheap).
+    pub fn absorb_private(&mut self, history: &PrivateHistory) {
+        let me = history.owner();
+        for (peer, totals) in history.iter() {
+            self.graph.merge_record(me, peer, totals.up);
+            self.graph.merge_record(peer, me, totals.down);
+        }
+    }
+
+    /// Merge one gossiped message into the subjective graph. Returns
+    /// the number of changed edges.
+    pub fn absorb_message(&mut self, msg: &BarterCastMessage) -> usize {
+        msg.apply(&mut self.graph)
+    }
+
+    /// Direct read-only access to the subjective graph.
+    pub fn graph(&self) -> &ContributionGraph {
+        &self.graph
+    }
+
+    /// Mutable access (used by tests and by the deployment model).
+    pub fn graph_mut(&mut self) -> &mut ContributionGraph {
+        &mut self.graph
+    }
+
+    /// The two directed maxflows of Equation 1:
+    /// `(maxflow(j → i), maxflow(i → j))`.
+    pub fn flows(&self, i: PeerId, j: PeerId) -> (Bytes, Bytes) {
+        (
+            maxflow::compute(&self.graph, j, i, self.method),
+            maxflow::compute(&self.graph, i, j, self.method),
+        )
+    }
+
+    /// [`ReputationEngine::flows`] against the shared, lazily rebuilt
+    /// flow network (hot path for bulk reputation queries).
+    fn flows_cached(&mut self, i: PeerId, j: PeerId) -> (Bytes, Bytes) {
+        let version = self.graph.version();
+        let rebuild = !matches!(&self.net, Some((v, _)) if *v == version);
+        if rebuild {
+            self.net = Some((version, FlowNetwork::from_graph(&self.graph)));
+        }
+        let (_, net) = self.net.as_mut().expect("just built");
+        (
+            maxflow::compute_on(net, j, i, self.method),
+            maxflow::compute_on(net, i, j, self.method),
+        )
+    }
+
+    /// Subjective reputation `R_i(j)` (§3.3, Equation 1), memoized
+    /// until the graph changes.
+    pub fn reputation(&mut self, i: PeerId, j: PeerId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let version = self.graph.version();
+        if version != self.cached_version {
+            self.cache.clear();
+            self.cached_version = version;
+        }
+        if let Some(&r) = self.cache.get(&(i, j)) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let (toward, away) = self.flows_cached(i, j);
+        let r = self.metric.eval(toward, away);
+        self.cache.insert((i, j), r);
+        r
+    }
+
+    /// `(cache hits, cache misses)` since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bartercast_util::units::Seconds;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    fn engine_with_chain() -> ReputationEngine {
+        // 2 -> 1 -> 0: peer 0 evaluates peer 2 through intermediary 1
+        let mut e = ReputationEngine::new();
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_mb(300));
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(200));
+        e
+    }
+
+    #[test]
+    fn from_private_builds_both_directions() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_upload(p(1), Bytes::from_mb(100), Seconds(1));
+        h.record_download(p(2), Bytes::from_mb(300), Seconds(2));
+        let e = ReputationEngine::from_private(&h);
+        assert_eq!(e.graph().edge(p(0), p(1)), Bytes::from_mb(100));
+        assert_eq!(e.graph().edge(p(2), p(0)), Bytes::from_mb(300));
+    }
+
+    #[test]
+    fn indirect_service_counts_but_is_limited() {
+        let mut e = engine_with_chain();
+        // maxflow(2 -> 0) = min(300, 200) = 200 MB through peer 1
+        let (toward, away) = e.flows(p(0), p(2));
+        assert_eq!(toward, Bytes::from_mb(200));
+        assert_eq!(away, Bytes::ZERO);
+        assert!(e.reputation(p(0), p(2)) > 0.0);
+    }
+
+    #[test]
+    fn liar_constrained_by_receivers_incoming_edges() {
+        // §3.4: maxflow(j, i) is bounded by i's incoming capacity,
+        // which comes from i's own private history.
+        let mut e = ReputationEngine::new();
+        // I (peer 0) downloaded only 10 MB from peer 1 in total.
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(10));
+        // Liar (peer 9) claims it uploaded 100 GB to peer 1.
+        e.graph_mut().merge_record(p(9), p(1), Bytes::from_gb(100));
+        let (toward, _) = e.flows(p(0), p(9));
+        assert!(toward <= Bytes::from_mb(10), "lie must be capped at {toward:?}");
+        let r = e.reputation(p(0), p(9));
+        assert!(r < 0.02, "liar reputation barely moves: {r}");
+    }
+
+    #[test]
+    fn self_reputation_is_zero() {
+        let mut e = engine_with_chain();
+        assert_eq!(e.reputation(p(0), p(0)), 0.0);
+    }
+
+    #[test]
+    fn unknown_peer_is_neutral() {
+        let mut e = engine_with_chain();
+        assert_eq!(e.reputation(p(0), p(77)), 0.0);
+    }
+
+    #[test]
+    fn cache_hits_until_graph_changes() {
+        let mut e = engine_with_chain();
+        let r1 = e.reputation(p(0), p(2));
+        let r2 = e.reputation(p(0), p(2));
+        assert_eq!(r1, r2);
+        let (hits, misses) = e.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // mutate graph: cache must invalidate
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
+        let r3 = e.reputation(p(0), p(2));
+        let (_, misses2) = e.cache_stats();
+        assert_eq!(misses2, 2);
+        assert!(r3 >= r1);
+    }
+
+    #[test]
+    fn deployed_method_ignores_three_hop_paths() {
+        let mut e = ReputationEngine::new();
+        // 3 -> 2 -> 1 -> 0 (three hops)
+        e.graph_mut().add_transfer(p(3), p(2), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_gb(1));
+        assert_eq!(e.reputation(p(0), p(3)), 0.0);
+        let mut unbounded = e.clone().with_method(Method::Dinic);
+        assert!(unbounded.reputation(p(0), p(3)) > 0.0);
+    }
+
+    #[test]
+    fn absorb_message_roundtrip() {
+        let mut h = PrivateHistory::new(p(5));
+        h.record_upload(p(6), Bytes::from_mb(42), Seconds(1));
+        let msg = BarterCastMessage::from_history(&h, Default::default());
+        let mut e = ReputationEngine::new();
+        assert!(e.absorb_message(&msg) > 0);
+        assert_eq!(e.graph().edge(p(5), p(6)), Bytes::from_mb(42));
+    }
+}

@@ -1,0 +1,200 @@
+//! Binary wire codec for BarterCast messages.
+//!
+//! A compact hand-rolled format over the `bytes` crate (serde binary
+//! formats like bincode are outside the allowed dependency set):
+//!
+//! ```text
+//! [magic u8 = 0xBC] [version u8 = 1] [sender u32 LE]
+//! [record count u16 LE]
+//! repeated: [peer u32 LE] [up u64 LE] [down u64 LE]
+//! ```
+//!
+//! Decoding is defensive — any truncation, bad magic, or unsupported
+//! version yields a typed error instead of a panic, since messages
+//! arrive from untrusted peers.
+
+use crate::message::{BarterCastMessage, TransferRecord};
+use bartercast_util::units::{Bytes, PeerId};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Magic byte opening every BarterCast frame.
+pub const MAGIC: u8 = 0xBC;
+/// Current wire version.
+pub const VERSION: u8 = 1;
+/// Upper bound on records per message (a frame claiming more is
+/// rejected before any allocation).
+pub const MAX_RECORDS: usize = 1024;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame shorter than its headers/payload claim.
+    Truncated,
+    /// First byte was not [`MAGIC`].
+    BadMagic(u8),
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Record count exceeded [`MAX_RECORDS`].
+    TooManyRecords(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::TooManyRecords(n) => write!(f, "record count {n} exceeds maximum"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a message into a fresh buffer.
+///
+/// ```
+/// use bartercast_core::{codec, BarterCastConfig, BarterCastMessage, PrivateHistory};
+/// use bartercast_util::units::{Bytes, PeerId, Seconds};
+///
+/// let mut h = PrivateHistory::new(PeerId(7));
+/// h.record_upload(PeerId(1), Bytes::from_mb(5), Seconds(1));
+/// let msg = BarterCastMessage::from_history(&h, BarterCastConfig::default());
+/// let frame = codec::encode(&msg);
+/// assert_eq!(codec::decode(&frame).unwrap(), msg);
+/// ```
+pub fn encode(msg: &BarterCastMessage) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(8 + msg.records.len() * 20);
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(msg.sender.0);
+    debug_assert!(msg.records.len() <= MAX_RECORDS);
+    buf.put_u16_le(msg.records.len() as u16);
+    for r in &msg.records {
+        buf.put_u32_le(r.peer.0);
+        buf.put_u64_le(r.up.0);
+        buf.put_u64_le(r.down.0);
+    }
+    buf
+}
+
+/// Parse a frame produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> Result<BarterCastMessage, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let sender = PeerId(buf.get_u32_le());
+    let count = buf.get_u16_le() as usize;
+    if count > MAX_RECORDS {
+        return Err(DecodeError::TooManyRecords(count));
+    }
+    if buf.remaining() < count * 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(TransferRecord {
+            peer: PeerId(buf.get_u32_le()),
+            up: Bytes(buf.get_u64_le()),
+            down: Bytes(buf.get_u64_le()),
+        });
+    }
+    Ok(BarterCastMessage { sender, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BarterCastMessage {
+        BarterCastMessage {
+            sender: PeerId(42),
+            records: vec![
+                TransferRecord {
+                    peer: PeerId(1),
+                    up: Bytes::from_mb(100),
+                    down: Bytes::from_mb(5),
+                },
+                TransferRecord {
+                    peer: PeerId(7),
+                    up: Bytes::ZERO,
+                    down: Bytes::from_gb(2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let msg = sample();
+        let buf = encode(&msg);
+        let back = decode(&buf).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let msg = BarterCastMessage {
+            sender: PeerId(3),
+            records: vec![],
+        };
+        let buf = encode(&msg);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(decode(&buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = encode(&sample());
+        buf[0] = 0xFF;
+        assert_eq!(decode(&buf), Err(DecodeError::BadMagic(0xFF)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = encode(&sample());
+        buf[1] = 9;
+        assert_eq!(decode(&buf), Err(DecodeError::BadVersion(9)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let buf = encode(&sample());
+        for cut in 0..buf.len() {
+            let res = decode(&buf[..cut]);
+            assert!(res.is_err(), "prefix of length {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_record_count_bomb() {
+        let mut buf = encode(&BarterCastMessage {
+            sender: PeerId(1),
+            records: vec![],
+        });
+        // forge a huge record count with no payload
+        let n = buf.len();
+        buf[n - 2] = 0xFF;
+        buf[n - 1] = 0xFF;
+        let res = decode(&buf);
+        assert!(matches!(
+            res,
+            Err(DecodeError::TooManyRecords(_)) | Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadMagic(1).to_string().contains("magic"));
+    }
+}

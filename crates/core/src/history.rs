@@ -1,0 +1,296 @@
+//! Private transfer histories (§3.4).
+//!
+//! "The private history at peer *i* is a table where an entry
+//! `(j, up, down)` is a record of the number of bytes peer *i* has
+//! uploaded to, respectively downloaded from, peer *j*."
+//!
+//! The private history is the trust anchor of BarterCast: the edges
+//! incident to *i* in *i*'s subjective graph come from here and cannot
+//! be manipulated by other peers, which is what bounds the influence of
+//! liars (§3.4).
+
+use bartercast_util::units::{Bytes, PeerId, Seconds};
+use bartercast_util::{FxHashMap, FxHashSet};
+
+/// Aggregated transfer totals with one remote peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferTotals {
+    /// Bytes the local peer uploaded to the remote peer.
+    pub up: Bytes,
+    /// Bytes the local peer downloaded from the remote peer.
+    pub down: Bytes,
+    /// Last time the remote peer was seen (transfer or meeting).
+    pub last_seen: Seconds,
+}
+
+/// Peer *i*'s private table of its own transfers.
+///
+/// ```
+/// use bartercast_core::PrivateHistory;
+/// use bartercast_util::units::{Bytes, PeerId, Seconds};
+///
+/// let mut h = PrivateHistory::new(PeerId(0));
+/// h.record_upload(PeerId(1), Bytes::from_mb(100), Seconds(10));
+/// h.record_download(PeerId(1), Bytes::from_mb(40), Seconds(20));
+/// let totals = h.get(PeerId(1)).unwrap();
+/// assert_eq!(totals.up, Bytes::from_mb(100));
+/// assert_eq!(totals.down, Bytes::from_mb(40));
+/// assert_eq!(totals.last_seen, Seconds(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivateHistory {
+    owner: PeerId,
+    entries: FxHashMap<PeerId, TransferTotals>,
+}
+
+impl PrivateHistory {
+    /// An empty history owned by `owner`.
+    pub fn new(owner: PeerId) -> Self {
+        PrivateHistory {
+            owner,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    /// The peer this history belongs to.
+    pub fn owner(&self) -> PeerId {
+        self.owner
+    }
+
+    /// Record that the owner uploaded `amount` to `peer` at time `now`.
+    pub fn record_upload(&mut self, peer: PeerId, amount: Bytes, now: Seconds) {
+        if peer == self.owner {
+            return;
+        }
+        let e = self.entries.entry(peer).or_default();
+        e.up += amount;
+        e.last_seen = e.last_seen.max(now);
+    }
+
+    /// Record that the owner downloaded `amount` from `peer` at `now`.
+    pub fn record_download(&mut self, peer: PeerId, amount: Bytes, now: Seconds) {
+        if peer == self.owner {
+            return;
+        }
+        let e = self.entries.entry(peer).or_default();
+        e.down += amount;
+        e.last_seen = e.last_seen.max(now);
+    }
+
+    /// Note that `peer` was seen (e.g. a gossip meeting) without any
+    /// transfer, refreshing its recency for the `Nr` selection.
+    pub fn touch(&mut self, peer: PeerId, now: Seconds) {
+        if peer == self.owner {
+            return;
+        }
+        let e = self.entries.entry(peer).or_default();
+        e.last_seen = e.last_seen.max(now);
+    }
+
+    /// Totals with `peer`, if any transfer or meeting happened.
+    pub fn get(&self, peer: PeerId) -> Option<TransferTotals> {
+        self.entries.get(&peer).copied()
+    }
+
+    /// Number of peers in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no peer has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, TransferTotals)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total bytes uploaded by the owner.
+    pub fn total_up(&self) -> Bytes {
+        self.entries.values().map(|e| e.up).sum()
+    }
+
+    /// Total bytes downloaded by the owner.
+    pub fn total_down(&self) -> Bytes {
+        self.entries.values().map(|e| e.down).sum()
+    }
+
+    /// Bound the table to `max_entries`: half the slots go to the
+    /// highest-volume entries and the rest to the most recently seen —
+    /// the same two criteria the §3.4 record selection uses, so
+    /// pruning keeps exactly the entries messages are built from.
+    /// Long-running peers need this to keep state sublinear in
+    /// everyone-they-ever-met. Returns how many entries were evicted.
+    pub fn prune(&mut self, max_entries: usize) -> usize {
+        if self.entries.len() <= max_entries {
+            return 0;
+        }
+        // keep the top half by transfer volume, then fill the rest by
+        // recency — the same two criteria the §3.4 selection uses
+        let volume_slots = max_entries / 2;
+        let mut by_volume: Vec<PeerId> = self.entries.keys().copied().collect();
+        by_volume.sort_by_key(|p| {
+            let e = &self.entries[p];
+            (std::cmp::Reverse(e.up + e.down), *p)
+        });
+        let mut keep: FxHashSet<PeerId> = by_volume.iter().take(volume_slots).copied().collect();
+        let mut by_recency: Vec<PeerId> = self.entries.keys().copied().collect();
+        by_recency.sort_by_key(|p| (std::cmp::Reverse(self.entries[p].last_seen), *p));
+        for p in by_recency {
+            if keep.len() >= max_entries {
+                break;
+            }
+            keep.insert(p);
+        }
+        let before = self.entries.len();
+        self.entries.retain(|p, _| keep.contains(p));
+        before - self.entries.len()
+    }
+
+    /// The paper's record selection (§3.4): the `nh` peers with the
+    /// highest upload **to** the owner, plus the `nr` peers most
+    /// recently seen, deduplicated. Ordering among selected peers is
+    /// deterministic (by the selection keys, then peer id).
+    pub fn select_peers(&self, nh: usize, nr: usize) -> Vec<PeerId> {
+        let mut by_upload: Vec<(PeerId, TransferTotals)> =
+            self.entries.iter().map(|(&k, &v)| (k, v)).collect();
+        // "highest upload to i" = bytes i downloaded from them
+        by_upload.sort_by(|a, b| b.1.down.cmp(&a.1.down).then(a.0.cmp(&b.0)));
+        let mut selected: Vec<PeerId> = Vec::with_capacity(nh + nr);
+        for (p, t) in by_upload.iter().take(nh) {
+            if !t.down.is_zero() {
+                selected.push(*p);
+            }
+        }
+        let mut by_recent: Vec<(PeerId, TransferTotals)> =
+            self.entries.iter().map(|(&k, &v)| (k, v)).collect();
+        by_recent.sort_by(|a, b| b.1.last_seen.cmp(&a.1.last_seen).then(a.0.cmp(&b.0)));
+        for (p, _) in by_recent.iter().take(nr) {
+            if !selected.contains(p) {
+                selected.push(*p);
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_upload(p(1), Bytes::from_mb(10), Seconds(5));
+        h.record_upload(p(1), Bytes::from_mb(15), Seconds(9));
+        h.record_download(p(1), Bytes::from_mb(3), Seconds(11));
+        let t = h.get(p(1)).unwrap();
+        assert_eq!(t.up, Bytes::from_mb(25));
+        assert_eq!(t.down, Bytes::from_mb(3));
+        assert_eq!(t.last_seen, Seconds(11));
+        assert_eq!(h.total_up(), Bytes::from_mb(25));
+        assert_eq!(h.total_down(), Bytes::from_mb(3));
+    }
+
+    #[test]
+    fn ignores_self_transfers() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_upload(p(0), Bytes::from_mb(10), Seconds(1));
+        h.record_download(p(0), Bytes::from_mb(10), Seconds(1));
+        h.touch(p(0), Seconds(1));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn last_seen_is_monotone() {
+        let mut h = PrivateHistory::new(p(0));
+        h.touch(p(1), Seconds(100));
+        h.record_upload(p(1), Bytes::from_kb(1), Seconds(50)); // stale clock
+        assert_eq!(h.get(p(1)).unwrap().last_seen, Seconds(100));
+    }
+
+    #[test]
+    fn selection_top_uploaders_then_recent() {
+        let mut h = PrivateHistory::new(p(0));
+        // peers 1..=3 uploaded (i.e. we downloaded) decreasing amounts
+        h.record_download(p(1), Bytes::from_mb(300), Seconds(10));
+        h.record_download(p(2), Bytes::from_mb(200), Seconds(20));
+        h.record_download(p(3), Bytes::from_mb(100), Seconds(30));
+        // peer 4 uploaded nothing but was seen most recently
+        h.touch(p(4), Seconds(99));
+        let sel = h.select_peers(2, 2);
+        // top-2 by upload-to-me: 1, 2; most recent: 4 (99), 3 (30)
+        assert_eq!(sel, vec![p(1), p(2), p(4), p(3)]);
+    }
+
+    #[test]
+    fn selection_dedups() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_download(p(1), Bytes::from_mb(10), Seconds(100));
+        let sel = h.select_peers(5, 5);
+        assert_eq!(sel, vec![p(1)]);
+    }
+
+    #[test]
+    fn selection_skips_zero_uploaders_in_nh() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_upload(p(1), Bytes::from_mb(10), Seconds(1)); // we only uploaded to them
+        let sel = h.select_peers(3, 0);
+        assert!(sel.is_empty(), "nh selection must not include zero uploaders");
+        let sel = h.select_peers(3, 3);
+        assert_eq!(sel, vec![p(1)], "nr selection still includes them");
+    }
+
+    #[test]
+    fn prune_keeps_recent_and_heavy_entries() {
+        let mut h = PrivateHistory::new(p(0));
+        // heavy, old entry
+        h.record_download(p(1), Bytes::from_gb(5), Seconds(1));
+        // light, recent entry
+        h.touch(p(2), Seconds(1000));
+        // light, old entries — the eviction candidates
+        for i in 3..=10 {
+            h.record_download(p(i), Bytes::from_kb(1), Seconds(2));
+        }
+        let evicted = h.prune(4);
+        assert_eq!(evicted, 6);
+        assert_eq!(h.len(), 4);
+        assert!(h.get(p(1)).is_some(), "heavy uploader kept");
+        assert!(h.get(p(2)).is_some(), "recent contact kept");
+    }
+
+    #[test]
+    fn prune_is_noop_under_limit() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_download(p(1), Bytes::from_mb(1), Seconds(1));
+        assert_eq!(h.prune(10), 0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn prune_to_zero_empties_table() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_download(p(1), Bytes::from_mb(1), Seconds(1));
+        h.record_download(p(2), Bytes::from_mb(2), Seconds(2));
+        assert_eq!(h.prune(0), 2);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn selection_is_deterministic_under_ties() {
+        let mut h = PrivateHistory::new(p(0));
+        for i in 1..=5 {
+            h.record_download(p(i), Bytes::from_mb(100), Seconds(50));
+        }
+        let a = h.select_peers(3, 0);
+        let b = h.select_peers(3, 0);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![p(1), p(2), p(3)]); // tie-broken by id
+    }
+}

@@ -1,0 +1,204 @@
+//! Identities and whitewashing countermeasures (§3.5).
+//!
+//! BarterCast assumes the client can create a **machine-dependent
+//! permanent identifier** that takes considerable skill to change (as
+//! the Tribler client does). This module models that assumption and
+//! the two §3.5 countermeasures for when it is violated:
+//!
+//! * a **static newcomer penalty** applied to peers never seen before,
+//!   and
+//! * an **adaptive stranger policy** that sets the newcomer penalty to
+//!   the (smoothed) average reputation of recently observed newcomers —
+//!   if newcomers historically behave badly (e.g. they are mostly
+//!   whitewashers), strangers start with correspondingly low standing.
+
+use bartercast_util::units::PeerId;
+use bartercast_util::FxHashMap;
+
+/// A machine-dependent permanent identifier (opaque 64-bit token in
+/// the simulator; in Tribler this is derived from the installation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u64);
+
+/// Maps machine identifiers to peer identities and tracks how often a
+/// machine re-registers (a whitewashing signal).
+///
+/// ```
+/// use bartercast_core::identity::{IdentityRegistry, MachineId};
+///
+/// let mut reg = IdentityRegistry::new();
+/// let id = reg.identity(MachineId(1234));
+/// assert_eq!(reg.identity(MachineId(1234)), id); // permanent
+/// let fresh = reg.whitewash(MachineId(1234), MachineId(9999));
+/// assert_ne!(fresh, id); // but a wiped client starts over
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IdentityRegistry {
+    by_machine: FxHashMap<MachineId, PeerId>,
+    registrations: FxHashMap<MachineId, u32>,
+    next_id: u32,
+}
+
+impl IdentityRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The permanent identity for `machine`, allocated on first sight.
+    /// Repeated calls return the same [`PeerId`] — identities are
+    /// permanent as long as the machine id is stable.
+    pub fn identity(&mut self, machine: MachineId) -> PeerId {
+        if let Some(&id) = self.by_machine.get(&machine) {
+            return id;
+        }
+        let id = PeerId(self.next_id);
+        self.next_id += 1;
+        self.by_machine.insert(machine, id);
+        *self.registrations.entry(machine).or_insert(0) += 1;
+        id
+    }
+
+    /// Model a whitewash attempt: the user wipes the client so the
+    /// machine presents a fresh identifier. Returns the new identity.
+    pub fn whitewash(&mut self, old: MachineId, fresh: MachineId) -> PeerId {
+        self.by_machine.remove(&old);
+        self.identity(fresh)
+    }
+
+    /// Number of identities ever allocated.
+    pub fn allocated(&self) -> u32 {
+        self.next_id
+    }
+
+    /// True iff this machine currently has an identity.
+    pub fn knows(&self, machine: MachineId) -> bool {
+        self.by_machine.contains_key(&machine)
+    }
+}
+
+/// Newcomer treatment (§3.5): what reputation a never-seen peer starts
+/// with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrangerPolicy {
+    /// Newcomers start neutral (the deployed BarterCast behaviour —
+    /// strong identities make whitewashing expensive).
+    Neutral,
+    /// Newcomers start at a fixed penalty.
+    StaticPenalty(f64),
+    /// Newcomers start at the smoothed average reputation of past
+    /// newcomers ("adaptive stranger policy").
+    Adaptive {
+        /// Exponential smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+}
+
+/// Tracks the adaptive-stranger estimate.
+#[derive(Debug, Clone)]
+pub struct StrangerEstimator {
+    policy: StrangerPolicy,
+    estimate: f64,
+    observations: u64,
+}
+
+impl StrangerEstimator {
+    /// Create an estimator for the given policy.
+    pub fn new(policy: StrangerPolicy) -> Self {
+        StrangerEstimator {
+            policy,
+            estimate: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// The reputation to assume for a brand-new peer right now.
+    pub fn stranger_reputation(&self) -> f64 {
+        match self.policy {
+            StrangerPolicy::Neutral => 0.0,
+            StrangerPolicy::StaticPenalty(p) => p,
+            StrangerPolicy::Adaptive { .. } => self.estimate,
+        }
+    }
+
+    /// Report the eventual observed reputation of a peer that joined
+    /// as a stranger; feeds the adaptive estimate.
+    pub fn observe_newcomer(&mut self, eventual_reputation: f64) {
+        self.observations += 1;
+        if let StrangerPolicy::Adaptive { alpha } = self.policy {
+            if self.observations == 1 {
+                self.estimate = eventual_reputation;
+            } else {
+                self.estimate = alpha * eventual_reputation + (1.0 - alpha) * self.estimate;
+            }
+        }
+    }
+
+    /// Newcomers observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_permanent() {
+        let mut reg = IdentityRegistry::new();
+        let a = reg.identity(MachineId(111));
+        let b = reg.identity(MachineId(111));
+        assert_eq!(a, b);
+        assert_eq!(reg.allocated(), 1);
+    }
+
+    #[test]
+    fn distinct_machines_distinct_identities() {
+        let mut reg = IdentityRegistry::new();
+        let a = reg.identity(MachineId(1));
+        let b = reg.identity(MachineId(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn whitewash_allocates_fresh_identity() {
+        let mut reg = IdentityRegistry::new();
+        let old = reg.identity(MachineId(1));
+        let fresh = reg.whitewash(MachineId(1), MachineId(999));
+        assert_ne!(old, fresh);
+        assert!(!reg.knows(MachineId(1)));
+        assert!(reg.knows(MachineId(999)));
+        assert_eq!(reg.allocated(), 2);
+    }
+
+    #[test]
+    fn neutral_policy_gives_zero() {
+        let mut e = StrangerEstimator::new(StrangerPolicy::Neutral);
+        assert_eq!(e.stranger_reputation(), 0.0);
+        e.observe_newcomer(-0.8);
+        assert_eq!(e.stranger_reputation(), 0.0);
+    }
+
+    #[test]
+    fn static_penalty_is_constant() {
+        let e = StrangerEstimator::new(StrangerPolicy::StaticPenalty(-0.3));
+        assert_eq!(e.stranger_reputation(), -0.3);
+    }
+
+    #[test]
+    fn adaptive_tracks_newcomer_behaviour() {
+        let mut e = StrangerEstimator::new(StrangerPolicy::Adaptive { alpha: 0.5 });
+        assert_eq!(e.stranger_reputation(), 0.0);
+        e.observe_newcomer(-0.8);
+        assert_eq!(e.stranger_reputation(), -0.8);
+        e.observe_newcomer(0.0);
+        assert!((e.stranger_reputation() + 0.4).abs() < 1e-12);
+        assert_eq!(e.observations(), 2);
+        // a stream of well-behaved newcomers pulls the estimate back up
+        for _ in 0..20 {
+            e.observe_newcomer(0.5);
+        }
+        assert!(e.stranger_reputation() > 0.4);
+    }
+}

@@ -1,0 +1,153 @@
+//! The reputation metric (§3.3, Equation 1).
+//!
+//! ```text
+//! R_i(j) = arctan(maxflow(j, i) − maxflow(i, j)) / (π/2)
+//! ```
+//!
+//! The arctan scaling makes the difference between 0 and 100 MB far
+//! more significant than between 1000 and 1100 MB, so a modest
+//! contribution by a newcomer moves its reputation visibly instead of
+//! being dwarfed by the most active peers.
+//!
+//! The paper leaves the arctan argument's unit implicit; Figure 1b
+//! shows reputations saturating only at several GB of net
+//! contribution, and the ban policy's thresholds (δ down to −0.7 ≈
+//! −2 GB·tan) only discriminate if weekly flow differences of 1–8 GB
+//! map onto the middle of the arctan, so [`ReputationMetric::default`]
+//! uses a **2 GB** unit. The unit is configurable for the ablation
+//! benches.
+
+use std::f64::consts::FRAC_PI_2;
+
+use bartercast_util::units::Bytes;
+
+/// How raw maxflow differences map to a reputation value in `(-1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReputationMetric {
+    /// The paper's Equation 1: `arctan(Δ/unit) / (π/2)` with `Δ` the
+    /// maxflow difference in bytes and `unit` the byte amount mapping
+    /// to `arctan(1)`.
+    Arctan {
+        /// Bytes corresponding to `x = 1` inside the arctan.
+        unit: Bytes,
+    },
+    /// Ablation alternative: linear in `Δ`, clamped to `[-1, 1]` at
+    /// `±unit`. Lacks the newcomer-friendly compression of arctan.
+    LinearClamp {
+        /// Bytes at which the value saturates.
+        unit: Bytes,
+    },
+}
+
+impl Default for ReputationMetric {
+    fn default() -> Self {
+        ReputationMetric::Arctan {
+            unit: Bytes::from_gb(2),
+        }
+    }
+}
+
+impl ReputationMetric {
+    /// Evaluate the metric given the two directed maxflows:
+    /// `toward` = maxflow(j → i) (service peer *i* received, possibly
+    /// indirectly, from *j*) and `away` = maxflow(i → j).
+    pub fn eval(&self, toward: Bytes, away: Bytes) -> f64 {
+        let delta = toward.0 as f64 - away.0 as f64;
+        match *self {
+            ReputationMetric::Arctan { unit } => (delta / unit.0 as f64).atan() / FRAC_PI_2,
+            ReputationMetric::LinearClamp { unit } => (delta / unit.0 as f64).clamp(-1.0, 1.0),
+        }
+    }
+}
+
+/// Equation 1 with the default 2 GB unit.
+///
+/// ```
+/// use bartercast_core::reputation_from_flows;
+/// use bartercast_util::units::Bytes;
+///
+/// let r = reputation_from_flows(Bytes::from_gb(2), Bytes::ZERO);
+/// assert!((r - 0.5).abs() < 1e-9); // arctan(1) / (pi/2)
+/// assert!(reputation_from_flows(Bytes::ZERO, Bytes::from_gb(2)) < 0.0);
+/// ```
+pub fn reputation_from_flows(toward: Bytes, away: Bytes) -> f64 {
+    ReputationMetric::default().eval(toward, away)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_flows_zero_reputation() {
+        assert_eq!(reputation_from_flows(Bytes::ZERO, Bytes::ZERO), 0.0);
+    }
+
+    #[test]
+    fn sign_follows_net_service() {
+        assert!(reputation_from_flows(Bytes::from_mb(100), Bytes::ZERO) > 0.0);
+        assert!(reputation_from_flows(Bytes::ZERO, Bytes::from_mb(100)) < 0.0);
+    }
+
+    #[test]
+    fn antisymmetric() {
+        let a = reputation_from_flows(Bytes::from_mb(700), Bytes::from_mb(100));
+        let b = reputation_from_flows(Bytes::from_mb(100), Bytes::from_mb(700));
+        assert!((a + b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_open_interval() {
+        let r = reputation_from_flows(Bytes::from_gb(10_000), Bytes::ZERO);
+        assert!(r > 0.99 && r < 1.0);
+        let r = reputation_from_flows(Bytes::ZERO, Bytes::from_gb(10_000));
+        assert!(r < -0.99 && r > -1.0);
+    }
+
+    #[test]
+    fn newcomer_compression() {
+        // §3.3: a first contribution moves reputation more than the
+        // same increment on top of an already-large total (the paper's
+        // 0→100 MB vs 1000→1100 MB example, scaled to the unit).
+        let m = ReputationMetric::default();
+        let step = Bytes::from_mb(500);
+        let large = Bytes::from_gb(4);
+        let step_small = m.eval(step, Bytes::ZERO) - m.eval(Bytes::ZERO, Bytes::ZERO);
+        let step_large = m.eval(large + step, Bytes::ZERO) - m.eval(large, Bytes::ZERO);
+        assert!(step_small > step_large * 2.0);
+    }
+
+    #[test]
+    fn arctan_unit_scales_sensitivity() {
+        let fine = ReputationMetric::Arctan {
+            unit: Bytes::from_mb(100),
+        };
+        let coarse = ReputationMetric::Arctan {
+            unit: Bytes::from_gb(10),
+        };
+        let toward = Bytes::from_mb(500);
+        assert!(fine.eval(toward, Bytes::ZERO) > coarse.eval(toward, Bytes::ZERO));
+    }
+
+    #[test]
+    fn linear_clamp_saturates_exactly() {
+        let m = ReputationMetric::LinearClamp {
+            unit: Bytes::from_gb(1),
+        };
+        assert_eq!(m.eval(Bytes::from_gb(5), Bytes::ZERO), 1.0);
+        assert_eq!(m.eval(Bytes::ZERO, Bytes::from_gb(5)), -1.0);
+        let half = m.eval(Bytes::from_mb(512), Bytes::ZERO);
+        assert!((half - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_toward_flow() {
+        let m = ReputationMetric::default();
+        let mut prev = -2.0;
+        for mb in (0..2000).step_by(100) {
+            let r = m.eval(Bytes::from_mb(mb), Bytes::from_mb(500));
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Reputation policies for BitTorrent (§4.2).
+//!
+//! * **rank** — optimistic unchoke slots go to interested peers in
+//!   order of reputation: "a peer can not get an upload slot while
+//!   peers with a higher reputation are also interested and not yet
+//!   served".
+//! * **ban** — no upload slots at all for peers whose reputation is
+//!   below a negative threshold δ (the paper evaluates δ ∈ {−0.3,
+//!   −0.5, −0.7}).
+//! * **none** — plain BitTorrent, the baseline.
+
+use bartercast_util::units::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// Which reputation policy a peer enforces.
+///
+/// ```
+/// use bartercast_core::{PolicyDecision, ReputationPolicy};
+///
+/// let ban = ReputationPolicy::Ban { delta: -0.5 };
+/// assert_eq!(ban.admission(-0.6), PolicyDecision::Banned);
+/// assert_eq!(ban.admission(-0.4), PolicyDecision::Allow);
+/// assert_eq!(ReputationPolicy::Rank.admission(-0.9), PolicyDecision::Allow);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReputationPolicy {
+    /// Plain BitTorrent tit-for-tat only (baseline).
+    None,
+    /// Optimistic unchokes ordered by reputation (§4.2 rank policy).
+    Rank,
+    /// Refuse any slot to peers below `delta` (§4.2 ban policy).
+    Ban {
+        /// The (negative) reputation threshold δ.
+        delta: f64,
+    },
+}
+
+impl Default for ReputationPolicy {
+    fn default() -> Self {
+        ReputationPolicy::None
+    }
+}
+
+/// What the policy says about serving a particular peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyDecision {
+    /// The peer may receive slots as usual.
+    Allow,
+    /// The peer must not receive any upload slot.
+    Banned,
+}
+
+impl ReputationPolicy {
+    /// Decide whether `reputation` is acceptable for receiving service.
+    pub fn admission(&self, reputation: f64) -> PolicyDecision {
+        match *self {
+            ReputationPolicy::Ban { delta } if reputation < delta => PolicyDecision::Banned,
+            _ => PolicyDecision::Allow,
+        }
+    }
+
+    /// Order candidate peers for the optimistic unchoke slot.
+    ///
+    /// Under the rank policy candidates are sorted by descending
+    /// reputation (ties broken by the round-robin order given by the
+    /// input sequence). Other policies keep the input order, which the
+    /// caller supplies as the plain BitTorrent round-robin rotation.
+    /// Banned peers are filtered out under the ban policy.
+    pub fn order_optimistic<F>(&self, candidates: &[PeerId], mut reputation: F) -> Vec<PeerId>
+    where
+        F: FnMut(PeerId) -> f64,
+    {
+        match *self {
+            ReputationPolicy::None => candidates.to_vec(),
+            ReputationPolicy::Rank => {
+                let mut scored: Vec<(usize, PeerId, f64)> = candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (i, p, reputation(p)))
+                    .collect();
+                // stable by reputation desc, then original order
+                scored.sort_by(|a, b| {
+                    b.2.partial_cmp(&a.2)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                scored.into_iter().map(|(_, p, _)| p).collect()
+            }
+            ReputationPolicy::Ban { delta } => candidates
+                .iter()
+                .copied()
+                .filter(|&p| reputation(p) >= delta)
+                .collect(),
+        }
+    }
+
+    /// Short label for CSV output and plots.
+    pub fn label(&self) -> String {
+        match *self {
+            ReputationPolicy::None => "none".to_string(),
+            ReputationPolicy::Rank => "rank".to_string(),
+            ReputationPolicy::Ban { delta } => format!("ban({delta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn none_policy_allows_everyone() {
+        let pol = ReputationPolicy::None;
+        assert_eq!(pol.admission(-0.99), PolicyDecision::Allow);
+        let c = vec![p(3), p(1), p(2)];
+        assert_eq!(pol.order_optimistic(&c, |_| 0.0), c);
+    }
+
+    #[test]
+    fn ban_threshold_is_strict_less_than() {
+        let pol = ReputationPolicy::Ban { delta: -0.5 };
+        assert_eq!(pol.admission(-0.5), PolicyDecision::Allow);
+        assert_eq!(pol.admission(-0.51), PolicyDecision::Banned);
+        assert_eq!(pol.admission(0.2), PolicyDecision::Allow);
+    }
+
+    #[test]
+    fn ban_filters_candidates() {
+        let pol = ReputationPolicy::Ban { delta: -0.5 };
+        let c = vec![p(1), p(2), p(3)];
+        let reps = |q: PeerId| match q.0 {
+            1 => -0.9,
+            2 => -0.2,
+            _ => 0.5,
+        };
+        assert_eq!(pol.order_optimistic(&c, reps), vec![p(2), p(3)]);
+    }
+
+    #[test]
+    fn rank_orders_by_reputation_desc() {
+        let pol = ReputationPolicy::Rank;
+        let c = vec![p(1), p(2), p(3)];
+        let reps = |q: PeerId| match q.0 {
+            1 => -0.3,
+            2 => 0.8,
+            _ => 0.1,
+        };
+        assert_eq!(pol.order_optimistic(&c, reps), vec![p(2), p(3), p(1)]);
+    }
+
+    #[test]
+    fn rank_is_stable_under_ties() {
+        let pol = ReputationPolicy::Rank;
+        let c = vec![p(9), p(4), p(7)];
+        assert_eq!(pol.order_optimistic(&c, |_| 0.0), c);
+    }
+
+    #[test]
+    fn rank_never_bans() {
+        let pol = ReputationPolicy::Rank;
+        assert_eq!(pol.admission(-1.0), PolicyDecision::Allow);
+        let c = vec![p(1)];
+        assert_eq!(pol.order_optimistic(&c, |_| -0.99).len(), 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ReputationPolicy::None.label(), "none");
+        assert_eq!(ReputationPolicy::Rank.label(), "rank");
+        assert_eq!(ReputationPolicy::Ban { delta: -0.5 }.label(), "ban(-0.5)");
+    }
+}

@@ -1,0 +1,100 @@
+//! Regenerates Figure 2: rank and ban policy effectiveness.
+//!
+//! ```text
+//! cargo run -p bartercast-experiments --release --bin fig2 [-- --quick] [rank|ban|sweep]
+//! ```
+//!
+//! Writes `results/fig2a_*.csv`, `results/fig2b_*.csv`,
+//! `results/fig2c_*.csv` and prints ASCII renderings.
+
+use bartercast_experiments::output;
+use bartercast_experiments::{fig2, Scale};
+use bartercast_util::plot::{line_plot, Series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_flag(&args);
+    let seed = Scale::seed_from_flag(&args);
+    let which = args
+        .iter()
+        .find(|a| ["rank", "ban", "sweep"].contains(&a.as_str()))
+        .cloned()
+        .unwrap_or_default();
+    eprintln!("running fig2 at {scale:?} scale (5 parallel simulations) ...");
+    let data = fig2::run(scale, seed);
+
+    if which.is_empty() || which == "rank" {
+        output::write_xy("fig2a_rank_sharers", &["day", "kbps"], &data.rank.sharers);
+        output::write_xy(
+            "fig2a_rank_freeriders",
+            &["day", "kbps"],
+            &data.rank.freeriders,
+        );
+        println!(
+            "{}",
+            line_plot(
+                "Figure 2a: avg download speed (KBps), policy = rank",
+                &[
+                    Series::new("sharers", data.rank.sharers.clone()),
+                    Series::new("freeriders", data.rank.freeriders.clone()),
+                ],
+                72,
+                18,
+            )
+        );
+        if let Some(r) = data.rank.final_ratio {
+            println!("rank: freerider/sharer end-of-week speed ratio = {r:.3} (paper: ~0.75)");
+        }
+        if let Some(r) = data.rank.ratio {
+            println!("rank: overall speed ratio = {r:.3}\n");
+        }
+    }
+    if which.is_empty() || which == "ban" {
+        output::write_xy("fig2b_ban_sharers", &["day", "kbps"], &data.ban.sharers);
+        output::write_xy(
+            "fig2b_ban_freeriders",
+            &["day", "kbps"],
+            &data.ban.freeriders,
+        );
+        println!(
+            "{}",
+            line_plot(
+                "Figure 2b: avg download speed (KBps), policy = ban(-0.5)",
+                &[
+                    Series::new("sharers", data.ban.sharers.clone()),
+                    Series::new("freeriders", data.ban.freeriders.clone()),
+                ],
+                72,
+                18,
+            )
+        );
+        if let Some(r) = data.ban.final_ratio {
+            println!("ban(-0.5): freerider/sharer end-of-week speed ratio = {r:.3} (paper: ~0.5)");
+        }
+        if let Some(r) = data.ban.ratio {
+            println!("ban(-0.5): overall speed ratio = {r:.3}\n");
+        }
+    }
+    if which.is_empty() || which == "sweep" {
+        let mut series = Vec::new();
+        for run in &data.ban_sweep {
+            let name = format!("fig2c_{}_freeriders", run.label.replace(['(', ')'], "_"));
+            output::write_xy(&name, &["day", "kbps"], &run.freeriders);
+            series.push(Series::new(run.label.clone(), run.freeriders.clone()));
+        }
+        println!(
+            "{}",
+            line_plot(
+                "Figure 2c: freerider avg download speed (KBps) under ban policy",
+                &series,
+                72,
+                18,
+            )
+        );
+        for run in &data.ban_sweep {
+            if let (Some(r), Some(fr)) = (run.ratio, run.final_ratio) {
+                println!("{}: overall ratio = {r:.3}, end-of-week ratio = {fr:.3}", run.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 1 — contribution versus reputation.
+//!
+//! * **(a)** average system reputation (Equation 2) of sharers vs
+//!   freeriders over the week: the curves diverge, sharers positive,
+//!   freeriders negative;
+//! * **(b)** scatter of per-peer system reputation against ground-truth
+//!   net contribution (GB): a consistent monotone relationship.
+//!
+//! The run uses no penalizing policy — Figure 1 measures the *metric*,
+//! not its enforcement.
+
+use crate::Scale;
+use bartercast_sim::{SimReport, Simulation};
+use bartercast_util::stats::spearman;
+
+/// Data behind both panels.
+#[derive(Debug)]
+pub struct Fig1Data {
+    /// `(day, mean system reputation)` for sharers.
+    pub reputation_sharers: Vec<(f64, f64)>,
+    /// Same for freeriders.
+    pub reputation_freeriders: Vec<(f64, f64)>,
+    /// `(net contribution GB, system reputation)` per peer.
+    pub scatter: Vec<(f64, f64)>,
+    /// Rank correlation of the scatter (consistency measure).
+    pub spearman: Option<f64>,
+    /// The full report, for further inspection.
+    pub report: SimReport,
+}
+
+/// Run the Figure 1 experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig1Data {
+    let trace = scale.trace(seed);
+    let config = scale.sim_config(seed);
+    let report = Simulation::new(trace, config).run();
+    let reputation_sharers = report.reputation.sharers.means();
+    let reputation_freeriders = report.reputation.freeriders.means();
+    let scatter: Vec<(f64, f64)> = report
+        .outcomes
+        .iter()
+        .map(|o| (o.net_contribution_gb, o.system_reputation))
+        .collect();
+    let xs: Vec<f64> = scatter.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = scatter.iter().map(|p| p.1).collect();
+    Fig1Data {
+        reputation_sharers,
+        reputation_freeriders,
+        scatter,
+        spearman: spearman(&xs, &ys),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_reproduces_divergence() {
+        let data = run(Scale::Quick, 42);
+        // final sharer reputation above final freerider reputation
+        let s_end = data.reputation_sharers.last().expect("sharer samples").1;
+        let f_end = data
+            .reputation_freeriders
+            .last()
+            .expect("freerider samples")
+            .1;
+        assert!(
+            s_end > f_end,
+            "sharers must end above freeriders: {s_end} vs {f_end}"
+        );
+        assert!(s_end > 0.0, "sharers end positive: {s_end}");
+        assert!(f_end < 0.0, "freeriders end negative: {f_end}");
+    }
+
+    #[test]
+    fn quick_scale_scatter_is_consistent() {
+        let data = run(Scale::Quick, 42);
+        assert!(data.scatter.len() >= 20);
+        let rho = data.spearman.expect("enough points");
+        assert!(
+            rho > 0.5,
+            "net contribution and reputation must correlate strongly, rho = {rho}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 2 — effectiveness of the rank and ban policies.
+//!
+//! * **(a)** average download speed of sharers vs freeriders under the
+//!   *rank* policy: freeriders start faster (they spend no uplink on
+//!   seeding), then fall behind; they end around 75 % of sharer speed;
+//! * **(b)** the same under the *ban* policy with δ = −0.5: freeriders
+//!   end around 50 % of sharer speed;
+//! * **(c)** freerider speed under ban with δ ∈ {−0.3, −0.5, −0.7}:
+//!   the −0.3/−0.5 gap is smaller than the −0.5/−0.7 gap.
+
+use crate::Scale;
+use bartercast_core::policy::ReputationPolicy;
+use bartercast_sim::sweep::run_configs;
+use bartercast_sim::SimReport;
+
+/// One policy run's speed series.
+#[derive(Debug)]
+pub struct PolicyRun {
+    /// Policy label.
+    pub label: String,
+    /// `(day, mean KBps)` for sharers.
+    pub sharers: Vec<(f64, f64)>,
+    /// `(day, mean KBps)` for freeriders.
+    pub freeriders: Vec<(f64, f64)>,
+    /// Freerider / sharer overall speed ratio.
+    pub ratio: Option<f64>,
+    /// Freerider / sharer speed ratio over the final day (the number
+    /// the paper reads off the right edge of the plots).
+    pub final_ratio: Option<f64>,
+    /// Full report.
+    pub report: SimReport,
+}
+
+/// Data behind all three panels.
+#[derive(Debug)]
+pub struct Fig2Data {
+    /// Panel (a): the rank policy.
+    pub rank: PolicyRun,
+    /// Panel (b): ban with δ = −0.5.
+    pub ban: PolicyRun,
+    /// Panel (c): ban sweep over δ (freerider curves), including the
+    /// −0.5 run shared with panel (b).
+    pub ban_sweep: Vec<PolicyRun>,
+}
+
+/// The δ values of panel (c).
+pub const DELTAS: [f64; 3] = [-0.3, -0.5, -0.7];
+
+fn to_run(label: String, report: SimReport) -> PolicyRun {
+    PolicyRun {
+        label,
+        sharers: report.speed.sharers.means(),
+        freeriders: report.speed.freeriders.means(),
+        ratio: report.freerider_speed_ratio(),
+        final_ratio: report.final_speed_ratio(),
+        report,
+    }
+}
+
+/// Run all Figure 2 experiments (one trace, five policy configs, in
+/// parallel).
+pub fn run(scale: Scale, seed: u64) -> Fig2Data {
+    let trace = scale.trace(seed);
+    let base = scale.sim_config(seed);
+    let mut configs = vec![bartercast_sim::SimConfig {
+        policy: ReputationPolicy::Rank,
+        ..base.clone()
+    }];
+    for &delta in &DELTAS {
+        configs.push(bartercast_sim::SimConfig {
+            policy: ReputationPolicy::Ban { delta },
+            ..base.clone()
+        });
+    }
+    let mut reports = run_configs(&trace, configs);
+    let rank = to_run("rank".into(), reports.remove(0));
+    let ban_sweep: Vec<PolicyRun> = DELTAS
+        .iter()
+        .zip(reports)
+        .map(|(&d, r)| to_run(format!("ban({d})"), r))
+        .collect();
+    let ban = to_run("ban(-0.5)".into(), ban_sweep[1].report.clone());
+    Fig2Data {
+        rank,
+        ban,
+        ban_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_penalize_freeriders() {
+        let data = run(Scale::Quick, 42);
+        let rank_ratio = data.rank.ratio.expect("sharers moved data");
+        let ban_ratio = data.ban.ratio.expect("sharers moved data");
+        assert!(
+            rank_ratio < 1.05,
+            "rank must not leave freeriders much faster overall: {rank_ratio}"
+        );
+        assert!(
+            ban_ratio < rank_ratio,
+            "ban must be the stronger disincentive (paper: ~0.5 vs ~0.75): \
+             ban {ban_ratio} vs rank {rank_ratio}"
+        );
+    }
+
+    #[test]
+    fn ban_sweep_is_monotone_in_delta() {
+        let data = run(Scale::Quick, 42);
+        // a stricter (less negative) δ bans more freeriders, so their
+        // overall ratio should not increase as δ moves toward 0
+        let ratios: Vec<f64> = data
+            .ban_sweep
+            .iter()
+            .map(|r| r.ratio.unwrap_or(0.0))
+            .collect();
+        // DELTAS = [-0.3, -0.5, -0.7]: -0.3 strictest, -0.7 most lenient
+        assert!(
+            ratios[0] <= ratios[2] + 0.15,
+            "stricter δ should not be meaningfully kinder to freeriders: {ratios:?}"
+        );
+    }
+}

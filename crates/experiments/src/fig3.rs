@@ -1,0 +1,131 @@
+//! Figure 3 — disobeying the message protocol (§5.4).
+//!
+//! With the ban policy (δ = −0.5) fixed, a growing fraction of the
+//! freeriders manipulates BarterCast:
+//!
+//! * **(a)** *ignoring* peers send no messages: effectiveness is
+//!   essentially unchanged up to 50 % of the population, because the
+//!   sharers' banning decisions rest on information from obeying
+//!   peers;
+//! * **(b)** *lying* peers claim huge uploads and zero downloads: the
+//!   mechanism degrades gradually and remains effective below ~18 %
+//!   liars.
+
+use crate::Scale;
+use bartercast_core::policy::ReputationPolicy;
+use bartercast_sim::adversary::AdversaryModel;
+use bartercast_sim::sweep::run_configs;
+use bartercast_sim::SimConfig;
+
+/// Which manipulation the sweep applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Panel (a): silent peers.
+    Ignore,
+    /// Panel (b): lying peers.
+    Lie,
+}
+
+/// One sweep point.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Fraction of the population disobeying (0–0.5).
+    pub fraction: f64,
+    /// Overall mean sharer speed (KBps).
+    pub sharers_kbps: f64,
+    /// Overall mean freerider speed (KBps).
+    pub freeriders_kbps: f64,
+}
+
+impl SweepPoint {
+    /// Freerider / sharer ratio at this point.
+    pub fn ratio(&self) -> f64 {
+        if self.sharers_kbps > 0.0 {
+            self.freeriders_kbps / self.sharers_kbps
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The default sweep fractions (percent of peers disobeying, as in the
+/// figure's x-axis: 0–50 %).
+pub const FRACTIONS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Run one panel's sweep (all fractions in parallel).
+pub fn run(scale: Scale, mode: Mode, seed: u64) -> Vec<SweepPoint> {
+    let trace = scale.trace(seed);
+    let base = scale.sim_config(seed);
+    let configs: Vec<SimConfig> = FRACTIONS
+        .iter()
+        .map(|&fraction| SimConfig {
+            policy: ReputationPolicy::Ban { delta: -0.5 },
+            adversary: match mode {
+                Mode::Ignore => {
+                    if fraction == 0.0 {
+                        AdversaryModel::None
+                    } else {
+                        AdversaryModel::Ignore { fraction }
+                    }
+                }
+                Mode::Lie => {
+                    if fraction == 0.0 {
+                        AdversaryModel::None
+                    } else {
+                        AdversaryModel::default_lie(fraction)
+                    }
+                }
+            },
+            ..base.clone()
+        })
+        .collect();
+    let reports = run_configs(&trace, configs);
+    FRACTIONS
+        .iter()
+        .zip(reports)
+        .map(|(&fraction, r)| SweepPoint {
+            fraction,
+            sharers_kbps: r.overall_speed_sharers,
+            freeriders_kbps: r.overall_speed_freeriders,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignoring_does_not_help_freeriders_much() {
+        let points = run(Scale::Quick, Mode::Ignore, 42);
+        assert_eq!(points.len(), FRACTIONS.len());
+        let r0 = points[0].ratio();
+        let r_max = points.last().unwrap().ratio();
+        // paper: "this behaviour does not significantly change the
+        // effectiveness" — allow modest drift but no collapse
+        assert!(
+            r_max < r0 + 0.35,
+            "ignoring wrecked the mechanism: {r0} -> {r_max}"
+        );
+        // the penalty stays active: freeriders stay slower than sharers
+        assert!(r_max < 1.0, "freeriders overtook sharers at 50% ignorers: {r_max}");
+    }
+
+    #[test]
+    fn lying_eventually_degrades_effectiveness() {
+        let points = run(Scale::Quick, Mode::Lie, 42);
+        let r0 = points[0].ratio();
+        let r_mid = points[1].ratio(); // 10% liars — below the ~18% knee
+        let r_end = points.last().unwrap().ratio();
+        assert!(
+            r_mid < 0.95,
+            "mechanism must still bite at 10% liars: ratio {r_mid}"
+        );
+        // large lying fractions erode the freerider penalty relative
+        // to the clean run
+        assert!(
+            r_end >= r0 - 0.1,
+            "50% liars should not *strengthen* the penalty: {r0} -> {r_end}"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! The contribution graph: aggregated byte transfers between peers.
+//!
+//! An edge `(i, j)` with weight `w` means "peer `i` has uploaded `w`
+//! bytes to peer `j` in total" (§3.1). Edge weights only ever grow in
+//! the real protocol, so merging a gossiped record about a pair takes
+//! the **maximum** of the stored and received totals — a stale record
+//! can never lower what we already know.
+
+use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::{FxHashMap, FxHashSet};
+
+/// A directed graph of aggregated byte transfers between peers.
+///
+/// Both out- and in-adjacency are maintained so that the maxflow
+/// network construction and two-hop neighbourhood queries are O(degree)
+/// rather than O(edges).
+///
+/// ```
+/// use bartercast_graph::ContributionGraph;
+/// use bartercast_util::units::{Bytes, PeerId};
+///
+/// let mut g = ContributionGraph::new();
+/// g.add_transfer(PeerId(1), PeerId(2), Bytes::from_mb(100));
+/// g.add_transfer(PeerId(1), PeerId(2), Bytes::from_mb(50));
+/// assert_eq!(g.edge(PeerId(1), PeerId(2)), Bytes::from_mb(150));
+///
+/// // gossiped records merge with max semantics: stale totals are ignored
+/// assert!(!g.merge_record(PeerId(1), PeerId(2), Bytes::from_mb(120)));
+/// assert!(g.merge_record(PeerId(1), PeerId(2), Bytes::from_mb(200)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContributionGraph {
+    out: FxHashMap<PeerId, FxHashMap<PeerId, Bytes>>,
+    incoming: FxHashMap<PeerId, FxHashMap<PeerId, Bytes>>,
+    edge_count: usize,
+    version: u64,
+}
+
+impl ContributionGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Monotone counter bumped on every mutation; used by reputation
+    /// caches for invalidation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Add `amount` to the `from → to` edge (the normal accounting path
+    /// for a peer's own transfers). Self-edges are ignored.
+    pub fn add_transfer(&mut self, from: PeerId, to: PeerId, amount: Bytes) {
+        if from == to || amount.is_zero() {
+            return;
+        }
+        let slot = self.out.entry(from).or_default().entry(to).or_insert(Bytes::ZERO);
+        if slot.is_zero() {
+            self.edge_count += 1;
+        }
+        *slot += amount;
+        *self
+            .incoming
+            .entry(to)
+            .or_default()
+            .entry(from)
+            .or_insert(Bytes::ZERO) += amount;
+        self.version += 1;
+    }
+
+    /// Merge a gossiped record about the pair `(from, to)`: the stored
+    /// total becomes `max(stored, total)`. Returns `true` if the graph
+    /// changed. This is the §3.4 shared-history update rule.
+    pub fn merge_record(&mut self, from: PeerId, to: PeerId, total: Bytes) -> bool {
+        if from == to || total.is_zero() {
+            return false;
+        }
+        let slot = self.out.entry(from).or_default().entry(to).or_insert(Bytes::ZERO);
+        if total.0 <= slot.0 {
+            return false;
+        }
+        if slot.is_zero() {
+            self.edge_count += 1;
+        }
+        *slot = total;
+        self.incoming
+            .entry(to)
+            .or_default()
+            .insert(from, total);
+        self.version += 1;
+        true
+    }
+
+    /// The aggregated bytes `from` has uploaded to `to` (zero if no edge).
+    pub fn edge(&self, from: PeerId, to: PeerId) -> Bytes {
+        self.out
+            .get(&from)
+            .and_then(|m| m.get(&to))
+            .copied()
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Outgoing edges of `node` as `(target, bytes)`.
+    pub fn out_edges(&self, node: PeerId) -> impl Iterator<Item = (PeerId, Bytes)> + '_ {
+        self.out
+            .get(&node)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+    }
+
+    /// Incoming edges of `node` as `(source, bytes)`.
+    pub fn in_edges(&self, node: PeerId) -> impl Iterator<Item = (PeerId, Bytes)> + '_ {
+        self.incoming
+            .get(&node)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+    }
+
+    /// Total bytes `node` has uploaded (sum of out-edge weights).
+    pub fn total_up(&self, node: PeerId) -> Bytes {
+        self.out_edges(node).map(|(_, b)| b).sum()
+    }
+
+    /// Total bytes `node` has downloaded (sum of in-edge weights).
+    pub fn total_down(&self, node: PeerId) -> Bytes {
+        self.in_edges(node).map(|(_, b)| b).sum()
+    }
+
+    /// Every node that appears as an endpoint of some edge.
+    pub fn nodes(&self) -> FxHashSet<PeerId> {
+        let mut set: FxHashSet<PeerId> = FxHashSet::default();
+        for (&n, targets) in &self.out {
+            set.insert(n);
+            set.extend(targets.keys().copied());
+        }
+        set
+    }
+
+    /// Number of distinct nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Number of directed edges with nonzero weight.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All edges as `(from, to, bytes)` triples (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = (PeerId, PeerId, Bytes)> + '_ {
+        self.out
+            .iter()
+            .flat_map(|(&f, m)| m.iter().map(move |(&t, &b)| (f, t, b)))
+    }
+
+    /// The set of nodes within `hops` directed-or-reverse hops of
+    /// `center` (including `center`). The deployed BarterCast evaluates
+    /// maxflow only on the 2-hop neighbourhood of the evaluating peer.
+    pub fn neighbourhood(&self, center: PeerId, hops: usize) -> FxHashSet<PeerId> {
+        let mut seen: FxHashSet<PeerId> = FxHashSet::default();
+        seen.insert(center);
+        let mut frontier = vec![center];
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for (m, _) in self.out_edges(n) {
+                    if seen.insert(m) {
+                        next.push(m);
+                    }
+                }
+                for (m, _) in self.in_edges(n) {
+                    if seen.insert(m) {
+                        next.push(m);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        seen
+    }
+
+    /// Internal consistency check: the in-adjacency mirrors the
+    /// out-adjacency exactly. Used by tests and `debug_assert!`s.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut forward = 0usize;
+        for (&f, m) in &self.out {
+            for (&t, &b) in m {
+                if b.is_zero() {
+                    return Err(format!("zero-weight edge {f}->{t}"));
+                }
+                if f == t {
+                    return Err(format!("self edge at {f}"));
+                }
+                let back = self
+                    .incoming
+                    .get(&t)
+                    .and_then(|m| m.get(&f))
+                    .copied()
+                    .unwrap_or(Bytes::ZERO);
+                if back != b {
+                    return Err(format!("in/out mismatch {f}->{t}: {b} vs {back}"));
+                }
+                forward += 1;
+            }
+        }
+        if forward != self.edge_count {
+            return Err(format!(
+                "edge_count {} != actual {}",
+                self.edge_count, forward
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn add_transfer_accumulates() {
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(1), p(2), Bytes::from_mb(10));
+        g.add_transfer(p(1), p(2), Bytes::from_mb(5));
+        assert_eq!(g.edge(p(1), p(2)), Bytes::from_mb(15));
+        assert_eq!(g.edge(p(2), p(1)), Bytes::ZERO);
+        assert_eq!(g.edge_count(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn self_and_zero_transfers_ignored() {
+        let mut g = ContributionGraph::new();
+        let v0 = g.version();
+        g.add_transfer(p(1), p(1), Bytes::from_mb(10));
+        g.add_transfer(p(1), p(2), Bytes::ZERO);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.version(), v0);
+    }
+
+    #[test]
+    fn merge_record_takes_max() {
+        let mut g = ContributionGraph::new();
+        assert!(g.merge_record(p(1), p(2), Bytes::from_mb(10)));
+        // A stale (smaller) record never lowers what we know.
+        assert!(!g.merge_record(p(1), p(2), Bytes::from_mb(4)));
+        assert_eq!(g.edge(p(1), p(2)), Bytes::from_mb(10));
+        // A fresher (larger) record replaces it.
+        assert!(g.merge_record(p(1), p(2), Bytes::from_mb(25)));
+        assert_eq!(g.edge(p(1), p(2)), Bytes::from_mb(25));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn totals_and_nodes() {
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(1), p(2), Bytes::from_mb(10));
+        g.add_transfer(p(1), p(3), Bytes::from_mb(20));
+        g.add_transfer(p(3), p(1), Bytes::from_mb(7));
+        assert_eq!(g.total_up(p(1)), Bytes::from_mb(30));
+        assert_eq!(g.total_down(p(1)), Bytes::from_mb(7));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn version_bumps_on_change_only() {
+        let mut g = ContributionGraph::new();
+        let v0 = g.version();
+        g.add_transfer(p(1), p(2), Bytes::from_mb(1));
+        let v1 = g.version();
+        assert!(v1 > v0);
+        g.merge_record(p(1), p(2), Bytes::from_kb(1)); // stale, no-op
+        assert_eq!(g.version(), v1);
+    }
+
+    #[test]
+    fn neighbourhood_hops() {
+        // chain 1 -> 2 -> 3 -> 4
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(1), p(2), Bytes::from_mb(1));
+        g.add_transfer(p(2), p(3), Bytes::from_mb(1));
+        g.add_transfer(p(3), p(4), Bytes::from_mb(1));
+        let n0 = g.neighbourhood(p(1), 0);
+        assert_eq!(n0.len(), 1);
+        let n1 = g.neighbourhood(p(1), 1);
+        assert!(n1.contains(&p(2)) && !n1.contains(&p(3)));
+        let n2 = g.neighbourhood(p(1), 2);
+        assert!(n2.contains(&p(3)) && !n2.contains(&p(4)));
+        // neighbourhood follows reverse edges too
+        let n1_rev = g.neighbourhood(p(4), 1);
+        assert!(n1_rev.contains(&p(3)));
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(5), p(6), Bytes::from_mb(3));
+        let ins: Vec<_> = g.in_edges(p(6)).collect();
+        assert_eq!(ins, vec![(p(5), Bytes::from_mb(3))]);
+    }
+}

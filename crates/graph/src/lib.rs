@@ -1,0 +1,35 @@
+//! Contribution graphs and maxflow algorithms for BarterCast.
+//!
+//! The paper (§3.1–3.2) models the network as a directed graph whose
+//! nodes are peers and whose edge weights are the **total number of
+//! bytes** transferred from one peer to another. A peer evaluates
+//! another peer by computing the *maximum flow* between them in its
+//! local, subjective copy of this graph.
+//!
+//! This crate provides:
+//!
+//! * [`ContributionGraph`] — the weighted directed graph of aggregated
+//!   transfers, with max-merge semantics for gossiped records.
+//! * [`FlowNetwork`] — a residual flow network built from a
+//!   contribution graph.
+//! * [`maxflow`] — five algorithms:
+//!   Ford–Fulkerson with DFS (the paper's Algorithm 1), Edmonds–Karp,
+//!   Dinic, FIFO push–relabel, and the **depth-bounded** variant with
+//!   the deployed two-hop limit (§3.2: "our implementation only
+//!   regards paths with a maximum length of two").
+//! * [`mincut`] — the source-side minimum cut, used by tests to verify
+//!   the max-flow/min-cut theorem on every computed flow.
+//! * [`analysis`] — graph statistics, the §3.2 two-hop coverage
+//!   measure, and DOT export.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod contribution;
+pub mod maxflow;
+pub mod mincut;
+pub mod network;
+
+pub use contribution::ContributionGraph;
+pub use maxflow::{compute, Method, DEPLOYED_MAX_PATH_LEN};
+pub use network::FlowNetwork;

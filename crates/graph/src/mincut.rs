@@ -1,0 +1,105 @@
+//! Minimum s–t cuts from residual reachability.
+//!
+//! After a maxflow run the set `S` of nodes reachable from the source in
+//! the residual network defines a minimum cut `(S, V∖S)` whose capacity
+//! equals the maxflow value (max-flow/min-cut theorem). The property
+//! tests use this as an independent certificate for every flow the
+//! algorithms produce.
+
+use crate::network::FlowNetwork;
+
+/// The source side of a minimum cut, as dense node indices, computed on
+/// the residual network left behind by a maxflow run.
+pub fn source_side(net: &FlowNetwork, s: u32) -> Vec<bool> {
+    let n = net.node_count();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![s];
+    reachable[s as usize] = true;
+    while let Some(u) = stack.pop() {
+        for &ai in &net.adj[u as usize] {
+            let arc = net.arcs[ai as usize];
+            if arc.cap > 0 && !reachable[arc.to as usize] {
+                reachable[arc.to as usize] = true;
+                stack.push(arc.to);
+            }
+        }
+    }
+    reachable
+}
+
+/// Capacity of the cut `(S, V∖S)` in the **original** network: the sum
+/// of original capacities of forward arcs leaving `S`.
+///
+/// `net` must be in post-maxflow state and `side` must come from
+/// [`source_side`] on that same state; we recover original capacities
+/// as `remaining + flow` = `cap_fwd + cap_residual_twin` is *not* valid
+/// in general, so callers should pass a freshly rebuilt network via
+/// [`cut_capacity_fresh`] when they have mutated capacities. This
+/// function instead sums *current forward + twin* capacities, which for
+/// an arc equals its original capacity (flow conservation on the pair).
+pub fn cut_capacity(net: &FlowNetwork, side: &[bool]) -> u64 {
+    let mut cap = 0u64;
+    for ai in (0..net.arcs.len()).step_by(2) {
+        let to = net.arcs[ai].to as usize;
+        let from = net.arcs[ai + 1].to as usize;
+        if side[from] && !side[to] {
+            // original capacity = remaining forward + accumulated twin
+            cap += net.arcs[ai].cap + net.arcs[ai + 1].cap;
+        }
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contribution::ContributionGraph;
+    use crate::maxflow;
+    use bartercast_util::units::{Bytes, PeerId};
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn mincut_equals_maxflow_clrs() {
+        let mut g = ContributionGraph::new();
+        for (f, t, c) in [
+            (0, 1, 16),
+            (0, 2, 13),
+            (1, 2, 10),
+            (2, 1, 4),
+            (1, 3, 12),
+            (3, 2, 9),
+            (2, 4, 14),
+            (4, 3, 7),
+            (3, 5, 20),
+            (4, 5, 4),
+        ] {
+            g.add_transfer(p(f), p(t), Bytes(c));
+        }
+        let mut net = FlowNetwork::from_graph(&g);
+        let s = net.node(p(0)).unwrap();
+        let t = net.node(p(5)).unwrap();
+        let flow = maxflow::dinic(&mut net, s, t);
+        let side = source_side(&net, s);
+        assert!(side[s as usize]);
+        assert!(!side[t as usize]);
+        assert_eq!(cut_capacity(&net, &side), flow);
+        assert_eq!(flow, 23);
+    }
+
+    #[test]
+    fn disconnected_target_gives_zero_cut() {
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(0), p(1), Bytes(5));
+        g.add_transfer(p(2), p(3), Bytes(5));
+        let mut net = FlowNetwork::from_graph(&g);
+        let s = net.node(p(0)).unwrap();
+        let t = net.node(p(3)).unwrap();
+        let flow = maxflow::dinic(&mut net, s, t);
+        assert_eq!(flow, 0);
+        let side = source_side(&net, s);
+        assert_eq!(cut_capacity(&net, &side), 0);
+    }
+}

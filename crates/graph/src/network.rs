@@ -1,0 +1,218 @@
+//! Residual flow networks over contribution graphs.
+//!
+//! The maxflow algorithms operate on a compact arc-list representation:
+//! arcs are stored in pairs so that arc `a` and arc `a ^ 1` are each
+//! other's residual, the classic adjacency-list flow-network layout.
+//! Node ids are remapped to dense indices so the inner loops are pure
+//! array arithmetic (no hashing).
+
+use crate::contribution::ContributionGraph;
+use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::FxHashMap;
+
+/// One directed arc in the residual network.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Arc {
+    /// Head node (dense index).
+    pub to: u32,
+    /// Remaining capacity.
+    pub cap: u64,
+}
+
+/// A residual flow network with dense node indices.
+///
+/// Build one from a [`ContributionGraph`] with [`FlowNetwork::from_graph`]
+/// (whole graph) or [`FlowNetwork::from_subgraph`] (restricted node set,
+/// used for the deployed two-hop evaluation), then run any algorithm in
+/// [`crate::maxflow`]. Call [`FlowNetwork::reset`] to restore original
+/// capacities between runs.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    pub(crate) arcs: Vec<Arc>,
+    original_caps: Vec<u64>,
+    pub(crate) adj: Vec<Vec<u32>>,
+    index: FxHashMap<PeerId, u32>,
+    ids: Vec<PeerId>,
+}
+
+impl FlowNetwork {
+    /// Build the network containing every edge of `graph`.
+    pub fn from_graph(graph: &ContributionGraph) -> Self {
+        Self::build(graph.edges())
+    }
+
+    /// Build the network restricted to edges whose both endpoints
+    /// satisfy `keep`.
+    pub fn from_subgraph<F: Fn(PeerId) -> bool>(graph: &ContributionGraph, keep: F) -> Self {
+        Self::build(
+            graph
+                .edges()
+                .filter(|&(f, t, _)| keep(f) && keep(t)),
+        )
+    }
+
+    fn build<I: Iterator<Item = (PeerId, PeerId, Bytes)>>(edges: I) -> Self {
+        let mut net = FlowNetwork {
+            arcs: Vec::new(),
+            original_caps: Vec::new(),
+            adj: Vec::new(),
+            index: FxHashMap::default(),
+            ids: Vec::new(),
+        };
+        for (f, t, b) in edges {
+            let fi = net.intern(f);
+            let ti = net.intern(t);
+            net.add_arc(fi, ti, b.0);
+        }
+        net
+    }
+
+    fn intern(&mut self, id: PeerId) -> u32 {
+        if let Some(&i) = self.index.get(&id) {
+            return i;
+        }
+        let i = self.ids.len() as u32;
+        self.ids.push(id);
+        self.adj.push(Vec::new());
+        self.index.insert(id, i);
+        i
+    }
+
+    /// Add a forward arc `from → to` with capacity `cap` plus its
+    /// zero-capacity residual twin.
+    pub(crate) fn add_arc(&mut self, from: u32, to: u32, cap: u64) {
+        let a = self.arcs.len() as u32;
+        self.arcs.push(Arc { to, cap });
+        self.arcs.push(Arc { to: from, cap: 0 });
+        self.original_caps.push(cap);
+        self.original_caps.push(0);
+        self.adj[from as usize].push(a);
+        self.adj[to as usize].push(a + 1);
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of forward arcs (residual twins not counted).
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Dense index of a peer, if it appears in this network.
+    pub fn node(&self, id: PeerId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Peer id of a dense index.
+    pub fn peer(&self, node: u32) -> PeerId {
+        self.ids[node as usize]
+    }
+
+    /// Restore all arcs to their original capacities (undo any flow).
+    pub fn reset(&mut self) {
+        for (arc, &cap) in self.arcs.iter_mut().zip(&self.original_caps) {
+            arc.cap = cap;
+        }
+    }
+
+    /// Total flow currently pushed out of `node` (for assertions):
+    /// the sum over forward arcs of `original − remaining` capacity.
+    pub fn outflow(&self, node: u32) -> u64 {
+        let mut sum = 0;
+        for &ai in &self.adj[node as usize] {
+            if ai % 2 == 0 {
+                // forward arc
+                sum += self.original_caps[ai as usize] - self.arcs[ai as usize].cap;
+            } else {
+                // residual twin carrying flow back into `node` cancels
+                sum = sum.saturating_sub(self.arcs[ai as usize].cap);
+            }
+        }
+        sum
+    }
+
+    /// Flow conservation check: every node except `s` and `t` must have
+    /// in-flow equal to out-flow. Returns `Err` with the offending node.
+    pub fn check_conservation(&self, s: u32, t: u32) -> Result<(), u32> {
+        let n = self.node_count();
+        let mut balance = vec![0i64; n];
+        for ai in (0..self.arcs.len()).step_by(2) {
+            let flow = (self.original_caps[ai] - self.arcs[ai].cap) as i64;
+            let to = self.arcs[ai].to as usize;
+            let from = self.arcs[ai + 1].to as usize;
+            balance[from] -= flow;
+            balance[to] += flow;
+        }
+        for (i, &b) in balance.iter().enumerate() {
+            let i = i as u32;
+            if i != s && i != t && b != 0 {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    fn diamond() -> ContributionGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(0), p(1), Bytes(10));
+        g.add_transfer(p(1), p(3), Bytes(5));
+        g.add_transfer(p(0), p(2), Bytes(8));
+        g.add_transfer(p(2), p(3), Bytes(8));
+        g
+    }
+
+    #[test]
+    fn builds_dense_network() {
+        let net = FlowNetwork::from_graph(&diamond());
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.arc_count(), 4);
+        assert!(net.node(p(0)).is_some());
+        assert!(net.node(p(9)).is_none());
+        let n1 = net.node(p(1)).unwrap();
+        assert_eq!(net.peer(n1), p(1));
+    }
+
+    #[test]
+    fn subgraph_filters_endpoints() {
+        let g = diamond();
+        let net = FlowNetwork::from_subgraph(&g, |id| id != p(2));
+        // edges touching peer 2 are gone
+        assert_eq!(net.arc_count(), 2);
+        assert!(net.node(p(2)).is_none());
+    }
+
+    #[test]
+    fn reset_restores_caps() {
+        let g = diamond();
+        let mut net = FlowNetwork::from_graph(&g);
+        let s = net.node(p(0)).unwrap();
+        let t = net.node(p(3)).unwrap();
+        let f1 = crate::maxflow::dinic(&mut net, s, t);
+        assert!(f1 > 0);
+        net.reset();
+        let f2 = crate::maxflow::dinic(&mut net, s, t);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn conservation_after_flow() {
+        let g = diamond();
+        let mut net = FlowNetwork::from_graph(&g);
+        let s = net.node(p(0)).unwrap();
+        let t = net.node(p(3)).unwrap();
+        let _ = crate::maxflow::edmonds_karp(&mut net, s, t);
+        net.check_conservation(s, t).unwrap();
+    }
+}

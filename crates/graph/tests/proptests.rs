@@ -1,0 +1,171 @@
+//! Property-based tests for the maxflow algorithms and contribution
+//! graph, using random graphs.
+//!
+//! Verified invariants:
+//! * all three unbounded algorithms agree on every random graph;
+//! * the max-flow/min-cut certificate holds for every computed flow;
+//! * flow conservation holds at every interior node;
+//! * bounded flow is monotone in the bound and converges to the
+//!   unbounded value;
+//! * adding capacity never decreases maxflow;
+//! * `merge_record` is idempotent and order-insensitive (max-merge).
+
+use bartercast_graph::contribution::ContributionGraph;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::mincut;
+use bartercast_graph::network::FlowNetwork;
+use bartercast_util::units::{Bytes, PeerId};
+use proptest::prelude::*;
+
+/// A random edge list over up to `n` nodes.
+fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0..n, 0..n, 1u64..1000), 0..max_edges)
+}
+
+fn build(edges: &[(u32, u32, u64)]) -> ContributionGraph {
+    let mut g = ContributionGraph::new();
+    for &(f, t, c) in edges {
+        if f != t {
+            g.add_transfer(PeerId(f), PeerId(t), Bytes(c));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unbounded_methods_agree(edges in edges_strategy(12, 40), s in 0u32..12, t in 0u32..12) {
+        let g = build(&edges);
+        let ff = maxflow::compute(&g, PeerId(s), PeerId(t), Method::FordFulkerson);
+        let ek = maxflow::compute(&g, PeerId(s), PeerId(t), Method::EdmondsKarp);
+        let dn = maxflow::compute(&g, PeerId(s), PeerId(t), Method::Dinic);
+        let pr = maxflow::compute(&g, PeerId(s), PeerId(t), Method::PushRelabel);
+        prop_assert_eq!(ff, ek);
+        prop_assert_eq!(ek, dn);
+        prop_assert_eq!(dn, pr);
+    }
+
+    #[test]
+    fn mincut_certifies_maxflow(edges in edges_strategy(10, 30), s in 0u32..10, t in 0u32..10) {
+        let g = build(&edges);
+        let mut net = FlowNetwork::from_graph(&g);
+        if let (Some(si), Some(ti)) = (net.node(PeerId(s)), net.node(PeerId(t))) {
+            if si != ti {
+                let flow = maxflow::dinic(&mut net, si, ti);
+                let side = mincut::source_side(&net, si);
+                prop_assert!(!side[ti as usize], "target must be cut off at optimum");
+                prop_assert_eq!(mincut::cut_capacity(&net, &side), flow);
+                prop_assert!(net.check_conservation(si, ti).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_is_monotone_and_converges(edges in edges_strategy(10, 30), s in 0u32..10, t in 0u32..10) {
+        let g = build(&edges);
+        let s = PeerId(s);
+        let t = PeerId(t);
+        let unbounded = maxflow::compute(&g, s, t, Method::Dinic);
+        let mut prev = Bytes::ZERO;
+        for k in 0..=10 {
+            let f = maxflow::compute(&g, s, t, Method::Bounded(k));
+            prop_assert!(f >= prev, "bound {k}: flow decreased from {prev:?} to {f:?}");
+            prop_assert!(f <= unbounded);
+            prev = f;
+        }
+        // with bound >= n-1, every simple path is admissible
+        prop_assert_eq!(maxflow::compute(&g, s, t, Method::Bounded(10)), unbounded);
+    }
+
+    #[test]
+    fn adding_capacity_never_decreases_flow(
+        edges in edges_strategy(8, 20),
+        extra in (0u32..8, 0u32..8, 1u64..500),
+        s in 0u32..8, t in 0u32..8,
+    ) {
+        let g = build(&edges);
+        let before = maxflow::compute(&g, PeerId(s), PeerId(t), Method::Dinic);
+        let mut g2 = g.clone();
+        let (ef, et, ec) = extra;
+        if ef != et {
+            g2.add_transfer(PeerId(ef), PeerId(et), Bytes(ec));
+        }
+        let after = maxflow::compute(&g2, PeerId(s), PeerId(t), Method::Dinic);
+        prop_assert!(after >= before);
+    }
+
+    #[test]
+    fn flow_bounded_by_degrees(edges in edges_strategy(10, 30), s in 0u32..10, t in 0u32..10) {
+        let g = build(&edges);
+        let f = maxflow::compute(&g, PeerId(s), PeerId(t), Method::EdmondsKarp);
+        let out_s: u64 = g.out_edges(PeerId(s)).map(|(_, b)| b.0).sum();
+        let in_t: u64 = g.in_edges(PeerId(t)).map(|(_, b)| b.0).sum();
+        prop_assert!(f.0 <= out_s);
+        prop_assert!(f.0 <= in_t);
+    }
+
+    #[test]
+    fn merge_records_order_insensitive(
+        records in prop::collection::vec((0u32..6, 0u32..6, 1u64..1000), 0..25),
+        seed in 0u64..1000,
+    ) {
+        let mut a = ContributionGraph::new();
+        for &(f, t, c) in &records {
+            a.merge_record(PeerId(f), PeerId(t), Bytes(c));
+        }
+        // shuffle deterministically by seed
+        let mut shuffled = records.clone();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut b = ContributionGraph::new();
+        for &(f, t, c) in &shuffled {
+            b.merge_record(PeerId(f), PeerId(t), Bytes(c));
+        }
+        for &(f, t, _) in &records {
+            prop_assert_eq!(a.edge(PeerId(f), PeerId(t)), b.edge(PeerId(f), PeerId(t)));
+        }
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_record_idempotent(f in 0u32..5, t in 0u32..5, c in 1u64..1000) {
+        let mut g = ContributionGraph::new();
+        g.merge_record(PeerId(f), PeerId(t), Bytes(c));
+        let v = g.version();
+        let changed = g.merge_record(PeerId(f), PeerId(t), Bytes(c));
+        prop_assert!(!changed);
+        prop_assert_eq!(g.version(), v);
+    }
+
+    #[test]
+    fn invariants_hold_after_random_ops(
+        ops in prop::collection::vec((0u32..8, 0u32..8, 1u64..100, prop::bool::ANY), 0..50)
+    ) {
+        let mut g = ContributionGraph::new();
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                g.merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                g.add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+        }
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn compute_is_deterministic(edges in edges_strategy(10, 30), s in 0u32..10, t in 0u32..10) {
+        let g = build(&edges);
+        for m in [Method::FordFulkerson, Method::EdmondsKarp, Method::Dinic, Method::PushRelabel, Method::Bounded(2)] {
+            let a = maxflow::compute(&g, PeerId(s), PeerId(t), m);
+            let b = maxflow::compute(&g, PeerId(s), PeerId(t), m);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

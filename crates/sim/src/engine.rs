@@ -1,0 +1,1079 @@
+//! The round-based simulation loop.
+//!
+//! Time advances in fixed rounds (default 30 s). Each round the engine:
+//!
+//! 1. plays back trace events — session starts/ends, file requests —
+//!    and behaviour events: freeriders leave a swarm the instant their
+//!    download completes, sharers seed for the configured 10 hours;
+//! 2. recomputes every online member's unchoke set (tit-for-tat,
+//!    optimistic rotation, reputation policy) at the unchoke period;
+//! 3. allocates bandwidth: an uploader's uplink is split evenly over
+//!    its active unchoke targets across swarms, downlinks cap incoming
+//!    flow proportionally, and transferred bytes turn into pieces via
+//!    rarest-first credit;
+//! 4. performs gossip meetings through the PSS, exchanging BarterCast
+//!    messages (subject to the adversary model);
+//! 5. samples metrics: per-round download speeds and periodic system
+//!    reputations (Equation 2).
+//!
+//! Runs are fully deterministic given `(trace, SimConfig)`.
+
+use crate::adversary::{AdversaryModel, Conduct};
+use crate::config::{Behaviour, SimConfig};
+use crate::metrics::{GroupSeries, PeerOutcome, SimReport};
+use crate::peer::SimPeer;
+use bartercast_bt::choke::Candidate;
+use bartercast_bt::swarm::Swarm;
+use bartercast_core::cache::ReputationEngine;
+use bartercast_core::policy::ReputationPolicy;
+use bartercast_gossip::{shuffle, PssConfig};
+use bartercast_trace::model::Trace;
+use bartercast_util::stats::Running;
+use bartercast_util::units::{Bytes, PeerId, Seconds};
+use bartercast_util::{FxHashMap, FxHashSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One flow assignment for a round: uploader → downloader within a
+/// swarm, carrying `bytes`.
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    up: usize,
+    down: usize,
+    swarm: usize,
+    bytes: u64,
+}
+
+/// A full simulation run.
+pub struct Simulation {
+    config: SimConfig,
+    trace: Trace,
+    peers: Vec<SimPeer>,
+    swarms: Vec<Swarm>,
+    /// Sharers' seeding deadlines: `(peer index, swarm index) -> leave
+    /// at`.
+    seeding_until: FxHashMap<(usize, usize), Seconds>,
+    /// Peers excluded from the sharer/freerider metrics (the archival
+    /// initial seeders).
+    archival: FxHashSet<usize>,
+    now: Seconds,
+    rng: StdRng,
+    /// Per-peer cursor into its trace request list.
+    request_cursor: Vec<usize>,
+    // metric accumulators
+    speed: GroupSeries,
+    reputation: GroupSeries,
+    overall_speed_sharers: Running,
+    overall_speed_freeriders: Running,
+    messages_delivered: u64,
+    meetings: u64,
+    pieces_transferred: u64,
+    next_reputation_sample: Seconds,
+    /// (sum of candidate-counts, choke invocations, invocations with
+    /// more candidates than regular slots) per role, for contention
+    /// diagnostics.
+    contention: [(u64, u64, u64); 2],
+    /// Download start time per (peer, swarm), for completion-time stats.
+    download_started: FxHashMap<(usize, usize), Seconds>,
+    /// Per-swarm (completions, total completion seconds, peak members).
+    swarm_stats: Vec<(usize, u64, usize)>,
+}
+
+impl Simulation {
+    /// Set up a run: assign behaviours and adversary conduct, create
+    /// swarms with their archival seeders, bootstrap the PSS.
+    pub fn new(trace: Trace, config: SimConfig) -> Self {
+        config.validate();
+        trace.validate().expect("invalid trace");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = trace.peer_count();
+
+        // Archival initial seeders are outside the sharer/freerider
+        // population (§5.1 splits the *active* peers 50/50).
+        let archival: FxHashSet<usize> = trace
+            .swarms
+            .iter()
+            .map(|s| s.initial_seeder.index())
+            .collect();
+
+        // Behaviour split over non-archival peers.
+        let mut regular: Vec<usize> = (0..n).filter(|i| !archival.contains(i)).collect();
+        regular.shuffle(&mut rng);
+        let freerider_count = (regular.len() as f64 * config.freerider_fraction).round() as usize;
+        let freeriders: FxHashSet<usize> = regular.iter().take(freerider_count).copied().collect();
+
+        // Disobeying peers are "a random selection from [the]
+        // freeriders" (§5.4). `regular[..freerider_count]` is already a
+        // random order, so take a prefix.
+        let disobeying_count = (n as f64 * config.adversary.fraction()).round() as usize;
+        let disobeying: FxHashSet<usize> = regular
+            .iter()
+            .take(freerider_count.min(disobeying_count).max(
+                if disobeying_count > 0 && freerider_count == 0 {
+                    0
+                } else {
+                    disobeying_count.min(freerider_count)
+                },
+            ))
+            .copied()
+            .collect();
+
+        let pss_config = PssConfig::default();
+        let mut peers: Vec<SimPeer> = trace
+            .peers
+            .iter()
+            .map(|pt| {
+                let idx = pt.peer.index();
+                let behaviour = if freeriders.contains(&idx) {
+                    Behaviour::Freerider
+                } else {
+                    Behaviour::Sharer
+                };
+                let conduct = if disobeying.contains(&idx) {
+                    match config.adversary {
+                        AdversaryModel::Ignore { .. } => Conduct::Silent,
+                        AdversaryModel::Lie { .. } => Conduct::Lying,
+                        AdversaryModel::None => Conduct::Honest,
+                    }
+                } else {
+                    Conduct::Honest
+                };
+                let engine = ReputationEngine::new()
+                    .with_method(config.maxflow)
+                    .with_metric(config.metric);
+                let mut peer = SimPeer::new(
+                    pt.peer,
+                    behaviour,
+                    conduct,
+                    pt.connectable,
+                    pt.down_bw,
+                    pt.up_bw,
+                    pss_config,
+                    engine,
+                );
+                if let Some(a) = config.audit {
+                    peer.auditor =
+                        Some(bartercast_core::audit::Auditor::new(a.factor, a.slack));
+                }
+                peer
+            })
+            .collect();
+
+        // PSS bootstrap: every peer knows a random handful (tracker /
+        // install-time buddy list).
+        let all_ids: Vec<PeerId> = peers.iter().map(|p| p.id).collect();
+        for peer in peers.iter_mut() {
+            let mut boot: Vec<PeerId> = all_ids
+                .iter()
+                .copied()
+                .filter(|&q| q != peer.id)
+                .collect();
+            boot.shuffle(&mut rng);
+            boot.truncate(10);
+            peer.pss.bootstrap(boot);
+            peer.next_gossip = Seconds(rng.gen_range(0..config.gossip_interval.0.max(1)));
+        }
+
+        // Swarms with their archival seeders joined from t = 0.
+        let mut swarms: Vec<Swarm> = Vec::with_capacity(trace.swarm_count());
+        for st in &trace.swarms {
+            let mut sw = Swarm::new(st.piece_count(), st.piece_size, config.bt);
+            sw.join_seeder(st.initial_seeder);
+            swarms.push(sw);
+        }
+
+        let horizon_days = trace.horizon.as_days();
+        let sample_days = (config.reputation_sample_interval.as_days()).max(1e-3);
+        Simulation {
+            speed: GroupSeries::new(horizon_days.max(1e-3), (horizon_days / 7.0).max(1e-3).min(1.0)),
+            reputation: GroupSeries::new(horizon_days.max(1e-3), sample_days),
+            overall_speed_sharers: Running::new(),
+            overall_speed_freeriders: Running::new(),
+            messages_delivered: 0,
+            meetings: 0,
+            pieces_transferred: 0,
+            next_reputation_sample: config.reputation_sample_interval,
+            contention: [(0, 0, 0); 2],
+            download_started: FxHashMap::default(),
+            swarm_stats: vec![(0, 0, 0); trace.swarm_count()],
+            request_cursor: vec![0; trace.peer_count()],
+            seeding_until: FxHashMap::default(),
+            archival,
+            now: Seconds::ZERO,
+            rng,
+            config,
+            trace,
+            peers,
+            swarms,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Immutable peer access (tests, experiments).
+    pub fn peers(&self) -> &[SimPeer] {
+        &self.peers
+    }
+
+    /// Mutable peer access (reputation queries need `&mut` for the
+    /// engine's memoization).
+    pub fn peers_mut(&mut self) -> &mut [SimPeer] {
+        &mut self.peers
+    }
+
+    /// Immutable swarm access.
+    pub fn swarms(&self) -> &[Swarm] {
+        &self.swarms
+    }
+
+    /// Whether this peer is one of the archival initial seeders.
+    pub fn is_archival(&self, idx: usize) -> bool {
+        self.archival.contains(&idx)
+    }
+
+    /// Contention diagnostics per role `(leecher, seeder)`: mean
+    /// candidates over choke rounds that had at least one candidate,
+    /// and the number of rounds where candidates exceeded the regular
+    /// slot count (slots actually contended).
+    pub fn mean_contention(&self) -> ((f64, u64), (f64, u64)) {
+        let l = self.contention[0];
+        let se = self.contention[1];
+        (
+            (l.0 as f64 / l.1.max(1) as f64, l.2),
+            (se.0 as f64 / se.1.max(1) as f64, se.2),
+        )
+    }
+
+    /// Run to the trace horizon and produce the report.
+    pub fn run(mut self) -> SimReport {
+        while self.now < self.trace.horizon {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Advance one round.
+    pub fn step(&mut self) {
+        let dt = self.config.round;
+        self.now += dt;
+        self.play_trace_events();
+        self.behaviour_events();
+        self.choke_phase();
+        self.sample_swarm_peaks();
+        self.transfer_phase(dt);
+        self.gossip_phase();
+        if self.now >= self.next_reputation_sample {
+            self.sample_system_reputation();
+            self.next_reputation_sample = self.next_reputation_sample
+                + self.config.reputation_sample_interval;
+        }
+    }
+
+    /// Track peak concurrent online membership per swarm.
+    fn sample_swarm_peaks(&mut self) {
+        for s in 0..self.swarms.len() {
+            let online = self
+                .swarms[s]
+                .members()
+                .filter(|m| self.peers[m.index()].online)
+                .count();
+            if online > self.swarm_stats[s].2 {
+                self.swarm_stats[s].2 = online;
+            }
+        }
+    }
+
+    /// Session starts/ends and file requests from the trace.
+    fn play_trace_events(&mut self) {
+        let now = self.now;
+        for i in 0..self.peers.len() {
+            let online = self.trace.peers[i].online_at(now);
+            self.peers[i].online = online;
+            if !online {
+                continue;
+            }
+            // fire due requests
+            while self.request_cursor[i] < self.trace.peers[i].requests.len() {
+                let req = self.trace.peers[i].requests[self.request_cursor[i]];
+                if req.time > now {
+                    break;
+                }
+                self.request_cursor[i] += 1;
+                let s = req.swarm.index();
+                let pid = self.peers[i].id;
+                if !self.peers[i].completed.contains_key(&s) && !self.swarms[s].contains(pid) {
+                    self.swarms[s].join_leecher(pid);
+                    self.download_started.insert((i, s), now);
+                    // tracker introduces current members
+                    let members: Vec<PeerId> =
+                        self.swarms[s].members().filter(|&m| m != pid).collect();
+                    self.peers[i].pss.bootstrap(members);
+                }
+            }
+        }
+    }
+
+    /// Sharer seeding deadlines (freeriders leave instantly at
+    /// completion inside the transfer phase).
+    fn behaviour_events(&mut self) {
+        let now = self.now;
+        let expired: Vec<(usize, usize)> = self
+            .seeding_until
+            .iter()
+            .filter(|(_, &until)| until <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for (peer, swarm) in expired {
+            self.seeding_until.remove(&(peer, swarm));
+            let pid = self.peers[peer].id;
+            self.swarms[swarm].leave(pid);
+        }
+    }
+
+    /// Recompute unchoke sets for all online members of all swarms.
+    fn choke_phase(&mut self) {
+        let epoch = self.now.0 / self.config.reputation_refresh.0.max(1);
+        let policy = self.config.policy;
+        for s in 0..self.swarms.len() {
+            let member_ids: Vec<PeerId> = self.swarms[s].members().collect();
+            for &pid in &member_ids {
+                let i = pid.index();
+                if !self.peers[i].online {
+                    self.swarms[s].member_mut(pid).unwrap().unchoked.clear();
+                    continue;
+                }
+                // interested, reachable candidates
+                let mut candidates: Vec<Candidate> = Vec::new();
+                for &qid in &member_ids {
+                    if qid == pid {
+                        continue;
+                    }
+                    let q = qid.index();
+                    if !self.peers[q].online {
+                        continue;
+                    }
+                    if !self.connectable_pair(i, q) {
+                        continue;
+                    }
+                    if !self.swarms[s].interested(qid, pid) {
+                        continue;
+                    }
+                    let m = self.swarms[s].member(pid).unwrap();
+                    candidates.push(Candidate {
+                        peer: qid,
+                        rate_to_me: m.recv_last.get(&qid).copied().unwrap_or(0),
+                        rate_from_me: m.sent_last.get(&qid).copied().unwrap_or(0),
+                    });
+                }
+                // deterministic candidate order
+                candidates.sort_by_key(|c| c.peer);
+                // reputations first (separate borrow of self.peers[i])
+                let reps: FxHashMap<PeerId, f64> = if matches!(policy, ReputationPolicy::None) {
+                    FxHashMap::default()
+                } else {
+                    candidates
+                        .iter()
+                        .map(|c| (c.peer, self.peers[i].reputation_of(c.peer, epoch)))
+                        .collect()
+                };
+                let role = self.swarms[s].member(pid).unwrap().role();
+                let slot = if role == bartercast_bt::Role::Leecher { 0 } else { 1 };
+                self.contention[slot].0 += candidates.len() as u64;
+                if !candidates.is_empty() {
+                    self.contention[slot].1 += 1;
+                }
+                if candidates.len() > self.config.bt.regular_slots {
+                    self.contention[slot].2 += 1;
+                }
+                let member = self.swarms[s].member_mut(pid).unwrap();
+                let unchoked = member.choker.unchoke(role, &candidates, &policy, |q| {
+                    reps.get(&q).copied().unwrap_or(0.0)
+                });
+                member.unchoked = unchoked;
+                // reset the rate window for the next period
+                member.recv_last.clear();
+                member.sent_last.clear();
+            }
+        }
+    }
+
+    /// Allocate bandwidth and move bytes/pieces.
+    fn transfer_phase(&mut self, dt: Seconds) {
+        // 1. collect candidate flows from unchoke sets
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut uploads_per_peer: Vec<u32> = vec![0; self.peers.len()];
+        for s in 0..self.swarms.len() {
+            let member_ids: Vec<PeerId> = self.swarms[s].members().collect();
+            for &pid in &member_ids {
+                let i = pid.index();
+                if !self.peers[i].online {
+                    continue;
+                }
+                let unchoked = self.swarms[s].member(pid).unwrap().unchoked.clone();
+                for qid in unchoked {
+                    let q = qid.index();
+                    if !self.swarms[s].contains(qid) || !self.peers[q].online {
+                        continue;
+                    }
+                    if !self.swarms[s].interested(qid, pid) {
+                        continue;
+                    }
+                    flows.push(Flow {
+                        up: i,
+                        down: q,
+                        swarm: s,
+                        bytes: 0,
+                    });
+                    uploads_per_peer[i] += 1;
+                }
+            }
+        }
+        if flows.is_empty() {
+            self.sample_speeds(dt, &FxHashMap::default());
+            return;
+        }
+        // 2. uplink shares
+        for f in flows.iter_mut() {
+            let share = self.peers[f.up].up_bw.split(uploads_per_peer[f.up] as usize);
+            f.bytes = share.over(dt).0;
+        }
+        // 3. downlink caps (proportional scaling)
+        let mut incoming: Vec<u64> = vec![0; self.peers.len()];
+        for f in &flows {
+            incoming[f.down] += f.bytes;
+        }
+        for f in flows.iter_mut() {
+            let cap = self.peers[f.down].down_bw.over(dt).0;
+            let total = incoming[f.down];
+            if total > cap {
+                f.bytes = ((f.bytes as u128 * cap as u128) / total as u128) as u64;
+            }
+        }
+        // 4. apply flows: histories, graphs, rate windows, piece credit
+        let mut received: FxHashMap<(usize, usize), (u64, Vec<PeerId>)> = FxHashMap::default();
+        let mut speed_bytes: FxHashMap<usize, u64> = FxHashMap::default();
+        for f in &flows {
+            if f.bytes == 0 {
+                continue;
+            }
+            let up_id = self.peers[f.up].id;
+            let down_id = self.peers[f.down].id;
+            let amount = Bytes(f.bytes);
+            self.peers[f.up].note_upload(down_id, amount, self.now);
+            self.peers[f.down].note_download(up_id, amount, self.now);
+            {
+                let m = self.swarms[f.swarm].member_mut(up_id).unwrap();
+                *m.sent_last.entry(down_id).or_insert(0) += f.bytes;
+            }
+            {
+                let m = self.swarms[f.swarm].member_mut(down_id).unwrap();
+                *m.recv_last.entry(up_id).or_insert(0) += f.bytes;
+            }
+            let e = received.entry((f.down, f.swarm)).or_insert((0, Vec::new()));
+            e.0 += f.bytes;
+            e.1.push(up_id);
+            *speed_bytes.entry(f.down).or_insert(0) += f.bytes;
+        }
+        // 4b. BarterCast partner exchanges: peers exchange messages
+        // with peers they meet, and active transfer partners are met
+        // continuously. This is what §3.4's "Nr most recently seen"
+        // selection presumes, and it is what lets an evaluator learn
+        // who uploaded to *its own* sources — the two-hop paths the
+        // maxflow depends on.
+        let mut exchange_pairs: Vec<(usize, usize)> = Vec::new();
+        let interval = self.config.partner_exchange_interval;
+        for f in &flows {
+            if f.bytes == 0 || f.up == f.down {
+                continue;
+            }
+            let (a, b) = (f.up.min(f.down), f.up.max(f.down));
+            let last = self.peers[a]
+                .last_partner_exchange
+                .get(&self.peers[b].id)
+                .copied()
+                .unwrap_or(Seconds::ZERO);
+            if (last == Seconds::ZERO || self.now.saturating_sub(last) >= interval)
+                && !exchange_pairs.contains(&(a, b))
+            {
+                exchange_pairs.push((a, b));
+            }
+        }
+        let bc = self.config.bartercast;
+        let lie_claim = match self.config.adversary {
+            AdversaryModel::Lie { claim, .. } => claim,
+            _ => Bytes::from_gb(100),
+        };
+        for (a, b) in exchange_pairs {
+            let b_id = self.peers[b].id;
+            let a_id = self.peers[a].id;
+            self.peers[a].last_partner_exchange.insert(b_id, self.now);
+            self.peers[b].last_partner_exchange.insert(a_id, self.now);
+            self.meet(a, b, bc, lie_claim);
+            self.meetings += 1;
+        }
+        // 5. convert credit to pieces, detect completions
+        let mut completions: Vec<(usize, usize)> = Vec::new();
+        for (&(d, s), &(bytes, ref providers)) in received.iter() {
+            let pid = self.peers[d].id;
+            let salt = self.rng.gen::<u64>() | 1;
+            let done =
+                self.swarms[s].credit_download_salted(pid, providers, Bytes(bytes), salt);
+            self.pieces_transferred += done.len() as u64;
+            if !done.is_empty() && self.swarms[s].member(pid).unwrap().bitfield.is_complete() {
+                completions.push((d, s));
+            }
+        }
+        for (d, s) in completions {
+            let pid = self.peers[d].id;
+            self.peers[d].completed.insert(s, self.now);
+            self.swarm_stats[s].0 += 1;
+            if let Some(started) = self.download_started.remove(&(d, s)) {
+                self.swarm_stats[s].1 += self.now.saturating_sub(started).0;
+            }
+            match self.peers[d].behaviour {
+                Behaviour::Freerider => {
+                    // lazy freeriders leave the instant they finish
+                    self.swarms[s].leave(pid);
+                }
+                Behaviour::Sharer => {
+                    self.seeding_until
+                        .insert((d, s), self.now + self.config.seed_time);
+                }
+            }
+        }
+        self.sample_speeds(dt, &speed_bytes);
+    }
+
+    /// Per-round speed samples for peers with an active download.
+    fn sample_speeds(&mut self, dt: Seconds, speed_bytes: &FxHashMap<usize, u64>) {
+        let t_days = self.now.as_days();
+        for i in 0..self.peers.len() {
+            if self.archival.contains(&i) || !self.peers[i].online {
+                continue;
+            }
+            // actively leeching somewhere?
+            let pid = self.peers[i].id;
+            let leeching = self.swarms.iter().any(|sw| {
+                sw.member(pid)
+                    .is_some_and(|m| !m.bitfield.is_complete())
+            });
+            if !leeching {
+                continue;
+            }
+            let bytes = speed_bytes.get(&i).copied().unwrap_or(0);
+            let kbps = bytes as f64 / 1024.0 / dt.0 as f64;
+            let freerider = self.peers[i].behaviour == Behaviour::Freerider;
+            self.speed.push(freerider, t_days, kbps);
+            if freerider {
+                self.overall_speed_freeriders.push(kbps);
+            } else {
+                self.overall_speed_sharers.push(kbps);
+            }
+        }
+    }
+
+    /// Gossip meetings: PSS shuffle + BarterCast message exchange.
+    fn gossip_phase(&mut self) {
+        let lie_claim = match self.config.adversary {
+            AdversaryModel::Lie { claim, .. } => claim,
+            _ => Bytes::from_gb(100),
+        };
+        let bc = self.config.bartercast;
+        for i in 0..self.peers.len() {
+            if !self.peers[i].online || self.now < self.peers[i].next_gossip {
+                continue;
+            }
+            // schedule next meeting with jitter
+            let base = self.config.gossip_interval.0.max(1);
+            let jitter = self.rng.gen_range(0..=base / 2);
+            self.peers[i].next_gossip = self.now + Seconds(base + jitter);
+            // pick an online, reachable partner from the PSS view
+            let mut partner: Option<usize> = None;
+            for _ in 0..5 {
+                if let Some(q) = self.peers[i].pss.sample(&mut self.rng) {
+                    let j = q.index();
+                    if j != i
+                        && j < self.peers.len()
+                        && self.peers[j].online
+                        && self.connectable_pair(i, j)
+                    {
+                        partner = Some(j);
+                        break;
+                    }
+                }
+            }
+            let Some(j) = partner else { continue };
+            self.meetings += 1;
+            self.meet(i, j, bc, lie_claim);
+        }
+    }
+
+    /// One meeting between peers `i` and `j`.
+    fn meet(
+        &mut self,
+        i: usize,
+        j: usize,
+        bc: bartercast_core::message::BarterCastConfig,
+        lie_claim: Bytes,
+    ) {
+        // PSS shuffle (split borrow)
+        debug_assert_ne!(i, j);
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (left, right) = self.peers.split_at_mut(hi);
+        let (a, b) = (&mut left[lo], &mut right[0]);
+        // age views so shuffle-merged fresh descriptors can evict old
+        // ones — without this, views freeze at their bootstrap content
+        a.pss.tick();
+        b.pss.tick();
+        shuffle(&mut a.pss, &mut b.pss, &mut self.rng);
+        a.history.touch(b.id, self.now);
+        b.history.touch(a.id, self.now);
+        // message exchange, both directions, per conduct
+        let msg_ab = a.outgoing_message(bc, lie_claim);
+        let msg_ba = b.outgoing_message(bc, lie_claim);
+        if let Some(m) = msg_ab {
+            b.engine.absorb_message(&m);
+            if let Some(aud) = b.auditor.as_mut() {
+                aud.ingest(&m);
+            }
+            self.messages_delivered += 1;
+        }
+        if let Some(m) = msg_ba {
+            a.engine.absorb_message(&m);
+            if let Some(aud) = a.auditor.as_mut() {
+                aud.ingest(&m);
+            }
+            self.messages_delivered += 1;
+        }
+    }
+
+    /// Equation 2: the system reputation of peer `i` is the average of
+    /// `R_j(i)` over all other (non-archival) peers `j`.
+    fn sample_system_reputation(&mut self) {
+        let t_days = self.now.as_days();
+        let indices: Vec<usize> = (0..self.peers.len())
+            .filter(|i| !self.archival.contains(i))
+            .collect();
+        let reputations = self.system_reputations(&indices);
+        for (&i, &r) in indices.iter().zip(&reputations) {
+            let freerider = self.peers[i].behaviour == Behaviour::Freerider;
+            self.reputation.push(freerider, t_days, r);
+        }
+    }
+
+    /// Compute Equation 2 for each target index (averaging over the
+    /// same index set as evaluators).
+    ///
+    /// Evaluators are independent (each queries only its own engine),
+    /// so for large populations the computation fans out across
+    /// threads with `crossbeam::scope`; each thread owns a disjoint
+    /// chunk of peers and produces a partial sum vector that is
+    /// reduced at the end. Results are identical to the sequential
+    /// path (each evaluator's contributions are accumulated in the
+    /// same order either way, and the final reduction sums partials
+    /// in chunk order).
+    pub fn system_reputations(&mut self, indices: &[usize]) -> Vec<f64> {
+        let denom = (indices.len().saturating_sub(1)).max(1) as f64;
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        let sums = if indices.len() < 32 || n_threads < 2 {
+            Self::reputation_sums(&mut self.peers, indices, indices)
+        } else {
+            let target_ids: Vec<PeerId> = indices.iter().map(|&i| self.peers[i].id).collect();
+            let index_set: FxHashSet<usize> = indices.iter().copied().collect();
+            let total = self.peers.len();
+            let mut partials: Vec<Vec<f64>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut rest: &mut [SimPeer] = &mut self.peers;
+                let chunk = total.div_ceil(n_threads);
+                let mut offset = 0usize;
+                while !rest.is_empty() {
+                    let take = chunk.min(rest.len());
+                    let (head, tail) = rest.split_at_mut(take);
+                    rest = tail;
+                    let base = offset;
+                    offset += take;
+                    let target_ids = &target_ids;
+                    let index_set = &index_set;
+                    handles.push(scope.spawn(move |_| {
+                        let mut sums = vec![0.0; target_ids.len()];
+                        for (local, peer) in head.iter_mut().enumerate() {
+                            let j = base + local;
+                            if !index_set.contains(&j) {
+                                continue;
+                            }
+                            let evaluator = peer.id;
+                            for (k, &target) in target_ids.iter().enumerate() {
+                                if target == evaluator {
+                                    continue;
+                                }
+                                sums[k] += peer.engine.reputation(evaluator, target);
+                            }
+                        }
+                        sums
+                    }));
+                }
+                for h in handles {
+                    partials.push(h.join().expect("reputation thread panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            let mut sums = vec![0.0; indices.len()];
+            for part in partials {
+                for (acc, v) in sums.iter_mut().zip(part) {
+                    *acc += v;
+                }
+            }
+            sums
+        };
+        sums.iter().map(|s| s / denom).collect()
+    }
+
+    /// Sequential evaluator loop used for small populations.
+    fn reputation_sums(
+        peers: &mut [SimPeer],
+        evaluators: &[usize],
+        targets: &[usize],
+    ) -> Vec<f64> {
+        let target_ids: Vec<PeerId> = targets.iter().map(|&i| peers[i].id).collect();
+        let mut sums = vec![0.0; targets.len()];
+        for &j in evaluators {
+            let evaluator = peers[j].id;
+            for (k, &target) in target_ids.iter().enumerate() {
+                if target == evaluator {
+                    continue;
+                }
+                sums[k] += peers[j].engine.reputation(evaluator, target);
+            }
+        }
+        sums
+    }
+
+    fn connectable_pair(&self, i: usize, j: usize) -> bool {
+        self.peers[i].connectable || self.peers[j].connectable
+    }
+
+    /// Final report.
+    fn finish(mut self) -> SimReport {
+        let indices: Vec<usize> = (0..self.peers.len())
+            .filter(|i| !self.archival.contains(i))
+            .collect();
+        let reputations = self.system_reputations(&indices);
+        let outcomes: Vec<PeerOutcome> = indices
+            .iter()
+            .zip(&reputations)
+            .map(|(&i, &r)| {
+                let p = &self.peers[i];
+                PeerOutcome {
+                    peer: p.id,
+                    freerider: p.behaviour == Behaviour::Freerider,
+                    net_contribution_gb: p.net_contribution() / (1024.0 * 1024.0 * 1024.0),
+                    system_reputation: r,
+                    downloaded_gb: p.real_down.as_gb(),
+                    completions: p.completed.len(),
+                }
+            })
+            .collect();
+        let audit = self.config.audit.map(|acfg| {
+            // aggregate marks and cross-checked incident counts across
+            // all peers' auditors; suspicion needs both volume and a
+            // high marked/checked ratio (see `bartercast_core::audit`)
+            let mut total_marks: FxHashMap<PeerId, u32> = FxHashMap::default();
+            let mut total_checked: FxHashMap<PeerId, u32> = FxHashMap::default();
+            for p in &self.peers {
+                if let Some(aud) = &p.auditor {
+                    for q in &self.peers {
+                        let m = aud.marks(q.id);
+                        if m > 0 {
+                            *total_marks.entry(q.id).or_insert(0) += m;
+                        }
+                        let c = aud.checked(q.id);
+                        if c > 0 {
+                            *total_checked.entry(q.id).or_insert(0) += c;
+                        }
+                    }
+                }
+            }
+            let suspects: Vec<PeerId> = {
+                let mut v: Vec<PeerId> = total_marks
+                    .iter()
+                    .filter(|(&q, &m)| {
+                        let checked = total_checked.get(&q).copied().unwrap_or(0).max(1);
+                        m >= acfg.min_marks && m as f64 / checked as f64 >= 0.5
+                    })
+                    .map(|(&p, _)| p)
+                    .collect();
+                v.sort();
+                v
+            };
+            let liars: Vec<PeerId> = self
+                .peers
+                .iter()
+                .filter(|p| p.conduct == Conduct::Lying)
+                .map(|p| p.id)
+                .collect();
+            let true_pos = suspects.iter().filter(|s| liars.contains(s)).count();
+            crate::metrics::AuditOutcome {
+                suspects: suspects.clone(),
+                liar_count: liars.len(),
+                precision: if suspects.is_empty() {
+                    1.0
+                } else {
+                    true_pos as f64 / suspects.len() as f64
+                },
+                recall: if liars.is_empty() {
+                    1.0
+                } else {
+                    true_pos as f64 / liars.len() as f64
+                },
+            }
+        });
+        let swarms: Vec<crate::metrics::SwarmOutcome> = self
+            .swarm_stats
+            .iter()
+            .enumerate()
+            .map(|(s, &(completions, total_secs, peak))| crate::metrics::SwarmOutcome {
+                swarm: s,
+                completions,
+                mean_completion_hours: if completions > 0 {
+                    total_secs as f64 / completions as f64 / 3600.0
+                } else {
+                    0.0
+                },
+                peak_members: peak,
+            })
+            .collect();
+        SimReport {
+            horizon: self.trace.horizon,
+            audit,
+            swarms,
+            speed: self.speed,
+            reputation: self.reputation,
+            outcomes,
+            overall_speed_sharers: self.overall_speed_sharers.mean(),
+            overall_speed_freeriders: self.overall_speed_freeriders.mean(),
+            messages_delivered: self.messages_delivered,
+            meetings: self.meetings,
+            pieces_transferred: self.pieces_transferred,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bartercast_trace::synth::{SynthConfig, TraceBuilder};
+    use bartercast_util::units::Seconds;
+
+    fn small_trace(seed: u64) -> Trace {
+        TraceBuilder::new(SynthConfig {
+            peers: 20,
+            swarms: 3,
+            horizon: Seconds::from_days(1),
+            ..Default::default()
+        })
+        .build(seed)
+    }
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            seed: 7,
+            round: Seconds(60),
+            reputation_sample_interval: Seconds::from_hours(6),
+            bt: bartercast_bt::BtConfig {
+                regular_slots: 4,
+                unchoke_period: Seconds(60),
+                optimistic_period: Seconds(60),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_to_horizon() {
+        let sim = Simulation::new(small_trace(1), small_config());
+        let report = sim.run();
+        assert_eq!(report.horizon, Seconds::from_days(1));
+        assert!(report.meetings > 0, "gossip must happen");
+        assert!(report.messages_delivered > 0);
+        assert!(report.pieces_transferred > 0, "data must move");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Simulation::new(small_trace(3), small_config()).run();
+        let b = Simulation::new(small_trace(3), small_config()).run();
+        assert_eq!(a.pieces_transferred, b.pieces_transferred);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.overall_speed_sharers, b.overall_speed_sharers);
+        let ra: Vec<f64> = a.outcomes.iter().map(|o| o.system_reputation).collect();
+        let rb: Vec<f64> = b.outcomes.iter().map(|o| o.system_reputation).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg2 = small_config();
+        cfg2.seed = 8;
+        let a = Simulation::new(small_trace(3), small_config()).run();
+        let b = Simulation::new(small_trace(3), cfg2).run();
+        // population split differs, so at minimum some outcome differs
+        assert!(
+            a.pieces_transferred != b.pieces_transferred
+                || a.messages_delivered != b.messages_delivered
+                || a.overall_speed_sharers != b.overall_speed_sharers
+        );
+    }
+
+    #[test]
+    fn ground_truth_transfers_are_symmetric() {
+        let sim = Simulation::new(small_trace(5), small_config());
+        let report = sim.run();
+        // Every byte uploaded was downloaded by someone: totals match.
+        let up: f64 = report.outcomes.iter().map(|o| o.net_contribution_gb).sum();
+        // net contributions of non-archival peers don't sum to zero
+        // (archival seeders upload), but total down >= |sum of negative|
+        let down: f64 = report.outcomes.iter().map(|o| o.downloaded_gb).sum();
+        assert!(down > 0.0);
+        assert!(up <= 1e-9, "regular peers can't have net-positive total vs archival seeders: {up}");
+    }
+
+    #[test]
+    fn freeriders_do_not_seed() {
+        let sim = Simulation::new(small_trace(9), small_config());
+        let peers_behaviour: Vec<(usize, Behaviour)> = sim
+            .peers()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.behaviour))
+            .collect();
+        let report = sim.run();
+        // every freerider outcome exists; none seeded (cannot check
+        // directly post-run, but completed downloads imply they left:
+        // their upload should be bounded by what tit-for-tat extracted
+        // while leeching, typically << sharers')
+        let _ = (peers_behaviour, report);
+    }
+
+    #[test]
+    fn adversary_fraction_capped_by_freeriders() {
+        let mut cfg = small_config();
+        cfg.adversary = AdversaryModel::Ignore { fraction: 0.5 };
+        cfg.freerider_fraction = 0.5;
+        let sim = Simulation::new(small_trace(2), cfg);
+        let silent = sim
+            .peers()
+            .iter()
+            .filter(|p| p.conduct == Conduct::Silent)
+            .count();
+        let freeriders = sim
+            .peers()
+            .iter()
+            .filter(|p| p.behaviour == Behaviour::Freerider)
+            .count();
+        assert!(silent <= freeriders);
+        assert!(silent > 0);
+        // all silent peers are freeriders
+        for p in sim.peers() {
+            if p.conduct == Conduct::Silent {
+                assert_eq!(p.behaviour, Behaviour::Freerider);
+            }
+        }
+    }
+
+    #[test]
+    fn ban_policy_runs() {
+        let mut cfg = small_config();
+        cfg.policy = ReputationPolicy::Ban { delta: -0.5 };
+        let report = Simulation::new(small_trace(4), cfg).run();
+        assert!(report.pieces_transferred > 0);
+    }
+
+    #[test]
+    fn rank_policy_runs() {
+        let mut cfg = small_config();
+        cfg.policy = ReputationPolicy::Rank;
+        let report = Simulation::new(small_trace(4), cfg).run();
+        assert!(report.pieces_transferred > 0);
+    }
+
+    #[test]
+    fn outcomes_cover_non_archival_peers() {
+        let trace = small_trace(6);
+        let n = trace.peer_count();
+        let archival = trace.swarm_count(); // initial seeders
+        let report = Simulation::new(trace, small_config()).run();
+        assert_eq!(report.outcomes.len(), n - archival);
+    }
+
+    #[test]
+    fn auditing_detects_liars_with_high_precision() {
+        let mut cfg = small_config();
+        cfg.adversary = AdversaryModel::Lie {
+            fraction: 0.3,
+            claim: bartercast_util::units::Bytes::from_gb(100),
+        };
+        cfg.audit = Some(crate::config::AuditConfig::default());
+        let report = Simulation::new(small_trace(12), cfg).run();
+        let audit = report.audit.expect("auditing enabled");
+        assert!(audit.liar_count > 0);
+        assert!(
+            audit.recall > 0.5,
+            "most liars must be flagged: recall {}",
+            audit.recall
+        );
+        assert!(
+            audit.precision > 0.5,
+            "flags must mostly be correct: precision {}",
+            audit.precision
+        );
+    }
+
+    #[test]
+    fn auditing_stays_quiet_without_liars() {
+        let mut cfg = small_config();
+        cfg.audit = Some(crate::config::AuditConfig::default());
+        let report = Simulation::new(small_trace(13), cfg).run();
+        let audit = report.audit.expect("auditing enabled");
+        assert_eq!(audit.liar_count, 0);
+        assert!(
+            audit.suspects.is_empty(),
+            "honest runs must not flag anyone: {:?}",
+            audit.suspects
+        );
+    }
+
+    #[test]
+    fn swarm_stats_are_collected() {
+        let report = Simulation::new(small_trace(14), small_config()).run();
+        assert_eq!(report.swarms.len(), 3);
+        let total_completions: usize = report.swarms.iter().map(|s| s.completions).sum();
+        let outcome_completions: usize = report.outcomes.iter().map(|o| o.completions).sum();
+        assert_eq!(
+            total_completions, outcome_completions,
+            "per-swarm and per-peer completion counts must agree"
+        );
+        for s in &report.swarms {
+            // the archival seeder alone gives every swarm peak >= 1
+            assert!(s.peak_members >= 1, "swarm {} never had members", s.swarm);
+            if s.completions > 0 {
+                assert!(s.mean_completion_hours > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reputations_bounded() {
+        let report = Simulation::new(small_trace(8), small_config()).run();
+        for o in &report.outcomes {
+            assert!(o.system_reputation > -1.0 && o.system_reputation < 1.0);
+        }
+    }
+}

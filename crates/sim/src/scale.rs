@@ -1,0 +1,358 @@
+//! Scalability study — the paper's future work: "we plan to perform
+//! simulations with up to 100,000 peers and assess the scalability of
+//! our mechanism".
+//!
+//! BarterCast's per-peer cost does not depend on swarm dynamics, so
+//! this study drops the piece-level BitTorrent layer and models the
+//! mechanism itself at population scale:
+//!
+//! * every peer runs a synthetic transfer process (sharers move ~5×
+//!   the upload volume of freeriders) feeding its private history;
+//! * a sample of **probe** peers maintains full BarterCast state —
+//!   subjective graph, reputation engine — and receives gossip from
+//!   random peers plus its own transfer partners each round
+//!   (maintaining full state for all 100 k peers would measure the
+//!   host machine's RAM, not the mechanism: what matters is the
+//!   *per-peer* cost, which the probes exhibit exactly);
+//! * at the end we measure what the deployed mechanism cares about:
+//!   subjective graph size, two-hop reputation query latency, and
+//!   discrimination accuracy (how often a random sharer outranks a
+//!   random freerider in a probe's subjective view).
+//!
+//! Run via `cargo run -p bartercast-experiments --release --bin scale`.
+
+use crate::config::Behaviour;
+use bartercast_core::cache::ReputationEngine;
+use bartercast_core::history::PrivateHistory;
+use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
+use bartercast_gossip::{Transport, TransportConfig};
+use bartercast_util::stats::{percentile, Running};
+use bartercast_util::units::{Bytes, PeerId, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Scalability-study parameters.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Population size (the paper's future-work target: 100 000).
+    pub peers: usize,
+    /// Number of probe peers with full BarterCast state.
+    pub probes: usize,
+    /// Synthetic protocol rounds.
+    pub rounds: usize,
+    /// Transfers initiated per peer per round.
+    pub transfers_per_peer: usize,
+    /// Gossip messages each probe receives per round.
+    pub gossip_per_probe: usize,
+    /// Freerider fraction.
+    pub freerider_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// BarterCast record-selection parameters.
+    pub bartercast: BarterCastConfig,
+    /// Probability each gossip message is lost in transit (messages
+    /// travel through a simulated transport with up to one round of
+    /// delivery delay).
+    pub message_loss: f64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            peers: 10_000,
+            probes: 100,
+            rounds: 30,
+            transfers_per_peer: 1,
+            gossip_per_probe: 20,
+            freerider_fraction: 0.5,
+            seed: 1,
+            bartercast: BarterCastConfig::default(),
+            message_loss: 0.0,
+        }
+    }
+}
+
+/// Measured outcomes of one scalability run.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Population size.
+    pub peers: usize,
+    /// Mean subjective-graph edge count across probes.
+    pub mean_graph_edges: f64,
+    /// Median two-hop reputation query latency (microseconds).
+    pub query_us_p50: f64,
+    /// 95th-percentile query latency (microseconds).
+    pub query_us_p95: f64,
+    /// Fraction of (sharer, freerider) target pairs a probe ranks
+    /// correctly (sharer above freerider), over informed pairs.
+    pub pairwise_accuracy: f64,
+    /// Total messages delivered to probes.
+    pub messages: u64,
+    /// Messages lost in transit.
+    pub messages_lost: u64,
+}
+
+/// Run the study.
+pub fn run_scale(config: &ScaleConfig) -> ScaleReport {
+    assert!(config.peers >= 10);
+    assert!(config.probes >= 1 && config.probes <= config.peers);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.peers;
+
+    // behaviour split
+    let behaviours: Vec<Behaviour> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(config.freerider_fraction) {
+                Behaviour::Freerider
+            } else {
+                Behaviour::Sharer
+            }
+        })
+        .collect();
+
+    // stable partner sets: peers transfer repeatedly within a bounded
+    // neighbourhood, as real BitTorrent peers do across swarms — this
+    // is what gives contribution edges their weight
+    let partners_per_peer = 8usize;
+    let partner_sets: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..partners_per_peer)
+                .map(|_| loop {
+                    let j = rng.gen_range(0..n);
+                    if j != i {
+                        break j;
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // reverse partner sets: who uploads *to* each peer
+    let mut sources: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, set) in partner_sets.iter().enumerate() {
+        for &j in set {
+            sources[j].push(i);
+        }
+    }
+
+    // private histories for everyone (cheap), engines only for probes
+    let mut histories: Vec<PrivateHistory> =
+        (0..n).map(|i| PrivateHistory::new(PeerId(i as u32))).collect();
+    let probe_ids: Vec<usize> = (0..config.probes).map(|i| i * (n / config.probes)).collect();
+    let probe_slot: bartercast_util::FxHashMap<u32, usize> = probe_ids
+        .iter()
+        .enumerate()
+        .map(|(slot, &p)| (p as u32, slot))
+        .collect();
+    let mut engines: Vec<ReputationEngine> =
+        probe_ids.iter().map(|_| ReputationEngine::new()).collect();
+    let mut messages = 0u64;
+    // gossip travels through a lossy, delaying transport
+    let mut transport: Transport<BarterCastMessage> = Transport::new(TransportConfig {
+        min_delay: Seconds(0),
+        max_delay: Seconds(600),
+        loss: config.message_loss,
+    });
+
+    for round in 0..config.rounds {
+        let now = Seconds((round + 1) as u64 * 600);
+        // 1. synthetic transfers: uploader i pushes to a random partner
+        for i in 0..n {
+            for _ in 0..config.transfers_per_peer {
+                // sharers upload ~5x what freeriders do
+                let mb = match behaviours[i] {
+                    Behaviour::Sharer => rng.gen_range(20..120),
+                    Behaviour::Freerider => rng.gen_range(2..26),
+                };
+                let j = partner_sets[i][rng.gen_range(0..partners_per_peer)];
+                if i == j {
+                    continue;
+                }
+                let amount = Bytes::from_mb(mb);
+                histories[i].record_upload(PeerId(j as u32), amount, now);
+                histories[j].record_download(PeerId(i as u32), amount, now);
+            }
+        }
+        // 2. gossip into the probes: each probe hears its transfer
+        //    counterparties — upload targets *and* upload sources, met
+        //    continuously — plus `gossip_per_probe` random peers. The
+        //    sources' messages are what carry the j -> k edges of the
+        //    two-hop paths j -> k -> probe (k reports its own top
+        //    uploaders, §3.4).
+        for (p_idx, &probe) in probe_ids.iter().enumerate() {
+            engines[p_idx].absorb_private(&histories[probe]);
+            let senders: Vec<usize> = partner_sets[probe]
+                .iter()
+                .copied()
+                .chain(sources[probe].iter().copied())
+                .chain((0..config.gossip_per_probe).map(|_| rng.gen_range(0..n)))
+                .collect();
+            for sender in senders {
+                if sender == probe {
+                    continue;
+                }
+                let msg =
+                    BarterCastMessage::from_history(&histories[sender], config.bartercast);
+                transport.send(
+                    &mut rng,
+                    now,
+                    PeerId(sender as u32),
+                    PeerId(probe as u32),
+                    msg,
+                );
+            }
+            let _ = p_idx;
+        }
+        // deliveries due by the end of this round (delays reach into
+        // the next round boundary)
+        for d in transport.deliver_due(now + Seconds(600)) {
+            if let Some(&slot) = probe_slot.get(&d.to.0) {
+                engines[slot].absorb_message(&d.payload);
+                messages += 1;
+            }
+        }
+    }
+    // drain anything still in flight after the last round
+    for d in transport.deliver_due(Seconds(u64::MAX)) {
+        if let Some(&slot) = probe_slot.get(&d.to.0) {
+            engines[slot].absorb_message(&d.payload);
+            messages += 1;
+        }
+    }
+
+    // 3. measurements
+    let mut edges = Running::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut correct = 0u64;
+    let mut informed = 0u64;
+    for (p_idx, &probe) in probe_ids.iter().enumerate() {
+        let me = PeerId(probe as u32);
+        edges.push(engines[p_idx].graph().edge_count() as f64);
+        // query latency over random targets
+        for _ in 0..50 {
+            let t = PeerId(rng.gen_range(0..n) as u32);
+            let start = Instant::now();
+            let _ = engines[p_idx].flows(me, t);
+            latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        // discrimination over the operationally relevant targets: the
+        // peers with a two-hop path *into* the probe (j -> k -> probe
+        // with k one of the probe's upload sources) — the population
+        // whose service can reach it and about whom it makes choking
+        // decisions
+        let mut neighbourhood: Vec<usize> = Vec::new();
+        for &k in &sources[probe] {
+            neighbourhood.push(k);
+            neighbourhood.extend(sources[k].iter().copied());
+        }
+        neighbourhood.sort_unstable();
+        neighbourhood.dedup();
+        neighbourhood.retain(|&x| x != probe);
+        let sharers_nb: Vec<usize> = neighbourhood
+            .iter()
+            .copied()
+            .filter(|&x| behaviours[x] == Behaviour::Sharer)
+            .collect();
+        let freeriders_nb: Vec<usize> = neighbourhood
+            .iter()
+            .copied()
+            .filter(|&x| behaviours[x] == Behaviour::Freerider)
+            .collect();
+        if !sharers_nb.is_empty() && !freeriders_nb.is_empty() {
+            for _ in 0..50 {
+                let sharer = sharers_nb[rng.gen_range(0..sharers_nb.len())];
+                let freerider = freeriders_nb[rng.gen_range(0..freeriders_nb.len())];
+                let rs = engines[p_idx].reputation(me, PeerId(sharer as u32));
+                let rf = engines[p_idx].reputation(me, PeerId(freerider as u32));
+                if rs == 0.0 && rf == 0.0 {
+                    continue; // uninformed pair
+                }
+                informed += 1;
+                if rs > rf {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ScaleReport {
+        peers: n,
+        mean_graph_edges: edges.mean(),
+        query_us_p50: percentile(&latencies, 0.5).unwrap_or(0.0),
+        query_us_p95: percentile(&latencies, 0.95).unwrap_or(0.0),
+        pairwise_accuracy: if informed > 0 {
+            correct as f64 / informed as f64
+        } else {
+            0.0
+        },
+        messages,
+        messages_lost: transport.stats().1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            peers: 300,
+            probes: 10,
+            rounds: 25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn study_runs_and_discriminates() {
+        let report = run_scale(&tiny());
+        assert_eq!(report.peers, 300);
+        assert!(report.mean_graph_edges > 50.0, "graphs too sparse: {}", report.mean_graph_edges);
+        assert!(report.messages > 0);
+        assert!(
+            report.pairwise_accuracy > 0.7,
+            "sharers must outrank freeriders: {}",
+            report.pairwise_accuracy
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_scale(&tiny());
+        let b = run_scale(&tiny());
+        assert_eq!(a.mean_graph_edges, b.mean_graph_edges);
+        assert_eq!(a.pairwise_accuracy, b.pairwise_accuracy);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn message_loss_degrades_gracefully() {
+        let clean = run_scale(&tiny());
+        let lossy = run_scale(&ScaleConfig {
+            message_loss: 0.3,
+            ..tiny()
+        });
+        assert!(lossy.messages_lost > 0);
+        assert!(lossy.messages < clean.messages);
+        // epidemic redundancy: discrimination survives 30 % loss
+        assert!(
+            lossy.pairwise_accuracy > 0.6,
+            "30% loss must not break discrimination: {}",
+            lossy.pairwise_accuracy
+        );
+    }
+
+    #[test]
+    fn larger_population_larger_graphs() {
+        let small = run_scale(&tiny());
+        let big = run_scale(&ScaleConfig {
+            peers: 1200,
+            ..tiny()
+        });
+        // probes hear the same number of messages, so graphs grow with
+        // the record diversity of a larger population
+        assert!(big.mean_graph_edges >= small.mean_graph_edges * 0.8);
+        assert_eq!(big.peers, 1200);
+    }
+}

@@ -1,0 +1,314 @@
+//! The trace data model.
+//!
+//! A [`Trace`] captures everything the simulator consumes: which peers
+//! exist, when they are online, whether they are connectable, which
+//! files (swarms) they request and when, and how large each file is.
+
+use bartercast_util::units::{Bandwidth, Bytes, PeerId, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a swarm (one shared file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwarmId(pub u32);
+
+impl SwarmId {
+    /// Dense index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SwarmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interval during which a peer is online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// Inclusive start.
+    pub start: Seconds,
+    /// Exclusive end.
+    pub end: Seconds,
+}
+
+impl Session {
+    /// True iff `t` lies inside the session.
+    pub fn contains(&self, t: Seconds) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Session length.
+    pub fn duration(&self) -> Seconds {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A request to download one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileRequest {
+    /// Which swarm the peer joins.
+    pub swarm: SwarmId,
+    /// When the peer issues the request.
+    pub time: Seconds,
+}
+
+/// Everything the trace knows about one peer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerTrace {
+    /// The peer's permanent identity.
+    pub peer: PeerId,
+    /// Online intervals, sorted and non-overlapping.
+    pub sessions: Vec<Session>,
+    /// File requests, sorted by time.
+    pub requests: Vec<FileRequest>,
+    /// Whether the peer accepts incoming connections (NAT/firewall).
+    pub connectable: bool,
+    /// Downlink capacity.
+    pub down_bw: Bandwidth,
+    /// Uplink capacity.
+    pub up_bw: Bandwidth,
+}
+
+impl PeerTrace {
+    /// True iff the peer is online at `t`.
+    pub fn online_at(&self, t: Seconds) -> bool {
+        self.sessions.iter().any(|s| s.contains(t))
+    }
+
+    /// Total online time.
+    pub fn uptime(&self) -> Seconds {
+        self.sessions
+            .iter()
+            .fold(Seconds::ZERO, |acc, s| acc + s.duration())
+    }
+}
+
+/// Everything the trace knows about one swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwarmTrace {
+    /// The swarm identifier.
+    pub swarm: SwarmId,
+    /// Size of the shared file.
+    pub file_size: Bytes,
+    /// Piece size used by the swarm.
+    pub piece_size: Bytes,
+    /// Peer seeding the file from t = 0 (the initial seeder).
+    pub initial_seeder: PeerId,
+}
+
+impl SwarmTrace {
+    /// Number of pieces (last piece may be short).
+    pub fn piece_count(&self) -> usize {
+        assert!(!self.piece_size.is_zero());
+        (self.file_size.0.div_ceil(self.piece_size.0)) as usize
+    }
+}
+
+/// A full community trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// Trace horizon: events beyond this are not simulated.
+    pub horizon: Seconds,
+    /// Per-peer behaviour.
+    pub peers: Vec<PeerTrace>,
+    /// Per-swarm metadata.
+    pub swarms: Vec<SwarmTrace>,
+}
+
+impl Trace {
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of swarms.
+    pub fn swarm_count(&self) -> usize {
+        self.swarms.len()
+    }
+
+    /// Look up a peer's trace by id.
+    pub fn peer(&self, id: PeerId) -> Option<&PeerTrace> {
+        self.peers.iter().find(|p| p.peer == id)
+    }
+
+    /// Look up a swarm by id.
+    pub fn swarm(&self, id: SwarmId) -> Option<&SwarmTrace> {
+        self.swarms.iter().find(|s| s.swarm == id)
+    }
+
+    /// Validate structural invariants: sorted non-overlapping sessions,
+    /// sorted requests referencing existing swarms, positive sizes,
+    /// initial seeders that exist, unique ids.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut peer_ids: Vec<u32> = self.peers.iter().map(|p| p.peer.0).collect();
+        peer_ids.sort_unstable();
+        if peer_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate peer id".into());
+        }
+        let mut swarm_ids: Vec<u32> = self.swarms.iter().map(|s| s.swarm.0).collect();
+        swarm_ids.sort_unstable();
+        if swarm_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate swarm id".into());
+        }
+        for s in &self.swarms {
+            if s.file_size.is_zero() || s.piece_size.is_zero() {
+                return Err(format!("swarm {} has zero size", s.swarm));
+            }
+            if self.peer(s.initial_seeder).is_none() {
+                return Err(format!("swarm {} initial seeder missing", s.swarm));
+            }
+        }
+        for p in &self.peers {
+            for w in p.sessions.windows(2) {
+                if w[0].end > w[1].start {
+                    return Err(format!("peer {} has overlapping sessions", p.peer));
+                }
+            }
+            for s in &p.sessions {
+                if s.start >= s.end {
+                    return Err(format!("peer {} has empty session", p.peer));
+                }
+            }
+            for w in p.requests.windows(2) {
+                if w[0].time > w[1].time {
+                    return Err(format!("peer {} has unsorted requests", p.peer));
+                }
+            }
+            for r in &p.requests {
+                if self.swarm(r.swarm).is_none() {
+                    return Err(format!("peer {} requests unknown swarm {}", p.peer, r.swarm));
+                }
+            }
+            if p.up_bw.0 == 0 || p.down_bw.0 == 0 {
+                return Err(format!("peer {} has zero bandwidth", p.peer));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_trace() -> Trace {
+        Trace {
+            horizon: Seconds::from_days(7),
+            peers: vec![
+                PeerTrace {
+                    peer: PeerId(0),
+                    sessions: vec![
+                        Session {
+                            start: Seconds(0),
+                            end: Seconds(100),
+                        },
+                        Session {
+                            start: Seconds(200),
+                            end: Seconds(300),
+                        },
+                    ],
+                    requests: vec![FileRequest {
+                        swarm: SwarmId(0),
+                        time: Seconds(10),
+                    }],
+                    connectable: true,
+                    down_bw: Bandwidth::from_mbps(3),
+                    up_bw: Bandwidth::from_kbps(512),
+                },
+                PeerTrace {
+                    peer: PeerId(1),
+                    sessions: vec![Session {
+                        start: Seconds(0),
+                        end: Seconds(1000),
+                    }],
+                    requests: vec![],
+                    connectable: false,
+                    down_bw: Bandwidth::from_mbps(3),
+                    up_bw: Bandwidth::from_kbps(512),
+                },
+            ],
+            swarms: vec![SwarmTrace {
+                swarm: SwarmId(0),
+                file_size: Bytes::from_mb(700),
+                piece_size: Bytes::from_mb(1),
+                initial_seeder: PeerId(1),
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_trace_validates() {
+        valid_trace().validate().unwrap();
+    }
+
+    #[test]
+    fn session_queries() {
+        let t = valid_trace();
+        let p = t.peer(PeerId(0)).unwrap();
+        assert!(p.online_at(Seconds(50)));
+        assert!(!p.online_at(Seconds(150)));
+        assert!(p.online_at(Seconds(200)));
+        assert!(!p.online_at(Seconds(300))); // end-exclusive
+        assert_eq!(p.uptime(), Seconds(200));
+    }
+
+    #[test]
+    fn piece_count_rounds_up() {
+        let s = SwarmTrace {
+            swarm: SwarmId(0),
+            file_size: Bytes(10),
+            piece_size: Bytes(3),
+            initial_seeder: PeerId(0),
+        };
+        assert_eq!(s.piece_count(), 4);
+    }
+
+    #[test]
+    fn rejects_overlapping_sessions() {
+        let mut t = valid_trace();
+        t.peers[0].sessions = vec![
+            Session {
+                start: Seconds(0),
+                end: Seconds(100),
+            },
+            Session {
+                start: Seconds(50),
+                end: Seconds(150),
+            },
+        ];
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_swarm_request() {
+        let mut t = valid_trace();
+        t.peers[0].requests = vec![FileRequest {
+            swarm: SwarmId(99),
+            time: Seconds(1),
+        }];
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let mut t = valid_trace();
+        t.peers[1].peer = PeerId(0);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_missing_seeder() {
+        let mut t = valid_trace();
+        t.swarms[0].initial_seeder = PeerId(42);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_bandwidth() {
+        let mut t = valid_trace();
+        t.peers[0].up_bw = Bandwidth(0);
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! ASCII plots for checking figure shapes in a terminal.
+//!
+//! Every experiment binary prints the series it writes to CSV as an
+//! ASCII chart so the paper's figure shapes (divergence, crossover,
+//! CDF staircase) can be eyeballed without external tooling.
+
+/// A named data series for [`line_plot`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+/// Render one or more series into a fixed-size ASCII chart.
+///
+/// Each series gets its own glyph; later series overwrite earlier ones
+/// where they collide. Axis ranges are the union of all series (plus a
+/// small margin when degenerate).
+pub fn line_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = min_max(all.iter().map(|p| p.0));
+    let (mut ymin, mut ymax) = min_max(all.iter().map(|p| p.1));
+    if xmax == xmin {
+        xmax += 1.0;
+        xmin -= 1.0;
+    }
+    if ymax == ymin {
+        ymax += 1.0;
+        ymin -= 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let label_w = 10;
+    for (r, row) in grid.iter().enumerate() {
+        let yval = ymax - (ymax - ymin) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{:>label_w$.3} |", yval));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>label_w$}  {:<w2$.3}{:>w2$.3}\n",
+        "",
+        xmin,
+        xmax,
+        w2 = width / 2
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+/// Render an empirical CDF staircase (Figure 4b style).
+pub fn cdf_plot(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    line_plot(
+        title,
+        &[Series::new("cdf", points.to_vec())],
+        width,
+        height,
+    )
+}
+
+fn min_max(iter: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in iter {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_contain_glyphs_and_legend() {
+        let s = vec![
+            Series::new("sharers", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            Series::new("freeriders", vec![(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]),
+        ];
+        let text = line_plot("speeds", &s, 40, 10);
+        assert!(text.contains("speeds"));
+        assert!(text.contains('*'));
+        assert!(text.contains('+'));
+        assert!(text.contains("sharers"));
+        assert!(text.contains("freeriders"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let text = line_plot("nothing", &[], 40, 10);
+        assert!(text.contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = vec![Series::new("flat", vec![(1.0, 5.0), (1.0, 5.0)])];
+        let text = line_plot("flat", &s, 20, 5);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn cdf_plot_smoke() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i + 1) as f64 / 10.0)).collect();
+        let text = cdf_plot("cdf", &pts, 30, 8);
+        assert!(text.contains("cdf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "plot area too small")]
+    fn too_small_panics() {
+        let _ = line_plot("x", &[], 2, 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Adversary analysis: how lying and silent peers affect BarterCast.
+//!
+//! Reduced-scale version of the paper's §5.4 experiment: with the ban
+//! policy active, sweep the fraction of freeriders that (a) stop
+//! sending BarterCast messages and (b) send fabricated "I uploaded
+//! 100 GB" claims, and compare the freerider-to-sharer speed ratio.
+//!
+//! ```text
+//! cargo run --release --example adversary_analysis
+//! ```
+
+use bartercast::core::policy::ReputationPolicy;
+use bartercast::sim::adversary::AdversaryModel;
+use bartercast::sim::sweep::run_configs;
+use bartercast::sim::SimConfig;
+use bartercast::trace::{SynthConfig, TraceBuilder};
+use bartercast::util::units::Seconds;
+
+fn main() {
+    let trace = TraceBuilder::new(SynthConfig {
+        peers: 50,
+        swarms: 5,
+        horizon: Seconds::from_days(3),
+        ..Default::default()
+    })
+    .build(11);
+
+    let fractions = [0.0, 0.15, 0.3, 0.45];
+    for (label, make) in [
+        (
+            "ignore",
+            (|f: f64| {
+                if f == 0.0 {
+                    AdversaryModel::None
+                } else {
+                    AdversaryModel::Ignore { fraction: f }
+                }
+            }) as fn(f64) -> AdversaryModel,
+        ),
+        ("lie", |f: f64| {
+            if f == 0.0 {
+                AdversaryModel::None
+            } else {
+                AdversaryModel::default_lie(f)
+            }
+        }),
+    ] {
+        let configs: Vec<SimConfig> = fractions
+            .iter()
+            .map(|&f| SimConfig {
+                seed: 11,
+                policy: ReputationPolicy::Ban { delta: -0.5 },
+                adversary: make(f),
+                ..Default::default()
+            })
+            .collect();
+        println!("--- adversary mode: {label} ---");
+        let reports = run_configs(&trace, configs);
+        for (&f, r) in fractions.iter().zip(&reports) {
+            println!(
+                "{:>3.0}% {label:<6} sharers {:7.1} KBps  freeriders {:7.1} KBps  ratio {:.3}",
+                f * 100.0,
+                r.overall_speed_sharers,
+                r.overall_speed_freeriders,
+                r.overall_speed_freeriders / r.overall_speed_sharers.max(1e-9),
+            );
+        }
+        println!();
+    }
+    println!("(the paper's full-scale sweep is `cargo run -p bartercast-experiments --release --bin fig3`)");
+}

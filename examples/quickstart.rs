@@ -1,0 +1,59 @@
+//! Quickstart: the BarterCast reputation mechanism in a dozen lines.
+//!
+//! Three peers exchange data; each keeps a private history, gossips
+//! BarterCast messages, and evaluates the others with the two-hop
+//! maxflow metric (paper §3).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bartercast::core::{BarterCastConfig, BarterCastMessage, PrivateHistory, ReputationEngine};
+use bartercast::util::units::{Bytes, PeerId, Seconds};
+
+fn main() {
+    let alice = PeerId(0);
+    let bob = PeerId(1);
+    let carol = PeerId(2);
+
+    // Alice's own transfers: she seeded 800 MB to Bob and got 50 MB
+    // back; she downloaded 400 MB from Carol.
+    let mut alice_history = PrivateHistory::new(alice);
+    alice_history.record_upload(bob, Bytes::from_mb(800), Seconds(100));
+    alice_history.record_download(bob, Bytes::from_mb(50), Seconds(100));
+    alice_history.record_download(carol, Bytes::from_mb(400), Seconds(200));
+
+    // Bob's transfers: besides taking from Alice, he seeded 2 GB to
+    // Carol — Alice can only learn this through gossip.
+    let mut bob_history = PrivateHistory::new(bob);
+    bob_history.record_download(alice, Bytes::from_mb(800), Seconds(100));
+    bob_history.record_upload(alice, Bytes::from_mb(50), Seconds(100));
+    bob_history.record_upload(carol, Bytes::from_gb(2), Seconds(300));
+
+    // Alice's subjective view starts from her own history...
+    let mut engine = ReputationEngine::from_private(&alice_history);
+    println!(
+        "before gossip:  R_alice(bob) = {:+.3}   R_alice(carol) = {:+.3}",
+        engine.reputation(alice, bob),
+        engine.reputation(alice, carol),
+    );
+
+    // ... and refines when Bob's BarterCast message arrives. Two
+    // things happen at once: Bob's claimed seeding to Carol earns him
+    // indirect credit (paths bob -> carol -> alice, capped by what
+    // Alice actually received from Carol — §3.4's lie containment),
+    // and Carol is debited for the service she drew out of Alice's
+    // beneficiary (path alice -> bob -> carol).
+    let msg = BarterCastMessage::from_history(&bob_history, BarterCastConfig::default());
+    let changed = engine.absorb_message(&msg);
+    println!("absorbed Bob's message ({changed} edges updated)");
+    println!(
+        "after gossip:   R_alice(bob) = {:+.3}   R_alice(carol) = {:+.3}",
+        engine.reputation(alice, bob),
+        engine.reputation(alice, carol),
+    );
+
+    // The raw maxflows behind Equation 1:
+    let (toward, away) = engine.flows(alice, bob);
+    println!("maxflow(bob -> alice) = {toward}, maxflow(alice -> bob) = {away}");
+}

@@ -1,0 +1,78 @@
+//! Trace tooling: generate, serialize, parse and inspect community
+//! traces.
+//!
+//! The simulator is trace-driven (paper §5.1). This example generates
+//! a synthetic `filelist.org`-style trace, round-trips it through the
+//! text format real tracker scrapes can be converted into, and prints
+//! summary statistics.
+//!
+//! ```text
+//! cargo run --example trace_tools [seed]
+//! ```
+
+use bartercast::trace::format::{parse_trace, write_trace};
+use bartercast::trace::{SynthConfig, TraceBuilder};
+use bartercast::util::stats::Running;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let trace = TraceBuilder::new(SynthConfig::default()).build(seed);
+    trace.validate().expect("generator must produce valid traces");
+
+    // round-trip through the interchange format
+    let text = write_trace(&trace);
+    let parsed = parse_trace(&text).expect("own output must parse");
+    assert_eq!(parsed, trace, "format round-trip must be lossless");
+    println!(
+        "trace seed {seed}: {} peers, {} swarms, {} lines of text format",
+        trace.peer_count(),
+        trace.swarm_count(),
+        text.lines().count()
+    );
+
+    let mut uptime = Running::new();
+    let mut requests = Running::new();
+    for p in &trace.peers {
+        uptime.push(p.peer_trace_uptime_hours());
+        requests.push(p.requests.len() as f64);
+    }
+    println!(
+        "uptime per peer: mean {:.1} h (min {:.1}, max {:.1})",
+        uptime.mean(),
+        uptime.min().unwrap_or(0.0),
+        uptime.max().unwrap_or(0.0)
+    );
+    println!("file requests per peer: mean {:.1}", requests.mean());
+
+    let mut sizes = Running::new();
+    for s in &trace.swarms {
+        sizes.push(s.file_size.as_mb());
+        println!(
+            "  {}: {:7.0} MB ({} pieces), released to seeder {}",
+            s.swarm,
+            s.file_size.as_mb(),
+            s.piece_count(),
+            s.initial_seeder
+        );
+    }
+    println!(
+        "file sizes: mean {:.0} MB, min {:.0}, max {:.0} (paper: tens of MB to ~2 GB)",
+        sizes.mean(),
+        sizes.min().unwrap_or(0.0),
+        sizes.max().unwrap_or(0.0)
+    );
+}
+
+/// Small extension trait to keep the example readable.
+trait UptimeHours {
+    fn peer_trace_uptime_hours(&self) -> f64;
+}
+
+impl UptimeHours for bartercast::trace::PeerTrace {
+    fn peer_trace_uptime_hours(&self) -> f64 {
+        self.uptime().as_hours()
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end integration: trace generation → simulation → reports,
+//! exercised through the public `bartercast` facade.
+
+use bartercast::core::policy::ReputationPolicy;
+use bartercast::sim::{SimConfig, Simulation};
+use bartercast::trace::{SynthConfig, TraceBuilder};
+use bartercast::util::units::Seconds;
+
+fn small_trace(seed: u64) -> bartercast::trace::Trace {
+    TraceBuilder::new(SynthConfig {
+        peers: 24,
+        swarms: 3,
+        horizon: Seconds::from_days(1),
+        ..Default::default()
+    })
+    .build(seed)
+}
+
+fn config(policy: ReputationPolicy) -> SimConfig {
+    SimConfig {
+        seed: 5,
+        policy,
+        round: Seconds(60),
+        bt: bartercast::bt::BtConfig {
+            regular_slots: 4,
+            unchoke_period: Seconds(60),
+            optimistic_period: Seconds(60),
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_produces_consistent_report() {
+    let trace = small_trace(1);
+    let n = trace.peer_count();
+    let archival = trace.swarm_count();
+    let report = Simulation::new(trace, config(ReputationPolicy::None)).run();
+
+    assert_eq!(report.outcomes.len(), n - archival);
+    assert!(report.pieces_transferred > 0, "no data moved");
+    assert!(report.meetings > 0, "no gossip happened");
+    // Equation 1 bounds propagate to Equation 2
+    for o in &report.outcomes {
+        assert!(o.system_reputation > -1.0 && o.system_reputation < 1.0);
+        assert!(o.downloaded_gb >= 0.0);
+    }
+    // conservation: regular peers cannot collectively upload more than
+    // they and the archival seeders downloaded
+    let net_sum: f64 = report.outcomes.iter().map(|o| o.net_contribution_gb).sum();
+    assert!(net_sum <= 1e-9, "net contribution sum must be <= 0, got {net_sum}");
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = Simulation::new(small_trace(2), config(ReputationPolicy::Rank)).run();
+    let b = Simulation::new(small_trace(2), config(ReputationPolicy::Rank)).run();
+    assert_eq!(a.pieces_transferred, b.pieces_transferred);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    let ra: Vec<f64> = a.outcomes.iter().map(|o| o.system_reputation).collect();
+    let rb: Vec<f64> = b.outcomes.iter().map(|o| o.system_reputation).collect();
+    assert_eq!(ra, rb, "simulation must be deterministic");
+}
+
+#[test]
+fn reputation_separates_groups_even_in_short_runs() {
+    // one day is too short for policies to bite, but the *metric* must
+    // already rank the average sharer above the average freerider
+    let report = Simulation::new(small_trace(3), config(ReputationPolicy::None)).run();
+    let (sharers, freeriders) = report.mean_final_reputation();
+    assert!(
+        sharers > freeriders,
+        "sharers {sharers} must average above freeriders {freeriders}"
+    );
+}
+
+#[test]
+fn all_policies_complete_without_stalling() {
+    for policy in [
+        ReputationPolicy::None,
+        ReputationPolicy::Rank,
+        ReputationPolicy::Ban { delta: -0.5 },
+    ] {
+        let report = Simulation::new(small_trace(4), config(policy)).run();
+        assert!(
+            report.pieces_transferred > 0,
+            "policy {policy:?} stalled the swarm"
+        );
+    }
+}
+
+#[test]
+fn net_contributions_match_group_roles() {
+    let report = Simulation::new(small_trace(6), config(ReputationPolicy::None)).run();
+    let mean_net = |freerider: bool| {
+        let xs: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.freerider == freerider)
+            .map(|o| o.net_contribution_gb)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    let sharer_net = mean_net(false);
+    let freerider_net = mean_net(true);
+    assert!(
+        sharer_net > freerider_net,
+        "sharers must out-contribute freeriders: {sharer_net} vs {freerider_net}"
+    );
+}

@@ -1,0 +1,72 @@
+//! Trace-format integration: synthetic traces survive serialization
+//! and drive identical simulations.
+
+use bartercast::sim::{SimConfig, Simulation};
+use bartercast::trace::format::{parse_trace, write_trace};
+use bartercast::trace::{SynthConfig, TraceBuilder};
+use bartercast::util::units::Seconds;
+
+fn tiny() -> SynthConfig {
+    SynthConfig {
+        peers: 16,
+        swarms: 2,
+        horizon: Seconds::from_hours(18),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn serialized_trace_drives_identical_simulation() {
+    let trace = TraceBuilder::new(tiny()).build(3);
+    let roundtripped = parse_trace(&write_trace(&trace)).expect("parse own output");
+    assert_eq!(roundtripped, trace);
+
+    let cfg = SimConfig {
+        seed: 9,
+        round: Seconds(60),
+        bt: bartercast::bt::BtConfig {
+            regular_slots: 4,
+            unchoke_period: Seconds(60),
+            optimistic_period: Seconds(60),
+        },
+        ..Default::default()
+    };
+    let a = Simulation::new(trace, cfg.clone()).run();
+    let b = Simulation::new(roundtripped, cfg).run();
+    assert_eq!(a.pieces_transferred, b.pieces_transferred);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+}
+
+#[test]
+fn trace_edits_are_validated() {
+    let trace = TraceBuilder::new(tiny()).build(4);
+    let mut text = write_trace(&trace);
+    // corrupt a swarm's seeder reference
+    text = text.replace("swarm id=0", "swarm id=0 ")
+        .replacen("seeder=0", "seeder=9999", 1);
+    let parsed = parse_trace(&text).expect("syntactically fine");
+    assert!(parsed.validate().is_err(), "dangling seeder must be caught");
+}
+
+#[test]
+fn generator_statistics_match_paper_description() {
+    let trace = TraceBuilder::new(SynthConfig::default()).build(7);
+    assert_eq!(trace.peer_count(), 100);
+    assert_eq!(trace.swarm_count(), 10);
+    assert_eq!(trace.horizon, Seconds::from_days(7));
+    // "filesizes ... from several tens of megabytes to about one to
+    // two gigabytes"
+    for s in &trace.swarms {
+        let mb = s.file_size.as_mb();
+        assert!((25.0..=2600.0).contains(&mb), "file size {mb} MB");
+    }
+    // every peer's sessions are inside the horizon and non-overlapping
+    for p in &trace.peers {
+        for w in p.sessions.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        if let Some(last) = p.sessions.last() {
+            assert!(last.end <= trace.horizon);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Whitewashing integration (§3.5): permanent identities, identity
+//! resets, and stranger policies interacting with the reputation
+//! engine.
+
+use bartercast::core::identity::{
+    IdentityRegistry, MachineId, StrangerEstimator, StrangerPolicy,
+};
+use bartercast::core::{PrivateHistory, ReputationEngine};
+use bartercast::util::units::{Bytes, PeerId, Seconds};
+
+#[test]
+fn whitewashing_resets_reputation_but_costs_history() {
+    let mut registry = IdentityRegistry::new();
+    let freerider_machine = MachineId(0xF00D);
+    let old_id = registry.identity(freerider_machine);
+
+    // the freerider earns a bad reputation at some sharer
+    let sharer = PeerId(1000);
+    let mut sharer_history = PrivateHistory::new(sharer);
+    sharer_history.record_upload(old_id, Bytes::from_gb(5), Seconds(10));
+    let mut engine = ReputationEngine::from_private(&sharer_history);
+    let before = engine.reputation(sharer, old_id);
+    assert!(before < -0.5, "heavy taker must be strongly negative: {before}");
+
+    // whitewash: fresh machine id => fresh identity => neutral standing
+    let new_id = registry.whitewash(freerider_machine, MachineId(0xBEEF));
+    assert_ne!(new_id, old_id);
+    let fresh = engine.reputation(sharer, new_id);
+    assert_eq!(fresh, 0.0, "newcomer starts neutral");
+
+    // ... but the old identity's positive side is gone too: any credit
+    // the freerider had accumulated is unreachable from the new id
+    let old_standing = engine.reputation(sharer, old_id);
+    assert!(old_standing < 0.0);
+}
+
+#[test]
+fn adaptive_stranger_policy_punishes_whitewashing_waves() {
+    let mut estimator = StrangerEstimator::new(StrangerPolicy::Adaptive { alpha: 0.3 });
+    assert_eq!(estimator.stranger_reputation(), 0.0);
+
+    // a wave of whitewashers joins, behaves badly, is observed
+    for _ in 0..10 {
+        estimator.observe_newcomer(-0.6);
+    }
+    let penalty = estimator.stranger_reputation();
+    assert!(
+        penalty < -0.5,
+        "strangers now start with a penalty: {penalty}"
+    );
+
+    // under ban(-0.5) a fresh identity would now be refused slots
+    let policy = bartercast::core::ReputationPolicy::Ban { delta: -0.5 };
+    assert_eq!(
+        policy.admission(estimator.stranger_reputation()),
+        bartercast::core::PolicyDecision::Banned,
+        "whitewashing no longer pays"
+    );
+
+    // honest newcomers slowly restore trust
+    for _ in 0..30 {
+        estimator.observe_newcomer(0.1);
+    }
+    assert!(estimator.stranger_reputation() > -0.1);
+}
+
+#[test]
+fn static_penalty_policy_is_constant() {
+    let estimator = StrangerEstimator::new(StrangerPolicy::StaticPenalty(-0.2));
+    assert_eq!(estimator.stranger_reputation(), -0.2);
+}
+
+#[test]
+fn permanent_identity_accumulates_across_sessions() {
+    let mut registry = IdentityRegistry::new();
+    let machine = MachineId(42);
+    let id1 = registry.identity(machine);
+    // "client restart": same machine, same identity
+    let id2 = registry.identity(machine);
+    assert_eq!(id1, id2);
+
+    // contribution built up in session one persists into session two
+    let evaluator = PeerId(999);
+    let mut h = PrivateHistory::new(evaluator);
+    h.record_download(id1, Bytes::from_gb(2), Seconds(1));
+    let mut engine = ReputationEngine::from_private(&h);
+    assert!(engine.reputation(evaluator, id2) > 0.3);
+}

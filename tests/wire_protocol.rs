@@ -1,0 +1,91 @@
+//! Cross-crate wire-protocol integration: private history → record
+//! selection → binary codec → subjective graph → reputation.
+
+use bartercast::core::{codec, BarterCastConfig, BarterCastMessage, PrivateHistory, ReputationEngine};
+use bartercast::util::units::{Bytes, PeerId, Seconds};
+use proptest::prelude::*;
+
+#[test]
+fn history_to_wire_to_reputation() {
+    // Bob uploads to Alice; Bob's message travels as bytes; Carol's
+    // engine decodes and absorbs it and can now evaluate Bob.
+    let alice = PeerId(0);
+    let bob = PeerId(1);
+    let carol = PeerId(2);
+
+    let mut bob_history = PrivateHistory::new(bob);
+    bob_history.record_upload(alice, Bytes::from_gb(3), Seconds(50));
+
+    let msg = BarterCastMessage::from_history(&bob_history, BarterCastConfig::default());
+    let frame = codec::encode(&msg);
+    let decoded = codec::decode(&frame).expect("well-formed frame");
+    assert_eq!(decoded, msg);
+
+    let mut carol_engine = ReputationEngine::new();
+    // Carol downloaded from Alice, so Bob's service to Alice is an
+    // indirect path bob -> alice -> carol.
+    let mut carol_history = PrivateHistory::new(carol);
+    carol_history.record_download(alice, Bytes::from_gb(1), Seconds(60));
+    carol_engine.absorb_private(&carol_history);
+    carol_engine.absorb_message(&decoded);
+
+    let r = carol_engine.reputation(carol, bob);
+    assert!(r > 0.0, "Bob's indirect service must be visible: {r}");
+    // ... and bounded by what Carol actually got from Alice (1 GB)
+    let (toward, _) = carol_engine.flows(carol, bob);
+    assert!(toward <= Bytes::from_gb(1));
+}
+
+#[test]
+fn tampered_frames_never_panic() {
+    let mut h = PrivateHistory::new(PeerId(9));
+    for i in 0..20u32 {
+        h.record_upload(PeerId(i), Bytes::from_mb(i as u64 + 1), Seconds(i as u64));
+    }
+    let frame = codec::encode(&BarterCastMessage::from_history(&h, Default::default()));
+    // flip every byte one at a time; decode must return Ok or Err,
+    // never panic, and Ok results must be absorbable
+    for i in 0..frame.len() {
+        let mut bad = frame.to_vec();
+        bad[i] ^= 0xFF;
+        if let Ok(msg) = codec::decode(&bad) {
+            let mut e = ReputationEngine::new();
+            e.absorb_message(&msg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrips_any_history(
+        entries in prop::collection::vec((1u32..500, 0u64..u32::MAX as u64, 0u64..u32::MAX as u64), 0..40)
+    ) {
+        let me = PeerId(0);
+        let mut h = PrivateHistory::new(me);
+        for (i, (peer, up, down)) in entries.iter().enumerate() {
+            h.record_upload(PeerId(*peer), Bytes(*up), Seconds(i as u64));
+            h.record_download(PeerId(*peer), Bytes(*down), Seconds(i as u64));
+        }
+        let msg = BarterCastMessage::from_history(&h, BarterCastConfig::default());
+        let decoded = codec::decode(&codec::encode(&msg)).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoder(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&data);
+    }
+
+    #[test]
+    fn absorbing_any_decoded_message_keeps_graph_invariants(
+        data in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        if let Ok(msg) = codec::decode(&data) {
+            let mut e = ReputationEngine::new();
+            e.absorb_message(&msg);
+            prop_assert!(e.graph().check_invariants().is_ok());
+        }
+    }
+}
