@@ -1,0 +1,82 @@
+//! Equation-2 sweep kernels: per-pair bounded maxflow versus the
+//! single-source all-targets (SSAT) kernel.
+//!
+//! The system-reputation sweep evaluates `R_i(j)` for one evaluator
+//! against every other peer; the full Equation-2 pass is one such
+//! evaluator sweep per peer, so per-evaluator time is the unit that
+//! scales. `per_pair` measures the pre-SSAT path (one shared flow
+//! network, two bounded maxflow computations per target);
+//! `ssat` measures the closed-form kernel (two traversals of the
+//! evaluator's two-hop neighbourhood for all targets at once).
+
+use bartercast_core::metric::ReputationMetric;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
+use bartercast_util::units::{Bytes, PeerId};
+use bench::small_world_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// One evaluator scoring all `n` targets through per-pair bounded
+/// maxflow (the pre-SSAT hot path: shared network, reset per query).
+fn per_pair_sweep(net: &mut FlowNetwork, evaluator: PeerId, n: u32) -> f64 {
+    let metric = ReputationMetric::default();
+    let mut acc = 0.0;
+    for t in 0..n {
+        let target = PeerId(t);
+        if target == evaluator {
+            continue;
+        }
+        let toward = maxflow::compute_on(net, target, evaluator, Method::DEPLOYED);
+        let away = maxflow::compute_on(net, evaluator, target, Method::DEPLOYED);
+        acc += metric.eval(toward, away);
+    }
+    acc
+}
+
+/// One evaluator scoring all `n` targets through the SSAT kernel.
+fn ssat_sweep(g: &ContributionGraph, evaluator: PeerId, n: u32) -> f64 {
+    let metric = ReputationMetric::default();
+    let toward = ssat::flows_into(g, evaluator);
+    let away = ssat::flows_from(g, evaluator);
+    let mut acc = 0.0;
+    for t in 0..n {
+        let target = PeerId(t);
+        if target == evaluator {
+            continue;
+        }
+        let tw = toward.get(&target).copied().unwrap_or(Bytes::ZERO);
+        let aw = away.get(&target).copied().unwrap_or(Bytes::ZERO);
+        acc += metric.eval(tw, aw);
+    }
+    acc
+}
+
+fn bench_reputation_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reputation_sweep");
+    for &n in &[64u32, 256, 1024] {
+        let g = small_world_graph(n, n as usize * 3, 42);
+        let mut net = FlowNetwork::from_graph(&g);
+        let evaluator = PeerId(0);
+
+        // the two kernels must agree before we time them
+        let a = per_pair_sweep(&mut net, evaluator, n);
+        let b = ssat_sweep(&g, evaluator, n);
+        assert_eq!(a.to_bits(), b.to_bits(), "kernel mismatch at n={n}");
+
+        group.bench_with_input(BenchmarkId::new("per_pair", n), &n, |bch, &n| {
+            bch.iter(|| black_box(per_pair_sweep(&mut net, evaluator, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("ssat", n), &n, |bch, &n| {
+            bch.iter(|| black_box(ssat_sweep(&g, evaluator, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reputation_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Standalone measurement of the Equation-2 sweep: per-pair bounded
+//! maxflow versus the SSAT kernel, at n ∈ {64, 256, 1024}.
+//!
+//! Emits `BENCH_reputation.json` in the current directory (override
+//! with a path argument). Unlike the criterion bench this measures
+//! multi-evaluator sweeps — the per-pair side samples a subset of
+//! evaluators at large n to keep the run short, and both sides are
+//! reported per evaluator so the ratio is the sweep speedup.
+
+use bartercast_core::metric::ReputationMetric;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
+use bartercast_util::units::{Bytes, PeerId};
+use bench::small_world_graph;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-pair Equation-2 contributions of one evaluator over all peers.
+fn per_pair_evaluator(net: &mut FlowNetwork, evaluator: PeerId, n: u32) -> f64 {
+    let metric = ReputationMetric::default();
+    let mut acc = 0.0;
+    for t in 0..n {
+        let target = PeerId(t);
+        if target == evaluator {
+            continue;
+        }
+        let toward = maxflow::compute_on(net, target, evaluator, Method::DEPLOYED);
+        let away = maxflow::compute_on(net, evaluator, target, Method::DEPLOYED);
+        acc += metric.eval(toward, away);
+    }
+    acc
+}
+
+/// SSAT Equation-2 contributions of one evaluator over all peers.
+fn ssat_evaluator(g: &ContributionGraph, evaluator: PeerId, n: u32) -> f64 {
+    let metric = ReputationMetric::default();
+    let toward = ssat::flows_into(g, evaluator);
+    let away = ssat::flows_from(g, evaluator);
+    let mut acc = 0.0;
+    for t in 0..n {
+        let target = PeerId(t);
+        if target == evaluator {
+            continue;
+        }
+        let tw = toward.get(&target).copied().unwrap_or(Bytes::ZERO);
+        let aw = away.get(&target).copied().unwrap_or(Bytes::ZERO);
+        acc += metric.eval(tw, aw);
+    }
+    acc
+}
+
+struct Row {
+    n: u32,
+    per_pair_evaluator_us: f64,
+    ssat_evaluator_us: f64,
+    speedup: f64,
+}
+
+fn measure(n: u32) -> Row {
+    let g = small_world_graph(n, n as usize * 3, 42);
+    let mut net = FlowNetwork::from_graph(&g);
+
+    // correctness gate: both kernels must agree on every evaluator we
+    // time (bit-identical f64 accumulation)
+    for e in 0..n.min(8) {
+        let a = per_pair_evaluator(&mut net, PeerId(e), n);
+        let b = ssat_evaluator(&g, PeerId(e), n);
+        assert_eq!(a.to_bits(), b.to_bits(), "kernel mismatch at n={n}, evaluator {e}");
+    }
+
+    // per-pair: sample evaluators at large n (full sweep is exactly
+    // n times the per-evaluator cost — evaluators are independent)
+    let pp_evaluators = if n > 256 { 16 } else { n };
+    let start = Instant::now();
+    for e in 0..pp_evaluators {
+        black_box(per_pair_evaluator(&mut net, PeerId(e % n), n));
+    }
+    let per_pair_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / pp_evaluators as f64;
+
+    // SSAT: full sweep, every evaluator
+    let start = Instant::now();
+    for e in 0..n {
+        black_box(ssat_evaluator(&g, PeerId(e), n));
+    }
+    let ssat_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+
+    Row {
+        n,
+        per_pair_evaluator_us,
+        ssat_evaluator_us,
+        speedup: per_pair_evaluator_us / ssat_evaluator_us,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_reputation.json".to_string());
+    let mut rows = Vec::new();
+    for &n in &[64u32, 256, 1024] {
+        let row = measure(n);
+        eprintln!(
+            "n={:5}  per_pair {:10.1} µs/evaluator   ssat {:8.1} µs/evaluator   speedup {:6.1}x",
+            row.n, row.per_pair_evaluator_us, row.ssat_evaluator_us, row.speedup
+        );
+        rows.push(row);
+    }
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"ssat_evaluator_us\": {:.3}, \"speedup\": {:.3}}}",
+                r.n, r.per_pair_evaluator_us, r.ssat_evaluator_us, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"reputation_sweep\",\n  \"unit\": \"us_per_evaluator_sweep\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -119,8 +119,8 @@ impl Auditor {
         let (Some(src), Some(dst)) = (c.by_source, c.by_target) else {
             return;
         };
-        if !self.checked_edges.contains_key(&edge) {
-            self.checked_edges.insert(edge, ());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.checked_edges.entry(edge) {
+            e.insert(());
             *self.checked.entry(edge.0).or_insert(0) += 1;
             *self.checked.entry(edge.1).or_insert(0) += 1;
         }

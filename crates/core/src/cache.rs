@@ -10,9 +10,9 @@ use crate::history::PrivateHistory;
 use crate::message::BarterCastMessage;
 use crate::metric::ReputationMetric;
 use bartercast_graph::maxflow::{self, Method};
-use bartercast_graph::{ContributionGraph, FlowNetwork};
+use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
 use bartercast_util::units::{Bytes, PeerId};
-use bartercast_util::FxHashMap;
+use bartercast_util::{FxHashMap, FxHashSet};
 
 /// Subjective reputation evaluation with memoization.
 #[derive(Debug, Clone)]
@@ -21,11 +21,14 @@ pub struct ReputationEngine {
     method: Method,
     metric: ReputationMetric,
     cache: FxHashMap<(PeerId, PeerId), f64>,
+    /// Graph version the cache and `net` were last synchronized to;
+    /// [`ReputationEngine::sync`] is the single place that moves it.
     cached_version: u64,
     /// Flow network rebuilt lazily when the graph version moves, so a
     /// burst of reputation queries against an unchanged graph shares
-    /// one network construction.
-    net: Option<(u64, FlowNetwork)>,
+    /// one network construction. Valid only at `cached_version`
+    /// (`sync` drops it whenever the version advances).
+    net: Option<FlowNetwork>,
     hits: u64,
     misses: u64,
 }
@@ -76,6 +79,46 @@ impl ReputationEngine {
         self
     }
 
+    /// Bring the memo cache and shared flow network up to the current
+    /// graph version. The single synchronization point for all query
+    /// paths (`reputation`, `reputations_from`, `flows_cached`).
+    ///
+    /// When the graph moved, the shared network is always dropped, but
+    /// the memo cache is evicted **incrementally** where the method
+    /// permits: for path-length bounds ≤ 2, a changed edge `(a, b)`
+    /// can only alter `flow(s, t)` when `s = a` or `t = b`, so the
+    /// entry `(i, j)` — which combines `flow(j → i)` and
+    /// `flow(i → j)` — is affected exactly when `i` or `j` is an
+    /// endpoint of a changed edge. Entries whose pairs avoid every
+    /// dirty endpoint are provably unchanged and survive. Unbounded
+    /// methods (where a distant edge can reroute flow anywhere) and a
+    /// truncated change log fall back to clearing everything.
+    fn sync(&mut self) {
+        let version = self.graph.version();
+        if version == self.cached_version {
+            return;
+        }
+        let evicted_incrementally = matches!(self.method, Method::Bounded(k) if k <= 2)
+            && match self.graph.changes_since(self.cached_version) {
+                Some(changes) => {
+                    let mut dirty: FxHashSet<PeerId> = FxHashSet::default();
+                    for (a, b) in changes {
+                        dirty.insert(a);
+                        dirty.insert(b);
+                    }
+                    self.cache
+                        .retain(|&(i, j), _| !dirty.contains(&i) && !dirty.contains(&j));
+                    true
+                }
+                None => false,
+            };
+        if !evicted_incrementally {
+            self.cache.clear();
+        }
+        self.net = None;
+        self.cached_version = version;
+    }
+
     /// Re-absorb the owner's private history (max-merge, so calling it
     /// repeatedly as the history grows is safe and cheap).
     pub fn absorb_private(&mut self, history: &PrivateHistory) {
@@ -114,12 +157,10 @@ impl ReputationEngine {
     /// [`ReputationEngine::flows`] against the shared, lazily rebuilt
     /// flow network (hot path for bulk reputation queries).
     fn flows_cached(&mut self, i: PeerId, j: PeerId) -> (Bytes, Bytes) {
-        let version = self.graph.version();
-        let rebuild = !matches!(&self.net, Some((v, _)) if *v == version);
-        if rebuild {
-            self.net = Some((version, FlowNetwork::from_graph(&self.graph)));
-        }
-        let (_, net) = self.net.as_mut().expect("just built");
+        self.sync();
+        let net = self
+            .net
+            .get_or_insert_with(|| FlowNetwork::from_graph(&self.graph));
         (
             maxflow::compute_on(net, j, i, self.method),
             maxflow::compute_on(net, i, j, self.method),
@@ -132,11 +173,7 @@ impl ReputationEngine {
         if i == j {
             return 0.0;
         }
-        let version = self.graph.version();
-        if version != self.cached_version {
-            self.cache.clear();
-            self.cached_version = version;
-        }
+        self.sync();
         if let Some(&r) = self.cache.get(&(i, j)) {
             self.hits += 1;
             return r;
@@ -148,9 +185,60 @@ impl ReputationEngine {
         r
     }
 
-    /// `(cache hits, cache misses)` since construction.
+    /// Batch form of [`ReputationEngine::reputation`]: `R_i(j)` for
+    /// every `j` in `targets`, in order.
+    ///
+    /// For the deployed two-hop bound this runs the single-source
+    /// all-targets kernel ([`ssat::flows_into`] for the `j → i`
+    /// direction, [`ssat::flows_from`] for `i → j`) — two traversals of
+    /// `i`'s two-hop neighbourhood replace one maxflow pair per target
+    /// — and fills the memo cache in bulk. Values are identical to
+    /// per-pair evaluation (the SSAT kernel reproduces
+    /// `Method::Bounded(2)` flows exactly); other methods simply loop
+    /// over [`ReputationEngine::reputation`].
+    pub fn reputations_from(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
+        if self.method != Method::Bounded(2) {
+            return targets.iter().map(|&j| self.reputation(i, j)).collect();
+        }
+        self.sync();
+        let mut ssat_flows: Option<(FxHashMap<PeerId, Bytes>, FxHashMap<PeerId, Bytes>)> = None;
+        let mut out = Vec::with_capacity(targets.len());
+        for &j in targets {
+            if j == i {
+                out.push(0.0);
+                continue;
+            }
+            if let Some(&r) = self.cache.get(&(i, j)) {
+                self.hits += 1;
+                out.push(r);
+                continue;
+            }
+            self.misses += 1;
+            let (toward, away) = ssat_flows.get_or_insert_with(|| {
+                (ssat::flows_into(&self.graph, i), ssat::flows_from(&self.graph, i))
+            });
+            let t = toward.get(&j).copied().unwrap_or(Bytes::ZERO);
+            let a = away.get(&j).copied().unwrap_or(Bytes::ZERO);
+            let r = self.metric.eval(t, a);
+            self.cache.insert((i, j), r);
+            out.push(r);
+        }
+        out
+    }
+
+    /// `(cache hits, cache misses)` since construction. A hit is a
+    /// query answered from the memo cache, a miss one that computed
+    /// flows; both [`ReputationEngine::reputation`] and
+    /// [`ReputationEngine::reputations_from`] count each queried pair
+    /// exactly once, so the totals stay comparable across query paths
+    /// and cache invalidations.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Number of memoized `(i, j)` entries currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 }
 
@@ -244,6 +332,100 @@ mod tests {
         assert_eq!(e.reputation(p(0), p(3)), 0.0);
         let mut unbounded = e.clone().with_method(Method::Dinic);
         assert!(unbounded.reputation(p(0), p(3)) > 0.0);
+    }
+
+    #[test]
+    fn batch_matches_per_pair_bitwise() {
+        let mut batch = ReputationEngine::new();
+        batch.graph_mut().add_transfer(p(2), p(1), Bytes::from_mb(300));
+        batch.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(200));
+        batch.graph_mut().add_transfer(p(0), p(3), Bytes::from_gb(1));
+        batch.graph_mut().add_transfer(p(3), p(2), Bytes::from_mb(50));
+        let mut per_pair = batch.clone();
+
+        let targets = [p(0), p(1), p(2), p(3), p(77)];
+        let rs = batch.reputations_from(p(0), &targets);
+        for (&j, &r) in targets.iter().zip(&rs) {
+            assert_eq!(
+                r.to_bits(),
+                per_pair.reputation(p(0), j).to_bits(),
+                "R_0({j}) differs between batch and per-pair"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_falls_back_for_unbounded_methods() {
+        let mut e = engine_with_chain().with_method(Method::Dinic);
+        let mut per_pair = e.clone();
+        let targets = [p(1), p(2)];
+        let rs = e.reputations_from(p(0), &targets);
+        for (&j, &r) in targets.iter().zip(&rs) {
+            assert_eq!(r.to_bits(), per_pair.reputation(p(0), j).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_and_per_pair_share_cache_and_stats() {
+        let mut e = engine_with_chain();
+        // batch fills the cache: 2 misses (self-query is free)
+        e.reputations_from(p(0), &[p(0), p(1), p(2)]);
+        assert_eq!(e.cache_stats(), (0, 2));
+        assert_eq!(e.cache_len(), 2);
+        // per-pair queries now hit the batch-filled entries
+        e.reputation(p(0), p(1));
+        e.reputation(p(0), p(2));
+        assert_eq!(e.cache_stats(), (2, 2));
+        // and a second batch is pure hits
+        e.reputations_from(p(0), &[p(1), p(2)]);
+        assert_eq!(e.cache_stats(), (4, 2));
+    }
+
+    #[test]
+    fn incremental_invalidation_keeps_untouched_entries() {
+        let mut e = ReputationEngine::new();
+        // two disjoint components: {0,1} and {5,6}
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(100));
+        e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(100));
+        e.reputation(p(0), p(1));
+        e.reputation(p(5), p(6));
+        assert_eq!(e.cache_stats(), (0, 2));
+        // touching the {5,6} component must not evict the (0,1) entry
+        e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(1));
+        e.reputation(p(0), p(1));
+        assert_eq!(e.cache_stats(), (1, 2), "(0,1) must survive eviction");
+        e.reputation(p(5), p(6));
+        assert_eq!(e.cache_stats(), (1, 3), "(5,6) must be recomputed");
+    }
+
+    #[test]
+    fn incremental_invalidation_never_serves_stale_values() {
+        let mut e = engine_with_chain();
+        let before = e.reputation(p(0), p(2));
+        // strengthen the 2 -> 1 edge: flow(2 -> 0) rises from 200 MB
+        // to min(1300, 200)... still 200 through 1 — so raise 1 -> 0 too
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_gb(1));
+        let after = e.reputation(p(0), p(2));
+        let mut fresh = ReputationEngine::new();
+        fresh.graph_mut().add_transfer(p(2), p(1), Bytes::from_mb(300));
+        fresh.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(200));
+        fresh.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
+        fresh.graph_mut().add_transfer(p(1), p(0), Bytes::from_gb(1));
+        assert_eq!(after.to_bits(), fresh.reputation(p(0), p(2)).to_bits());
+        assert!(after > before);
+    }
+
+    #[test]
+    fn unbounded_methods_clear_everything_on_change() {
+        let mut e = ReputationEngine::new().with_method(Method::Dinic);
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(100));
+        e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(100));
+        e.reputation(p(0), p(1));
+        // under Dinic a distant edge can matter, so any change clears
+        e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(1));
+        e.reputation(p(0), p(1));
+        assert_eq!(e.cache_stats(), (0, 2));
     }
 
     #[test]

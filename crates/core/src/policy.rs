@@ -22,9 +22,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ban.admission(-0.4), PolicyDecision::Allow);
 /// assert_eq!(ReputationPolicy::Rank.admission(-0.9), PolicyDecision::Allow);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum ReputationPolicy {
     /// Plain BitTorrent tit-for-tat only (baseline).
+    #[default]
     None,
     /// Optimistic unchokes ordered by reputation (§4.2 rank policy).
     Rank,
@@ -33,12 +34,6 @@ pub enum ReputationPolicy {
         /// The (negative) reputation threshold δ.
         delta: f64,
     },
-}
-
-impl Default for ReputationPolicy {
-    fn default() -> Self {
-        ReputationPolicy::None
-    }
 }
 
 /// What the policy says about serving a particular peer.

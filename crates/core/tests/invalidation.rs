@@ -1,0 +1,83 @@
+//! Property tests for incremental cache invalidation: after any
+//! interleaving of `add_transfer` / `merge_record` mutations and
+//! reputation queries, a `ReputationEngine` must return exactly what a
+//! cold engine computes on the same graph — the dirty-endpoint
+//! eviction may never serve a stale memoized value.
+
+use bartercast_core::ReputationEngine;
+use bartercast_graph::maxflow::Method;
+use bartercast_util::units::{Bytes, PeerId};
+use proptest::prelude::*;
+
+/// Interleaved mutations and queries over a small peer universe:
+/// `(from, to, amount, merge)` per step, with a query sweep after
+/// every step.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u32, u32, u64, bool)>> {
+    prop::collection::vec((0u32..6, 0u32..6, 1u64..1000, prop::bool::ANY), 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warm_cache_always_matches_cold_engine(ops in ops_strategy(), qs in 0u32..6, qt in 0u32..6) {
+        let mut warm = ReputationEngine::new();
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            // query after every mutation so the cache holds entries
+            // spanning many graph versions
+            let got = warm.reputation(PeerId(qs), PeerId(qt));
+            let mut cold = ReputationEngine::new();
+            *cold.graph_mut() = warm.graph().clone();
+            let want = cold.reputation(PeerId(qs), PeerId(qt));
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "stale reputation after {} ops: warm {got} vs cold {want}",
+                ops.len()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_batch_always_matches_cold_engine(ops in ops_strategy(), source in 0u32..6) {
+        let targets: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut warm = ReputationEngine::new();
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            let got = warm.reputations_from(PeerId(source), &targets);
+            let mut cold = ReputationEngine::new();
+            *cold.graph_mut() = warm.graph().clone();
+            for (&j, &g) in targets.iter().zip(&got) {
+                let want = cold.reputation(PeerId(source), j);
+                prop_assert_eq!(g.to_bits(), want.to_bits(), "R_{source}({j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_one_eviction_is_safe(ops in ops_strategy(), qs in 0u32..6, qt in 0u32..6) {
+        // Bounded(1) uses the same incremental eviction rule as
+        // Bounded(2); the dirty set is a superset of what it needs.
+        let mut warm = ReputationEngine::new().with_method(Method::Bounded(1));
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            let got = warm.reputation(PeerId(qs), PeerId(qt));
+            let mut cold = ReputationEngine::new().with_method(Method::Bounded(1));
+            *cold.graph_mut() = warm.graph().clone();
+            prop_assert_eq!(got.to_bits(), cold.reputation(PeerId(qs), PeerId(qt)).to_bits());
+        }
+    }
+}

@@ -8,6 +8,12 @@
 
 use bartercast_util::units::{Bytes, PeerId};
 use bartercast_util::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
+
+/// Maximum number of edge changes kept in the change log. Readers that
+/// fall further behind than this get `None` from
+/// [`ContributionGraph::changes_since`] and must do a full rescan.
+const CHANGE_LOG_CAP: usize = 4096;
 
 /// A directed graph of aggregated byte transfers between peers.
 ///
@@ -34,6 +40,12 @@ pub struct ContributionGraph {
     incoming: FxHashMap<PeerId, FxHashMap<PeerId, Bytes>>,
     edge_count: usize,
     version: u64,
+    /// Endpoints of recently changed edges, tagged with the version
+    /// each change produced; bounded by [`CHANGE_LOG_CAP`].
+    changes: VecDeque<(u64, PeerId, PeerId)>,
+    /// Highest version evicted from `changes`; `changes_since(v)` is
+    /// only answerable for `v >= truncated_at`.
+    truncated_at: u64,
 }
 
 impl ContributionGraph {
@@ -66,6 +78,7 @@ impl ContributionGraph {
             .entry(from)
             .or_insert(Bytes::ZERO) += amount;
         self.version += 1;
+        self.log_change(from, to);
     }
 
     /// Merge a gossiped record about the pair `(from, to)`: the stored
@@ -88,7 +101,39 @@ impl ContributionGraph {
             .or_default()
             .insert(from, total);
         self.version += 1;
+        self.log_change(from, to);
         true
+    }
+
+    /// Record a changed edge in the bounded change log.
+    fn log_change(&mut self, from: PeerId, to: PeerId) {
+        if self.changes.len() == CHANGE_LOG_CAP {
+            if let Some((v, _, _)) = self.changes.pop_front() {
+                self.truncated_at = v;
+            }
+        }
+        self.changes.push_back((self.version, from, to));
+    }
+
+    /// The endpoints of every edge changed after version `since`, or
+    /// `None` when the change log no longer reaches back that far (the
+    /// caller must then treat everything as potentially changed).
+    ///
+    /// Pairs are yielded oldest-first and may repeat when the same edge
+    /// changed more than once.
+    pub fn changes_since(
+        &self,
+        since: u64,
+    ) -> Option<impl Iterator<Item = (PeerId, PeerId)> + '_> {
+        if since < self.truncated_at {
+            return None;
+        }
+        Some(
+            self.changes
+                .iter()
+                .filter(move |(v, _, _)| *v > since)
+                .map(|&(_, f, t)| (f, t)),
+        )
     }
 
     /// The aggregated bytes `from` has uploaded to `to` (zero if no edge).
@@ -298,6 +343,48 @@ mod tests {
         // neighbourhood follows reverse edges too
         let n1_rev = g.neighbourhood(p(4), 1);
         assert!(n1_rev.contains(&p(3)));
+    }
+
+    #[test]
+    fn changes_since_reports_exact_endpoints() {
+        let mut g = ContributionGraph::new();
+        let v0 = g.version();
+        g.add_transfer(p(1), p(2), Bytes::from_mb(1));
+        let v1 = g.version();
+        g.merge_record(p(3), p(4), Bytes::from_mb(2));
+        g.add_transfer(p(1), p(2), Bytes::from_mb(1));
+
+        let all: Vec<_> = g.changes_since(v0).unwrap().collect();
+        assert_eq!(all, vec![(p(1), p(2)), (p(3), p(4)), (p(1), p(2))]);
+        let later: Vec<_> = g.changes_since(v1).unwrap().collect();
+        assert_eq!(later, vec![(p(3), p(4)), (p(1), p(2))]);
+        assert_eq!(g.changes_since(g.version()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn ineffective_mutations_not_logged() {
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(1), p(2), Bytes::from_mb(10));
+        let v = g.version();
+        g.add_transfer(p(1), p(1), Bytes::from_mb(1)); // self edge: ignored
+        g.add_transfer(p(1), p(2), Bytes::ZERO); // zero: ignored
+        g.merge_record(p(1), p(2), Bytes::from_mb(4)); // stale: ignored
+        assert_eq!(g.changes_since(v).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn change_log_truncation_returns_none() {
+        let mut g = ContributionGraph::new();
+        // overflow the log: CHANGE_LOG_CAP + 10 distinct effective changes
+        for i in 0..(super::CHANGE_LOG_CAP + 10) as u64 {
+            g.add_transfer(p(1), p(2), Bytes(i + 1));
+        }
+        assert!(g.changes_since(0).is_none(), "log must admit truncation");
+        // a recent cursor is still answerable
+        let v = g.version();
+        g.add_transfer(p(5), p(6), Bytes(1));
+        let recent: Vec<_> = g.changes_since(v).unwrap().collect();
+        assert_eq!(recent, vec![(p(5), p(6))]);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   Dinic, FIFO push–relabel, and the **depth-bounded** variant with
 //!   the deployed two-hop limit (§3.2: "our implementation only
 //!   regards paths with a maximum length of two").
+//! * [`ssat`] — the single-source all-targets kernel for the deployed
+//!   two-hop bound: one traversal of a node's two-hop neighbourhood
+//!   yields its bounded maxflow to (or from) every other peer at once.
 //! * [`mincut`] — the source-side minimum cut, used by tests to verify
 //!   the max-flow/min-cut theorem on every computed flow.
 //! * [`analysis`] — graph statistics, the §3.2 two-hop coverage
@@ -29,6 +32,7 @@ pub mod contribution;
 pub mod maxflow;
 pub mod mincut;
 pub mod network;
+pub mod ssat;
 
 pub use contribution::ContributionGraph;
 pub use maxflow::{compute, Method, DEPLOYED_MAX_PATH_LEN};

@@ -108,12 +108,8 @@ pub fn ford_fulkerson(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
     let mut parent_arc: Vec<Option<u32>> = vec![None; n];
     let mut visited = vec![false; n];
     loop {
-        for v in &mut visited {
-            *v = false;
-        }
-        for p in &mut parent_arc {
-            *p = None;
-        }
+        visited.fill(false);
+        parent_arc.fill(None);
         // iterative DFS for an augmenting path
         let mut stack = vec![s];
         visited[s as usize] = true;
@@ -147,12 +143,8 @@ pub fn edmonds_karp(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
     let mut parent_arc: Vec<Option<u32>> = vec![None; n];
     let mut visited = vec![false; n];
     loop {
-        for v in &mut visited {
-            *v = false;
-        }
-        for p in &mut parent_arc {
-            *p = None;
-        }
+        visited.fill(false);
+        parent_arc.fill(None);
         let mut q = VecDeque::new();
         q.push_back(s);
         visited[s as usize] = true;
@@ -187,9 +179,7 @@ pub fn dinic(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
     let mut iter = vec![0usize; n];
     loop {
         // build level graph
-        for l in &mut level {
-            *l = -1;
-        }
+        level.fill(-1);
         level[s as usize] = 0;
         let mut q = VecDeque::new();
         q.push_back(s);
@@ -205,9 +195,7 @@ pub fn dinic(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
         if level[t as usize] < 0 {
             break;
         }
-        for it in &mut iter {
-            *it = 0;
-        }
+        iter.fill(0);
         loop {
             let f = dinic_dfs(net, s, t, u64::MAX, &level, &mut iter);
             if f == 0 {
@@ -341,12 +329,8 @@ pub fn bounded(net: &mut FlowNetwork, s: u32, t: u32, max_edges: usize) -> u64 {
     let mut parent_arc: Vec<Option<u32>> = vec![None; n];
     let mut depth = vec![usize::MAX; n];
     loop {
-        for p in &mut parent_arc {
-            *p = None;
-        }
-        for d in &mut depth {
-            *d = usize::MAX;
-        }
+        parent_arc.fill(None);
+        depth.fill(usize::MAX);
         let mut q = VecDeque::new();
         depth[s as usize] = 0;
         q.push_back(s);

@@ -8,12 +8,15 @@
 //! * bounded flow is monotone in the bound and converges to the
 //!   unbounded value;
 //! * adding capacity never decreases maxflow;
-//! * `merge_record` is idempotent and order-insensitive (max-merge).
+//! * `merge_record` is idempotent and order-insensitive (max-merge);
+//! * the SSAT kernel reproduces per-pair `Bounded(2)` flows exactly,
+//!   in both directions, including absent and saturated nodes.
 
 use bartercast_graph::contribution::ContributionGraph;
 use bartercast_graph::maxflow::{self, Method};
 use bartercast_graph::mincut;
 use bartercast_graph::network::FlowNetwork;
+use bartercast_graph::ssat;
 use bartercast_util::units::{Bytes, PeerId};
 use proptest::prelude::*;
 
@@ -157,6 +160,49 @@ proptest! {
             }
         }
         prop_assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn ssat_matches_per_pair_bounded_two(edges in edges_strategy(12, 40), s in 0u32..14) {
+        // s in 0..14 > node range so absent sources are exercised too;
+        // self-loops are filtered by build(), and random graphs with
+        // repeated (f, t) pairs produce saturated middles.
+        let g = build(&edges);
+        let source = PeerId(s);
+        let out = ssat::flows_from(&g, source);
+        let into = ssat::flows_into(&g, source);
+        for t in 0..14u32 {
+            let target = PeerId(t);
+            let expect_out = maxflow::compute(&g, source, target, Method::Bounded(2));
+            let got_out = out.get(&target).copied().unwrap_or(Bytes::ZERO);
+            prop_assert_eq!(got_out, expect_out, "flows_from({source})[{target}]");
+            let expect_in = maxflow::compute(&g, target, source, Method::Bounded(2));
+            let got_in = into.get(&target).copied().unwrap_or(Bytes::ZERO);
+            prop_assert_eq!(got_in, expect_in, "flows_into({source})[{target}]");
+        }
+        // the kernel must never report the source as its own target
+        prop_assert!(!out.contains_key(&source));
+        prop_assert!(!into.contains_key(&source));
+    }
+
+    #[test]
+    fn ssat_matches_on_saturated_middles(
+        caps in (1u64..50, 1u64..50, 1u64..50, 1u64..50),
+    ) {
+        // hub graph: s feeds one middle that fans out to two targets,
+        // plus a direct edge — capacities chosen so the middle's in-
+        // or out-capacity saturates in either order
+        let (a, b, c, d) = caps;
+        let mut g = ContributionGraph::new();
+        g.add_transfer(PeerId(0), PeerId(1), Bytes(a)); // s -> m
+        g.add_transfer(PeerId(1), PeerId(2), Bytes(b)); // m -> t1
+        g.add_transfer(PeerId(1), PeerId(3), Bytes(c)); // m -> t2
+        g.add_transfer(PeerId(0), PeerId(2), Bytes(d)); // s -> t1 direct
+        let out = ssat::flows_from(&g, PeerId(0));
+        for t in 1..4u32 {
+            let expect = maxflow::compute(&g, PeerId(0), PeerId(t), Method::Bounded(2));
+            prop_assert_eq!(out.get(&PeerId(t)).copied().unwrap_or(Bytes::ZERO), expect);
+        }
     }
 
     #[test]

@@ -128,8 +128,11 @@ impl SimConfig {
             "disobeying peers are drawn from the freeriders (§5.4), so the \
              adversary fraction cannot exceed the freerider fraction"
         );
-        assert!(self.bt.unchoke_period.0 % self.round.0 == 0 || self.round.0 % self.bt.unchoke_period.0 == 0,
-            "unchoke period and round should nest");
+        assert!(
+            self.bt.unchoke_period.0.is_multiple_of(self.round.0)
+                || self.round.0.is_multiple_of(self.bt.unchoke_period.0),
+            "unchoke period and round should nest"
+        );
     }
 }
 

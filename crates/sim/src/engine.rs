@@ -186,7 +186,7 @@ impl Simulation {
         let horizon_days = trace.horizon.as_days();
         let sample_days = (config.reputation_sample_interval.as_days()).max(1e-3);
         Simulation {
-            speed: GroupSeries::new(horizon_days.max(1e-3), (horizon_days / 7.0).max(1e-3).min(1.0)),
+            speed: GroupSeries::new(horizon_days.max(1e-3), (horizon_days / 7.0).clamp(1e-3, 1.0)),
             reputation: GroupSeries::new(horizon_days.max(1e-3), sample_days),
             overall_speed_sharers: Running::new(),
             overall_speed_freeriders: Running::new(),
@@ -268,8 +268,7 @@ impl Simulation {
         self.gossip_phase();
         if self.now >= self.next_reputation_sample {
             self.sample_system_reputation();
-            self.next_reputation_sample = self.next_reputation_sample
-                + self.config.reputation_sample_interval;
+            self.next_reputation_sample += self.config.reputation_sample_interval;
         }
     }
 
@@ -375,10 +374,11 @@ impl Simulation {
                 let reps: FxHashMap<PeerId, f64> = if matches!(policy, ReputationPolicy::None) {
                     FxHashMap::default()
                 } else {
-                    candidates
-                        .iter()
-                        .map(|c| (c.peer, self.peers[i].reputation_of(c.peer, epoch)))
-                        .collect()
+                    // batch scoring: all candidates share one two-hop
+                    // traversal inside the engine's SSAT kernel
+                    let candidate_ids: Vec<PeerId> = candidates.iter().map(|c| c.peer).collect();
+                    let values = self.peers[i].reputations_of(&candidate_ids, epoch);
+                    candidate_ids.into_iter().zip(values).collect()
                 };
                 let role = self.swarms[s].member(pid).unwrap().role();
                 let slot = if role == bartercast_bt::Role::Leecher { 0 } else { 1 };
@@ -668,9 +668,14 @@ impl Simulation {
     /// Compute Equation 2 for each target index (averaging over the
     /// same index set as evaluators).
     ///
+    /// Each evaluator scores all targets through its engine's batch
+    /// path (`reputations_from`), which computes the deployed two-hop
+    /// flows for every target in one neighbourhood traversal instead
+    /// of one maxflow pair per target.
+    ///
     /// Evaluators are independent (each queries only its own engine),
     /// so for large populations the computation fans out across
-    /// threads with `crossbeam::scope`; each thread owns a disjoint
+    /// threads with `std::thread::scope`; each thread owns a disjoint
     /// chunk of peers and produces a partial sum vector that is
     /// reduced at the end. Results are identical to the sequential
     /// path (each evaluator's contributions are accumulated in the
@@ -689,7 +694,7 @@ impl Simulation {
             let index_set: FxHashSet<usize> = indices.iter().copied().collect();
             let total = self.peers.len();
             let mut partials: Vec<Vec<f64>> = Vec::new();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let mut rest: &mut [SimPeer] = &mut self.peers;
                 let chunk = total.div_ceil(n_threads);
@@ -702,7 +707,7 @@ impl Simulation {
                     offset += take;
                     let target_ids = &target_ids;
                     let index_set = &index_set;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut sums = vec![0.0; target_ids.len()];
                         for (local, peer) in head.iter_mut().enumerate() {
                             let j = base + local;
@@ -710,11 +715,12 @@ impl Simulation {
                                 continue;
                             }
                             let evaluator = peer.id;
+                            let values = peer.engine.reputations_from(evaluator, target_ids);
                             for (k, &target) in target_ids.iter().enumerate() {
                                 if target == evaluator {
                                     continue;
                                 }
-                                sums[k] += peer.engine.reputation(evaluator, target);
+                                sums[k] += values[k];
                             }
                         }
                         sums
@@ -723,8 +729,7 @@ impl Simulation {
                 for h in handles {
                     partials.push(h.join().expect("reputation thread panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             let mut sums = vec![0.0; indices.len()];
             for part in partials {
                 for (acc, v) in sums.iter_mut().zip(part) {
@@ -746,11 +751,12 @@ impl Simulation {
         let mut sums = vec![0.0; targets.len()];
         for &j in evaluators {
             let evaluator = peers[j].id;
+            let values = peers[j].engine.reputations_from(evaluator, &target_ids);
             for (k, &target) in target_ids.iter().enumerate() {
                 if target == evaluator {
                     continue;
                 }
-                sums[k] += peers[j].engine.reputation(evaluator, target);
+                sums[k] += values[k];
             }
         }
         sums

@@ -17,7 +17,7 @@
 //! * [`adversary`] — §5.4's two manipulation models (protocol
 //!   *ignorers* and selfish *liars*);
 //! * [`metrics`] — the measurement channels behind Figures 1–3;
-//! * [`sweep`] — parallel parameter sweeps (`crossbeam`-scoped threads)
+//! * [`sweep`] — parallel parameter sweeps (scoped threads)
 //!   used by Figures 2c, 3a and 3b;
 //! * [`scale`] — the population-scale study from the paper's future
 //!   work ("simulations with up to 100,000 peers").

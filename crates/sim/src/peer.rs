@@ -127,6 +127,29 @@ impl SimPeer {
         v
     }
 
+    /// Batch form of [`SimPeer::reputation_of`]: reputations of all
+    /// `targets` in order, at most one recomputation per refresh epoch
+    /// each. Targets missing from the epoch cache are evaluated
+    /// together through the engine's single-source batch path, which
+    /// shares one two-hop traversal across all of them.
+    pub fn reputations_of(&mut self, targets: &[PeerId], epoch: u64) -> Vec<f64> {
+        let missing: Vec<PeerId> = targets
+            .iter()
+            .copied()
+            .filter(|t| !matches!(self.rep_cache.get(t), Some(&(e, _)) if e == epoch))
+            .collect();
+        if !missing.is_empty() {
+            let values = self.engine.reputations_from(self.id, &missing);
+            for (&t, &v) in missing.iter().zip(&values) {
+                self.rep_cache.insert(t, (epoch, v));
+            }
+        }
+        targets
+            .iter()
+            .map(|t| self.rep_cache[t].1)
+            .collect()
+    }
+
     /// Net ground-truth contribution (upload − download) in bytes,
     /// possibly negative — the x-axis of Figure 1b.
     pub fn net_contribution(&self) -> f64 {
@@ -179,6 +202,26 @@ mod tests {
         liar.note_download(PeerId(3), Bytes::from_mb(5), Seconds(1));
         let msg = liar.outgoing_message(cfg, Bytes::from_gb(100)).unwrap();
         assert!(msg.records.iter().all(|r| r.up == Bytes::from_gb(100)));
+    }
+
+    #[test]
+    fn batch_reputations_match_single_queries() {
+        let mut a = peer(0, Conduct::Honest);
+        a.note_download(PeerId(1), Bytes::from_mb(500), Seconds(1));
+        a.note_download(PeerId(2), Bytes::from_gb(2), Seconds(2));
+        a.note_upload(PeerId(3), Bytes::from_mb(80), Seconds(3));
+        let mut b = peer(0, Conduct::Honest);
+        b.note_download(PeerId(1), Bytes::from_mb(500), Seconds(1));
+        b.note_download(PeerId(2), Bytes::from_gb(2), Seconds(2));
+        b.note_upload(PeerId(3), Bytes::from_mb(80), Seconds(3));
+
+        let targets = [PeerId(1), PeerId(2), PeerId(3), PeerId(9), PeerId(0)];
+        let batch = a.reputations_of(&targets, 4);
+        for (&t, &r) in targets.iter().zip(&batch) {
+            assert_eq!(r.to_bits(), b.reputation_of(t, 4).to_bits(), "target {t}");
+        }
+        // second call hits the epoch cache
+        assert_eq!(a.reputations_of(&targets, 4), batch);
     }
 
     #[test]

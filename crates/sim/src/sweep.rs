@@ -2,7 +2,7 @@
 //!
 //! The Figure 2c/3a/3b experiments run the same trace under several
 //! configurations. Runs are independent, so they fan out across
-//! threads with `crossbeam::scope` (per the hpc-parallel guides:
+//! threads with `std::thread::scope` (per the hpc-parallel guides:
 //! structured parallelism, no shared mutable state — each thread owns
 //! its simulation and returns its report).
 
@@ -17,28 +17,27 @@ pub fn run_configs(trace: &Trace, configs: Vec<SimConfig>) -> Vec<SimReport> {
     let n = configs.len();
     let mut slots: Vec<Option<SimReport>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (idx, config) in configs.into_iter().enumerate() {
             let trace = trace.clone();
-            handles.push((idx, scope.spawn(move |_| Simulation::new(trace, config).run())));
+            handles.push((idx, scope.spawn(move || Simulation::new(trace, config).run())));
         }
         for (idx, h) in handles {
             slots[idx] = Some(h.join().expect("simulation thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
 /// Convenience: sweep one parameter via a closure from items to
 /// configurations.
-pub fn sweep<T, F>(trace: &Trace, items: &[T], mut make: F) -> Vec<SimReport>
+pub fn sweep<T, F>(trace: &Trace, items: &[T], make: F) -> Vec<SimReport>
 where
     T: Clone,
     F: FnMut(&T) -> SimConfig,
 {
-    let configs: Vec<SimConfig> = items.iter().map(|t| make(t)).collect();
+    let configs: Vec<SimConfig> = items.iter().map(make).collect();
     run_configs(trace, configs)
 }
 

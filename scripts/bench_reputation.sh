@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Measure the Equation-2 reputation sweep (per-pair vs SSAT kernel)
+# and emit BENCH_reputation.json at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bench --bin bench_reputation -- BENCH_reputation.json

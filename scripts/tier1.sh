@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -101,7 +101,7 @@ proptest! {
         for h in &hs[1..] {
             deployed.absorb_message(&BarterCastMessage::from_history(h, BarterCastConfig::default()));
         }
-        let mut unbounded = deployed.clone().with_method(Method::Dinic);
+        let unbounded = deployed.clone().with_method(Method::Dinic);
         for j in 1..8u32 {
             let (t2, a2) = deployed.flows(PeerId(0), PeerId(j));
             let (tu, au) = unbounded.flows(PeerId(0), PeerId(j));

@@ -1,0 +1,381 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, range / tuple / `vec` / `bool` /
+//! `any` strategies, `prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`)
+//!   and the case index, but is not minimized.
+//! * **Fixed derivation of case seeds.** Cases are generated from a
+//!   deterministic per-case seed, so failures are reproducible without
+//!   a regression file (`*.proptest-regressions` files are ignored).
+
+use rand::rngs::StdRng;
+
+// Re-exported for the `proptest!` macro expansion, which runs inside
+// consumer crates that may not depend on `rand` themselves.
+pub use rand::rngs::StdRng as __StdRng;
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Controls how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property-test assertion (returned by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a whole-domain default strategy (proptest's `Arbitrary`).
+pub trait ArbitraryValue {
+    /// Draw one value covering the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::Rng;
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::Rng;
+        rng.gen::<bool>()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The default whole-domain strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`,
+/// `prop::bool::ANY`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A vector whose length is drawn from `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// The strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform over `{true, false}`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Uniform over `{true, false}`.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item runs `cases` random cases of its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // One strategy instance per case: strategies are
+                // consumed by value in real proptest, so rebuild them.
+                for case in 0..config.cases as u64 {
+                    let mut rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(
+                        0xBA27E2CA57u64
+                            .wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15)),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body; ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case} of {} failed: {e}\ninputs: {:#?}",
+                            stringify!($name),
+                            ($(&$arg,)+)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, pair in (0u64..5, -2i64..3), flag in prop::bool::ANY) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 5);
+            prop_assert!((-2..3).contains(&pair.1));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_map(xs in prop::collection::vec(0u32..100, 2..20).prop_map(|v| v.len()), b in any::<u8>()) {
+            prop_assert!((2..20).contains(&xs));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "impossible: {x}");
+            }
+        }
+        always_fails();
+    }
+}

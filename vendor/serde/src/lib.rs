@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and their derive
+//! macros so the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compile without network access. The derives expand to
+//! nothing; no code in this workspace performs serde serialization
+//! (the wire format lives in `bartercast-core::codec`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching serde's `Serialize` name.
+pub trait Serialize {}
+
+/// Marker trait matching serde's `Deserialize` name.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace derives serde traits on its config and report types to
+//! document serializability, but nothing serializes through serde yet
+//! (the wire codec is hand-rolled in `bartercast-core::codec`). Until a
+//! real serde is available offline, these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derive stub: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive stub: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
