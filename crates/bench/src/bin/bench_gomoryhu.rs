@@ -1,0 +1,139 @@
+//! Standalone measurement of the unbounded Equation-2 sweep: per-pair
+//! Dinic versus the Gomory–Hu tree, at n ∈ {64, 256, 1024} on the
+//! symmetric small-world fixture (where the tree is exact).
+//!
+//! Emits `BENCH_gomoryhu.json` in the current directory (override with
+//! a path argument). The tree side is reported **amortized**: the
+//! build (n − 1 Dinic runs) happens once per graph version and serves
+//! every evaluator's sweep, which is how `ReputationEngine` uses it in
+//! `system_reputations` — so tree µs/evaluator = build/n + one
+//! `all_flows_from` sweep. The per-pair side runs the two directed
+//! Dinic flows Equation 1 needs for every target, sampling evaluators
+//! at large n (evaluators are independent, so the mean is unbiased).
+
+use bartercast_graph::gomoryhu::GomoryHuTree;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::{ContributionGraph, FlowNetwork};
+use bartercast_util::units::{Bytes, PeerId};
+use bench::symmetric_small_world_graph;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Both directed flows for every target of one evaluator (what the
+/// engine's per-pair fallback computes for an Equation-2 sweep).
+fn per_pair_evaluator(net: &mut FlowNetwork, evaluator: PeerId, n: u32) -> u64 {
+    let mut acc = 0u64;
+    for t in 0..n {
+        let target = PeerId(t);
+        if target == evaluator {
+            continue;
+        }
+        acc = acc.wrapping_add(maxflow::compute_on(net, target, evaluator, Method::Dinic).0);
+        acc = acc.wrapping_add(maxflow::compute_on(net, evaluator, target, Method::Dinic).0);
+    }
+    acc
+}
+
+/// One tree sweep: every target's flow from the prebuilt tree.
+fn tree_evaluator(tree: &GomoryHuTree, evaluator: PeerId) -> u64 {
+    tree.all_flows_from(evaluator)
+        .values()
+        .fold(0u64, |a, f| a.wrapping_add(f.0))
+}
+
+struct Row {
+    n: u32,
+    per_pair_evaluator_us: f64,
+    tree_build_us: f64,
+    tree_evaluator_us: f64,
+    speedup: f64,
+}
+
+fn correctness_gate(g: &ContributionGraph, tree: &GomoryHuTree, n: u32) {
+    // the fixture is symmetric, so the tree must agree exactly with
+    // per-pair Dinic on every sampled pair before anything is timed
+    assert_eq!(g.asymmetry(), 0.0, "fixture must be symmetric");
+    for s in 0..n.min(8) {
+        for k in 1..5u32 {
+            let t = (s + k * (n / 5).max(1)) % n;
+            if s == t {
+                continue;
+            }
+            let exact = maxflow::compute(g, PeerId(s), PeerId(t), Method::Dinic);
+            let from_tree = tree.flow(PeerId(s), PeerId(t));
+            assert_eq!(from_tree, exact, "tree mismatch at n={n}, pair ({s}, {t})");
+            let sweep = tree.all_flows_from(PeerId(s));
+            let swept = sweep.get(&PeerId(t)).copied().unwrap_or(Bytes::ZERO);
+            assert_eq!(swept, exact, "sweep mismatch at n={n}, pair ({s}, {t})");
+        }
+    }
+}
+
+fn measure(n: u32) -> Row {
+    let g = symmetric_small_world_graph(n, n as usize * 3, 42);
+    let mut net = FlowNetwork::from_graph(&g);
+
+    let start = Instant::now();
+    let tree = black_box(GomoryHuTree::build(&g));
+    let tree_build_us = start.elapsed().as_secs_f64() * 1e6;
+
+    correctness_gate(&g, &tree, n);
+
+    // per-pair: sample evaluators at large n (each costs 2(n−1) Dinic
+    // runs; the full sweep is exactly n times the per-evaluator mean)
+    let pp_evaluators = if n > 256 { 8 } else { n.min(64) };
+    let start = Instant::now();
+    for e in 0..pp_evaluators {
+        black_box(per_pair_evaluator(&mut net, PeerId(e % n), n));
+    }
+    let per_pair_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / pp_evaluators as f64;
+
+    // tree: every evaluator sweeps; the build is amortized over all n
+    let start = Instant::now();
+    for e in 0..n {
+        black_box(tree_evaluator(&tree, PeerId(e)));
+    }
+    let sweep_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+    let tree_evaluator_us = tree_build_us / n as f64 + sweep_us;
+
+    Row {
+        n,
+        per_pair_evaluator_us,
+        tree_build_us,
+        tree_evaluator_us,
+        speedup: per_pair_evaluator_us / tree_evaluator_us,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gomoryhu.json".to_string());
+    let mut rows = Vec::new();
+    for &n in &[64u32, 256, 1024] {
+        let row = measure(n);
+        eprintln!(
+            "n={:5}  per_pair {:10.1} µs/evaluator   tree {:8.1} µs/evaluator (build {:8.1} µs)   speedup {:6.1}x",
+            row.n, row.per_pair_evaluator_us, row.tree_evaluator_us, row.tree_build_us, row.speedup
+        );
+        rows.push(row);
+    }
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"tree_build_us\": {:.3}, \"tree_evaluator_us\": {:.3}, \"speedup\": {:.3}}}",
+                r.n, r.per_pair_evaluator_us, r.tree_build_us, r.tree_evaluator_us, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"gomoryhu_sweep\",\n  \"unit\": \"us_per_evaluator_sweep\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

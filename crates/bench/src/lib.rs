@@ -50,6 +50,31 @@ pub fn small_world_graph(nodes: u32, chords: usize, seed: u64) -> ContributionGr
     g
 }
 
+/// [`small_world_graph`] with every edge mirrored at equal weight: a
+/// **symmetric** ring-plus-chords graph. This is the regime where the
+/// Gomory–Hu batch backend is exact (zero asymmetry), so it is the
+/// fixture for benchmarking the tree against per-pair unbounded flow.
+pub fn symmetric_small_world_graph(nodes: u32, chords: usize, seed: u64) -> ContributionGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ContributionGraph::new();
+    for i in 0..nodes {
+        let next = (i + 1) % nodes;
+        let w = Bytes::from_mb(rng.gen_range(10..500));
+        g.add_transfer(PeerId(i), PeerId(next), w);
+        g.add_transfer(PeerId(next), PeerId(i), w);
+    }
+    for _ in 0..chords {
+        let f = rng.gen_range(0..nodes);
+        let t = rng.gen_range(0..nodes);
+        if f != t {
+            let w = Bytes::from_mb(rng.gen_range(10..500));
+            g.add_transfer(PeerId(f), PeerId(t), w);
+            g.add_transfer(PeerId(t), PeerId(f), w);
+        }
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +86,15 @@ mod tests {
         assert_eq!(a.edge_count(), b.edge_count());
         let sw = small_world_graph(20, 10, 2);
         assert!(sw.edge_count() >= 40);
+    }
+
+    #[test]
+    fn symmetric_fixture_has_zero_asymmetry() {
+        let g = symmetric_small_world_graph(32, 64, 3);
+        assert_eq!(g.asymmetry(), 0.0);
+        assert_eq!(
+            symmetric_small_world_graph(32, 64, 3).edge_count(),
+            g.edge_count()
+        );
     }
 }

@@ -9,10 +9,16 @@
 use crate::history::PrivateHistory;
 use crate::message::BarterCastMessage;
 use crate::metric::ReputationMetric;
+use bartercast_graph::gomoryhu::GomoryHuTree;
 use bartercast_graph::maxflow::{self, Method};
 use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
 use bartercast_util::units::{Bytes, PeerId};
 use bartercast_util::{FxHashMap, FxHashSet};
+
+/// Default ceiling on memoized `(evaluator, target)` entries before
+/// idle sweep eviction kicks in (see
+/// [`ReputationEngine::with_cache_budget`]).
+pub const DEFAULT_CACHE_BUDGET: usize = 1 << 20;
 
 /// Subjective reputation evaluation with memoization.
 #[derive(Debug, Clone)]
@@ -29,8 +35,32 @@ pub struct ReputationEngine {
     /// one network construction. Valid only at `cached_version`
     /// (`sync` drops it whenever the version advances).
     net: Option<FlowNetwork>,
+    /// Gomory–Hu tree over the min-symmetrized graph: the batch
+    /// backend for unbounded methods. Like `net`, rebuilt lazily and
+    /// only when the graph version moves.
+    gh_tree: Option<GomoryHuTree>,
+    /// Maximum directed asymmetry ([`ContributionGraph::asymmetry`])
+    /// at which the Gomory–Hu batch backend is trusted; beyond it,
+    /// unbounded batch queries fall back to exact per-pair flow.
+    flow_tolerance: f64,
+    /// Memoized `(version, asymmetry)` so a burst of batch queries
+    /// measures the graph once.
+    asymmetry_at: Option<(u64, f64)>,
+    /// Per-evaluator last-use stamps for sweep-filled cache regions,
+    /// driving idle eviction under [`ReputationEngine::cache_budget`].
+    sweep_stamp: FxHashMap<PeerId, u64>,
+    /// Monotone sweep counter backing `sweep_stamp`.
+    sweep_clock: u64,
+    /// Entry ceiling for the memo cache: when a batch sweep pushes the
+    /// cache past it, whole idle evaluators (oldest sweep stamp first)
+    /// are evicted until it fits again.
+    cache_budget: usize,
     hits: u64,
     misses: u64,
+    /// Batch sweeps answered by the Gomory–Hu tree vs. per-pair
+    /// fallback (diagnostics; see `batch_backend_stats`).
+    tree_sweeps: u64,
+    fallback_sweeps: u64,
 }
 
 impl Default for ReputationEngine {
@@ -50,8 +80,16 @@ impl ReputationEngine {
             cache: FxHashMap::default(),
             cached_version: 0,
             net: None,
+            gh_tree: None,
+            flow_tolerance: 0.0,
+            asymmetry_at: None,
+            sweep_stamp: FxHashMap::default(),
+            sweep_clock: 0,
+            cache_budget: DEFAULT_CACHE_BUDGET,
             hits: 0,
             misses: 0,
+            tree_sweeps: 0,
+            fallback_sweeps: 0,
         }
     }
 
@@ -68,6 +106,8 @@ impl ReputationEngine {
     pub fn with_method(mut self, method: Method) -> Self {
         self.method = method;
         self.cache.clear();
+        self.sweep_stamp.clear();
+        self.gh_tree = None;
         self
     }
 
@@ -76,6 +116,40 @@ impl ReputationEngine {
     pub fn with_metric(mut self, metric: ReputationMetric) -> Self {
         self.metric = metric;
         self.cache.clear();
+        self.sweep_stamp.clear();
+        self
+    }
+
+    /// Set the directed-asymmetry tolerance for the Gomory–Hu batch
+    /// backend (unbounded methods only).
+    ///
+    /// The tree is built on the min-symmetrized graph, where the two
+    /// directed flows of Equation 1 coincide — so batch reputations
+    /// computed through it collapse to the *symmetric* part of the
+    /// relationship, and the error against exact per-pair evaluation
+    /// is bounded by the weight asymmetry the graph carries. At the
+    /// default tolerance of `0.0` the tree is only used on exactly
+    /// symmetric graphs, where it is bit-identical to per-pair Dinic;
+    /// any positive tolerance trades that exactness for `O(n)` sweeps
+    /// on nearly-symmetric graphs. Asymmetry beyond the tolerance
+    /// always falls back to exact per-pair flow.
+    pub fn with_flow_tolerance(mut self, tolerance: f64) -> Self {
+        self.flow_tolerance = tolerance;
+        // tree-filled entries are only as exact as the tolerance that
+        // admitted them; changing it must not mix approximations
+        self.cache.clear();
+        self.sweep_stamp.clear();
+        self
+    }
+
+    /// Cap the memo cache at `budget` entries. Batch sweeps memoize
+    /// their full single-source result set (every reachable peer, not
+    /// just the requested targets); when that pushes the cache past
+    /// the budget, the engine evicts whole evaluators that have been
+    /// idle longest (by sweep recency) until the cache fits. Purely a
+    /// memory/perf knob: eviction can never produce stale values.
+    pub fn with_cache_budget(mut self, budget: usize) -> Self {
+        self.cache_budget = budget;
         self
     }
 
@@ -114,9 +188,25 @@ impl ReputationEngine {
             };
         if !evicted_incrementally {
             self.cache.clear();
+            self.sweep_stamp.clear();
         }
         self.net = None;
+        self.gh_tree = None;
         self.cached_version = version;
+    }
+
+    /// Directed asymmetry of the current graph, measured at most once
+    /// per graph version.
+    fn asymmetry_cached(&mut self) -> f64 {
+        let version = self.graph.version();
+        if let Some((v, a)) = self.asymmetry_at {
+            if v == version {
+                return a;
+            }
+        }
+        let a = self.graph.asymmetry();
+        self.asymmetry_at = Some((version, a));
+        a
     }
 
     /// Re-absorb the owner's private history (max-merge, so calling it
@@ -188,42 +278,201 @@ impl ReputationEngine {
     /// Batch form of [`ReputationEngine::reputation`]: `R_i(j)` for
     /// every `j` in `targets`, in order.
     ///
-    /// For the deployed two-hop bound this runs the single-source
-    /// all-targets kernel ([`ssat::flows_into`] for the `j → i`
-    /// direction, [`ssat::flows_from`] for `i → j`) — two traversals of
-    /// `i`'s two-hop neighbourhood replace one maxflow pair per target
-    /// — and fills the memo cache in bulk. Values are identical to
-    /// per-pair evaluation (the SSAT kernel reproduces
-    /// `Method::Bounded(2)` flows exactly); other methods simply loop
-    /// over [`ReputationEngine::reputation`].
+    /// Three backends, dispatched on the method:
+    ///
+    /// * **`Bounded(2)`** (deployed): the single-source all-targets
+    ///   kernel ([`ssat::flows_into`] / [`ssat::flows_from`]) — two
+    ///   traversals of `i`'s two-hop neighbourhood replace one maxflow
+    ///   pair per target, bit-identical to per-pair evaluation. The
+    ///   **full** single-source result set (every reachable peer) is
+    ///   memoized, so consecutive sweeps over different target lists
+    ///   are pure cache hits; the cache budget bounds the memory this
+    ///   can take (idle evaluators evicted first).
+    /// * **Unbounded methods**: the Gomory–Hu tree over the
+    ///   min-symmetrized graph, when the graph's directed asymmetry is
+    ///   within [`ReputationEngine::with_flow_tolerance`] — one
+    ///   `O(n)` tree sweep instead of `2·|targets|` full maxflow runs,
+    ///   with the tree itself costing n − 1 Dinic runs *per graph
+    ///   version* instead of per sweep. Exact (bit-identical) on
+    ///   symmetric graphs; beyond the tolerance every query falls back
+    ///   to exact per-pair flow (the oracle).
+    /// * **Anything else** (`Bounded(k ≠ 2)`): a plain per-pair loop.
     pub fn reputations_from(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
-        if self.method != Method::Bounded(2) {
-            return targets.iter().map(|&j| self.reputation(i, j)).collect();
+        match self.method {
+            Method::Bounded(2) => self.reputations_from_ssat(i, targets),
+            Method::FordFulkerson
+            | Method::EdmondsKarp
+            | Method::Dinic
+            | Method::PushRelabel => self.reputations_from_unbounded(i, targets),
+            _ => targets.iter().map(|&j| self.reputation(i, j)).collect(),
         }
+    }
+
+    /// `Bounded(2)` batch path: SSAT kernel + full-sweep memoization.
+    fn reputations_from_ssat(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
         self.sync();
-        let mut ssat_flows: Option<(FxHashMap<PeerId, Bytes>, FxHashMap<PeerId, Bytes>)> = None;
+        self.touch_sweep(i);
+        let mut fresh: Option<FxHashSet<PeerId>> = None;
         let mut out = Vec::with_capacity(targets.len());
         for &j in targets {
             if j == i {
                 out.push(0.0);
                 continue;
             }
-            if let Some(&r) = self.cache.get(&(i, j)) {
-                self.hits += 1;
-                out.push(r);
-                continue;
+            // entries inserted by *this call's* sweep still count as
+            // misses the first time they are requested, so hit/miss
+            // totals stay comparable with the pre-sweep accounting
+            let prefilled = fresh.as_ref().is_some_and(|f| f.contains(&j));
+            if !prefilled {
+                if let Some(&r) = self.cache.get(&(i, j)) {
+                    self.hits += 1;
+                    out.push(r);
+                    continue;
+                }
             }
             self.misses += 1;
-            let (toward, away) = ssat_flows.get_or_insert_with(|| {
-                (ssat::flows_into(&self.graph, i), ssat::flows_from(&self.graph, i))
+            let inserted = fresh.get_or_insert_with(|| {
+                let toward = ssat::flows_into(&self.graph, i);
+                let away = ssat::flows_from(&self.graph, i);
+                Self::fill_sweep(
+                    &mut self.cache,
+                    &self.metric,
+                    i,
+                    toward.keys().chain(away.keys()).copied(),
+                    |j| {
+                        let t = toward.get(&j).copied().unwrap_or(Bytes::ZERO);
+                        let a = away.get(&j).copied().unwrap_or(Bytes::ZERO);
+                        (t, a)
+                    },
+                )
             });
-            let t = toward.get(&j).copied().unwrap_or(Bytes::ZERO);
-            let a = away.get(&j).copied().unwrap_or(Bytes::ZERO);
-            let r = self.metric.eval(t, a);
-            self.cache.insert((i, j), r);
+            inserted.remove(&j);
+            // peers absent from both SSAT maps have zero flow either
+            // way; memoize them too so repeat queries hit
+            let r = match self.cache.get(&(i, j)) {
+                Some(&r) => r,
+                None => {
+                    let r = self.metric.eval(Bytes::ZERO, Bytes::ZERO);
+                    self.cache.insert((i, j), r);
+                    r
+                }
+            };
             out.push(r);
         }
+        if fresh.is_some() {
+            self.enforce_budget(i);
+        }
         out
+    }
+
+    /// Memoize evaluator `i`'s **entire** single-source result set —
+    /// the sweep already covers every reachable peer, so caching only
+    /// requested targets (as the first version of this path did) threw
+    /// the rest away. Entries already memoized are left alone (they
+    /// are at the same graph version, hence identical); the returned
+    /// set holds the keys that were genuinely new.
+    fn fill_sweep(
+        cache: &mut FxHashMap<(PeerId, PeerId), f64>,
+        metric: &ReputationMetric,
+        i: PeerId,
+        keys: impl Iterator<Item = PeerId>,
+        flows_of: impl Fn(PeerId) -> (Bytes, Bytes),
+    ) -> FxHashSet<PeerId> {
+        let mut fresh = FxHashSet::default();
+        for j in keys {
+            if j != i && !cache.contains_key(&(i, j)) {
+                let (t, a) = flows_of(j);
+                cache.insert((i, j), metric.eval(t, a));
+                fresh.insert(j);
+            }
+        }
+        fresh
+    }
+
+    /// Unbounded batch path: Gomory–Hu tree within the asymmetry
+    /// tolerance, exact per-pair fallback beyond it.
+    fn reputations_from_unbounded(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
+        self.sync();
+        if self.asymmetry_cached() > self.flow_tolerance {
+            self.fallback_sweeps += 1;
+            return targets.iter().map(|&j| self.reputation(i, j)).collect();
+        }
+        self.tree_sweeps += 1;
+        self.touch_sweep(i);
+        let version = self.graph.version();
+        if self.gh_tree.as_ref().map(GomoryHuTree::version) != Some(version) {
+            self.gh_tree = Some(GomoryHuTree::build(&self.graph));
+        }
+        let tree = self.gh_tree.take().expect("tree built above");
+        let flows = tree.all_flows_from(i);
+        let mut fresh: Option<FxHashSet<PeerId>> = None;
+        let mut out = Vec::with_capacity(targets.len());
+        for &j in targets {
+            if j == i {
+                out.push(0.0);
+                continue;
+            }
+            let prefilled = fresh.as_ref().is_some_and(|f| f.contains(&j));
+            if !prefilled {
+                if let Some(&r) = self.cache.get(&(i, j)) {
+                    self.hits += 1;
+                    out.push(r);
+                    continue;
+                }
+            }
+            self.misses += 1;
+            let inserted = fresh.get_or_insert_with(|| {
+                // the tree flow serves both directions of Equation 1
+                // (see with_flow_tolerance for the error model)
+                Self::fill_sweep(&mut self.cache, &self.metric, i, flows.keys().copied(), |j| {
+                    let f = flows.get(&j).copied().unwrap_or(Bytes::ZERO);
+                    (f, f)
+                })
+            });
+            inserted.remove(&j);
+            let r = match self.cache.get(&(i, j)) {
+                Some(&r) => r,
+                None => {
+                    let r = self.metric.eval(Bytes::ZERO, Bytes::ZERO);
+                    self.cache.insert((i, j), r);
+                    r
+                }
+            };
+            out.push(r);
+        }
+        self.gh_tree = Some(tree);
+        if fresh.is_some() {
+            self.enforce_budget(i);
+        }
+        out
+    }
+
+    /// Refresh evaluator `i`'s sweep-recency stamp.
+    fn touch_sweep(&mut self, i: PeerId) {
+        self.sweep_clock += 1;
+        self.sweep_stamp.insert(i, self.sweep_clock);
+    }
+
+    /// Evict whole idle evaluators (oldest sweep stamp first, never
+    /// the one currently sweeping) until the cache fits its budget.
+    fn enforce_budget(&mut self, current: PeerId) {
+        if self.cache.len() <= self.cache_budget {
+            return;
+        }
+        let mut owners: Vec<(u64, PeerId)> = self
+            .sweep_stamp
+            .iter()
+            .filter(|&(&p, _)| p != current)
+            .map(|(&p, &stamp)| (stamp, p))
+            .collect();
+        owners.sort_unstable();
+        for (_, p) in owners {
+            if self.cache.len() <= self.cache_budget {
+                break;
+            }
+            self.cache.retain(|&(e, _), _| e != p);
+            self.sweep_stamp.remove(&p);
+        }
     }
 
     /// `(cache hits, cache misses)` since construction. A hit is a
@@ -239,6 +488,14 @@ impl ReputationEngine {
     /// Number of memoized `(i, j)` entries currently held.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// `(tree sweeps, fallback sweeps)`: how many unbounded batch
+    /// queries the Gomory–Hu backend answered vs. how many fell back
+    /// to exact per-pair flow because the graph's asymmetry exceeded
+    /// the tolerance.
+    pub fn batch_backend_stats(&self) -> (u64, u64) {
+        (self.tree_sweeps, self.fallback_sweeps)
     }
 }
 
@@ -426,6 +683,112 @@ mod tests {
         e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(1));
         e.reputation(p(0), p(1));
         assert_eq!(e.cache_stats(), (0, 2));
+    }
+
+    /// Symmetric diamond: every edge mirrored, so asymmetry is 0 and
+    /// the Gomory–Hu batch backend is admissible at zero tolerance.
+    fn engine_with_symmetric_diamond(method: Method) -> ReputationEngine {
+        let mut e = ReputationEngine::new().with_method(method);
+        for (a, b, mb) in [(0, 1, 100), (1, 2, 200), (0, 3, 50), (3, 2, 50)] {
+            e.graph_mut().add_transfer(p(a), p(b), Bytes::from_mb(mb));
+            e.graph_mut().add_transfer(p(b), p(a), Bytes::from_mb(mb));
+        }
+        e
+    }
+
+    #[test]
+    fn tree_backend_matches_per_pair_on_symmetric_graphs() {
+        let mut batch = engine_with_symmetric_diamond(Method::Dinic);
+        let mut per_pair = batch.clone();
+        let targets = [p(0), p(1), p(2), p(3), p(9)];
+        let rs = batch.reputations_from(p(0), &targets);
+        assert_eq!(batch.batch_backend_stats(), (1, 0), "must use the tree");
+        for (&j, &r) in targets.iter().zip(&rs) {
+            assert_eq!(
+                r.to_bits(),
+                per_pair.reputation(p(0), j).to_bits(),
+                "R_0({j}) differs between tree batch and per-pair Dinic"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_graph_falls_back_to_per_pair() {
+        // the chain is maximally asymmetric: zero tolerance rejects it
+        let mut e = engine_with_chain().with_method(Method::Dinic);
+        let mut per_pair = e.clone();
+        let targets = [p(1), p(2)];
+        let rs = e.reputations_from(p(0), &targets);
+        assert_eq!(e.batch_backend_stats(), (0, 1), "must fall back");
+        for (&j, &r) in targets.iter().zip(&rs) {
+            assert_eq!(r.to_bits(), per_pair.reputation(p(0), j).to_bits());
+        }
+    }
+
+    #[test]
+    fn tolerance_admits_near_symmetric_graphs() {
+        let mut e = engine_with_symmetric_diamond(Method::Dinic).with_flow_tolerance(0.2);
+        // one small one-way edge: asymmetric, but within tolerance
+        e.graph_mut().add_transfer(p(1), p(3), Bytes::from_mb(10));
+        assert!(e.graph().asymmetry() > 0.0);
+        e.reputations_from(p(0), &[p(1), p(2)]);
+        assert_eq!(e.batch_backend_stats(), (1, 0));
+        // but zero tolerance rejects the same graph
+        let mut strict = e.clone().with_flow_tolerance(0.0);
+        strict.reputations_from(p(0), &[p(1), p(2)]);
+        assert_eq!(strict.batch_backend_stats(), (1, 1));
+    }
+
+    #[test]
+    fn full_sweep_memoization_makes_later_targets_hits() {
+        // the sweep memoizes every reachable peer, not just requested
+        // targets: asking for a *different* reachable target later must
+        // be a pure cache hit
+        let mut e = engine_with_chain();
+        e.reputations_from(p(0), &[p(1)]);
+        assert_eq!(e.cache_stats(), (0, 1));
+        e.reputations_from(p(0), &[p(2)]);
+        assert_eq!(e.cache_stats(), (1, 1), "peer 2 was memoized by the first sweep");
+        assert_eq!(
+            e.reputation(p(0), p(2)).to_bits(),
+            engine_with_chain().reputation(p(0), p(2)).to_bits()
+        );
+    }
+
+    #[test]
+    fn cache_budget_evicts_idle_evaluators_without_staleness() {
+        let mut e = engine_with_chain().with_cache_budget(3);
+        e.reputations_from(p(0), &[p(2)]); // fills (0,1), (0,2)
+        assert_eq!(e.cache_len(), 2);
+        e.reputations_from(p(1), &[p(2)]); // fills (1,0), (1,2): over budget
+        assert!(e.cache_len() <= 3, "budget must hold: {}", e.cache_len());
+        // evaluator 0 (idle longest) was evicted wholesale; re-querying
+        // recomputes the same value — eviction is never stale
+        let (_, misses_before) = e.cache_stats();
+        let r = e.reputation(p(0), p(2));
+        let (_, misses_after) = e.cache_stats();
+        assert_eq!(misses_after, misses_before + 1, "entry was evicted");
+        assert_eq!(r.to_bits(), engine_with_chain().reputation(p(0), p(2)).to_bits());
+    }
+
+    #[test]
+    fn tree_rebuild_only_on_version_change() {
+        let mut e = engine_with_symmetric_diamond(Method::Dinic);
+        e.reputations_from(p(0), &[p(2)]);
+        let v1 = e.gh_tree.as_ref().expect("tree built by sweep").version();
+        // graph unchanged: a sweep from another evaluator reuses the
+        // same tree instead of paying n − 1 Dinic runs again
+        e.reputations_from(p(1), &[p(2)]);
+        assert_eq!(e.gh_tree.as_ref().unwrap().version(), v1);
+        assert_eq!(e.batch_backend_stats(), (2, 0));
+        // symmetric mutation: the version moves and the next sweep
+        // rebuilds (PR 1's version-based invalidation, reused here)
+        e.graph_mut().add_transfer(p(0), p(2), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(2), p(0), Bytes::from_gb(1));
+        e.reputations_from(p(0), &[p(2)]);
+        let v2 = e.gh_tree.as_ref().unwrap().version();
+        assert!(v2 > v1, "tree must track the graph version: {v1} -> {v2}");
+        assert_eq!(e.batch_backend_stats(), (3, 0));
     }
 
     #[test]

@@ -64,6 +64,70 @@ proptest! {
     }
 
     #[test]
+    fn full_sweep_memo_with_tiny_budget_is_never_stale(
+        ops in ops_strategy(),
+        budget in 0usize..8,
+    ) {
+        // the Bounded(2) batch path memoizes each evaluator's *entire*
+        // single-source result set and evicts whole idle evaluators
+        // when the cache outgrows its budget; neither the full-sweep
+        // fill nor the eviction may ever surface a stale value, at any
+        // budget (including 0, where every sweep evicts its neighbours)
+        let targets: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut warm = ReputationEngine::new().with_cache_budget(budget);
+        for (step, &(f, t, c, merge)) in ops.iter().enumerate() {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            // rotate the evaluator so sweeps from many sources compete
+            // for the budget and eviction actually fires
+            let source = PeerId((step % 6) as u32);
+            let got = warm.reputations_from(source, &targets);
+            let mut cold = ReputationEngine::new();
+            *cold.graph_mut() = warm.graph().clone();
+            for (&j, &g) in targets.iter().zip(&got) {
+                let want = cold.reputation(source, j);
+                prop_assert_eq!(
+                    g.to_bits(),
+                    want.to_bits(),
+                    "R_{source:?}({j}) stale at budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_batch_always_matches_cold_engine(ops in ops_strategy(), source in 0u32..6) {
+        // the unbounded batch path routes through the Gomory–Hu tree
+        // whenever the graph happens to be exactly symmetric (zero
+        // tolerance) and per-pair Dinic otherwise; both branches must
+        // agree bitwise with a cold per-pair engine at every version
+        let targets: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut warm = ReputationEngine::new().with_method(Method::Dinic);
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            // mirror every mutation with probability ~1/2 via the merge
+            // flag so symmetric graphs (tree branch) actually occur
+            if merge {
+                warm.graph_mut().merge_record(PeerId(t), PeerId(f), Bytes(c));
+            }
+            let got = warm.reputations_from(PeerId(source), &targets);
+            let mut cold = ReputationEngine::new().with_method(Method::Dinic);
+            *cold.graph_mut() = warm.graph().clone();
+            for (&j, &g) in targets.iter().zip(&got) {
+                let want = cold.reputation(PeerId(source), j);
+                prop_assert_eq!(g.to_bits(), want.to_bits(), "R_{source}({j})");
+            }
+        }
+    }
+
+    #[test]
     fn bounded_one_eviction_is_safe(ops in ops_strategy(), qs in 0u32..6, qt in 0u32..6) {
         // Bounded(1) uses the same incremental eviction rule as
         // Bounded(2); the dirty set is a superset of what it needs.

@@ -1,0 +1,432 @@
+//! Gomory–Hu cut tree for all-pairs unbounded maxflow.
+//!
+//! The paper's baseline comparisons (§3.2, Fig. 4) need *unbounded*
+//! maxflow between every peer pair, which the per-pair machinery pays
+//! for with one full Dinic run per `(evaluator, target)` query — `n²`
+//! runs for an Equation-2 sweep. A Gomory–Hu tree collapses that to
+//! **n − 1** maxflow computations total: on an undirected graph there
+//! are at most `n − 1` distinct flow values, and they can be arranged
+//! as a weighted tree in which
+//!
+//! ```text
+//! flow(s, t) = min edge weight on the tree path s → … → t
+//! ```
+//!
+//! Construction uses Gusfield's simplification (no node contraction:
+//! every maxflow runs on the original graph), and queries use binary
+//! lifting over the rooted tree — `O(log n)` per [`GomoryHuTree::flow`]
+//! and `O(n)` for a whole [`GomoryHuTree::all_flows_from`] sweep.
+//!
+//! **Directionality.** Gomory–Hu trees only exist for undirected
+//! graphs (directed flow values are not tree-representable: there can
+//! be `n(n−1)` distinct ones). The contribution graph is directed, so
+//! the tree is built over its **min-symmetrization**
+//! ([`ContributionGraph::symmetrized`]): each unordered pair keeps
+//! `min(c(i, j), c(j, i))` in both directions. Any flow on that graph
+//! can be oriented into a feasible flow of the directed graph, so
+//!
+//! * tree flow values are a **lower bound** on the directed maxflow in
+//!   *both* directions — `flow_tree(s, t) ≤ min(dir(s → t), dir(t → s))`;
+//! * on a symmetric graph (`c(i, j) = c(j, i)` everywhere) the bound is
+//!   **exact**: the tree reproduces per-pair Dinic / Edmonds–Karp /
+//!   push–relabel values bit-for-bit (pinned by the differential
+//!   property suite in `tests/differential.rs`).
+//!
+//! How much the bound loses is exactly the weight min-symmetrization
+//! discards, measured by [`ContributionGraph::asymmetry`];
+//! `ReputationEngine` uses that measure to decide when the tree is an
+//! acceptable batch backend and when to fall back to exact per-pair
+//! flow.
+
+use crate::contribution::ContributionGraph;
+use crate::maxflow;
+use crate::mincut;
+use crate::network::FlowNetwork;
+use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::FxHashMap;
+
+/// An all-pairs flow oracle over the min-symmetrized contribution
+/// graph: `n − 1` Dinic runs at build time, `O(log n)` per pair query,
+/// `O(n)` per single-source sweep.
+///
+/// ```
+/// use bartercast_graph::gomoryhu::GomoryHuTree;
+/// use bartercast_graph::{compute, ContributionGraph, Method};
+/// use bartercast_util::units::{Bytes, PeerId};
+///
+/// // a symmetric diamond: 0 = 1 = 3, 0 = 2 = 3
+/// let mut g = ContributionGraph::new();
+/// for (a, b, w) in [(0, 1, 10), (1, 3, 5), (0, 2, 8), (2, 3, 8)] {
+///     g.add_transfer(PeerId(a), PeerId(b), Bytes(w));
+///     g.add_transfer(PeerId(b), PeerId(a), Bytes(w));
+/// }
+/// let tree = GomoryHuTree::build(&g);
+/// let exact = compute(&g, PeerId(0), PeerId(3), Method::Dinic);
+/// assert_eq!(tree.flow(PeerId(0), PeerId(3)), exact);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GomoryHuTree {
+    /// Graph version this tree was built at (for cache invalidation).
+    version: u64,
+    /// Tree node order: sorted peer ids, so construction is
+    /// deterministic regardless of hash-map iteration order.
+    ids: Vec<PeerId>,
+    index: FxHashMap<PeerId, u32>,
+    /// Gusfield parent pointers; node 0 is the root (`parent[0] = 0`).
+    parent: Vec<u32>,
+    /// Weight of the edge to the parent (`parent_w[0]` unused).
+    parent_w: Vec<u64>,
+    /// Undirected tree adjacency for `all_flows_from` sweeps.
+    adj: Vec<Vec<(u32, u64)>>,
+    /// Binary-lifting tables: `up[k][v]` is `v`'s 2^k-th ancestor and
+    /// `up_min[k][v]` the minimum edge weight on that path segment.
+    up: Vec<Vec<u32>>,
+    up_min: Vec<Vec<u64>>,
+    depth: Vec<u32>,
+}
+
+impl GomoryHuTree {
+    /// Build the tree for the current state of `graph` (internally
+    /// min-symmetrized first): `n − 1` Dinic runs via Gusfield's
+    /// algorithm, then `O(n log n)` lifting tables.
+    pub fn build(graph: &ContributionGraph) -> Self {
+        let mut ids: Vec<PeerId> = graph.nodes().into_iter().collect();
+        ids.sort_unstable();
+        let index: FxHashMap<PeerId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let n = ids.len();
+        let mut parent = vec![0u32; n];
+        let mut parent_w = vec![0u64; n];
+
+        let sym = graph.symmetrized();
+        let mut net = FlowNetwork::from_graph(&sym);
+
+        // Gusfield: split node i off from its current parent with one
+        // min cut; nodes of i's cut side that hang off the same parent
+        // re-home under i.
+        for i in 1..n {
+            let p = parent[i] as usize;
+            let si = net.node(ids[i]);
+            let ti = net.node(ids[p]);
+            let flow = match (si, ti) {
+                (Some(s), Some(t)) => {
+                    net.reset();
+                    maxflow::dinic(&mut net, s, t)
+                }
+                _ => 0,
+            };
+            parent_w[i] = flow;
+            // cut side containing i, as dense network indices; a node
+            // absent from the symmetrized network is alone on its side
+            let side = match si {
+                Some(s) => {
+                    if ti.is_none() {
+                        net.reset();
+                    }
+                    mincut::source_side(&net, s)
+                }
+                None => Vec::new(),
+            };
+            for j in (i + 1)..n {
+                if parent[j] as usize == p {
+                    if let Some(dj) = net.node(ids[j]) {
+                        if side.get(dj as usize).copied().unwrap_or(false) {
+                            parent[j] = i as u32;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for i in 1..n {
+            adj[i].push((parent[i], parent_w[i]));
+            adj[parent[i] as usize].push((i as u32, parent_w[i]));
+        }
+
+        // Root the tree at 0 and build the lifting tables. The
+        // Gusfield parent pointers already form a tree rooted at 0
+        // (parent[i] < i), so depths come from a single pass in order.
+        let mut depth = vec![0u32; n];
+        for i in 1..n {
+            depth[i] = depth[parent[i] as usize] + 1;
+        }
+        let levels = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
+        let mut up = vec![vec![0u32; n]; levels];
+        let mut up_min = vec![vec![u64::MAX; n]; levels];
+        if n > 0 {
+            up[0].copy_from_slice(&parent);
+            up_min[0][1..n].copy_from_slice(&parent_w[1..n]);
+            // the root lifts to itself over an infinitely strong edge
+            up_min[0][0] = u64::MAX;
+            for k in 1..levels {
+                for v in 0..n {
+                    let mid = up[k - 1][v];
+                    up[k][v] = up[k - 1][mid as usize];
+                    up_min[k][v] = up_min[k - 1][v].min(up_min[k - 1][mid as usize]);
+                }
+            }
+        }
+
+        GomoryHuTree {
+            version: graph.version(),
+            ids,
+            index,
+            parent,
+            parent_w,
+            adj,
+            up,
+            up_min,
+            depth,
+        }
+    }
+
+    /// The graph version this tree reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of peers in the tree (every node of the source graph,
+    /// including ones isolated by symmetrization).
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Minimum edge weight on the tree path between two dense indices
+    /// (binary lifting; `O(log n)`).
+    fn min_on_path(&self, mut a: u32, mut b: u32) -> u64 {
+        let mut best = u64::MAX;
+        if self.depth[a as usize] < self.depth[b as usize] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut diff = self.depth[a as usize] - self.depth[b as usize];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                best = best.min(self.up_min[k][a as usize]);
+                a = self.up[k][a as usize];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if a == b {
+            return best;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][a as usize] != self.up[k][b as usize] {
+                best = best.min(self.up_min[k][a as usize]);
+                best = best.min(self.up_min[k][b as usize]);
+                a = self.up[k][a as usize];
+                b = self.up[k][b as usize];
+            }
+        }
+        best.min(self.up_min[0][a as usize])
+            .min(self.up_min[0][b as usize])
+    }
+
+    /// Symmetrized maxflow between `s` and `t`: the minimum edge
+    /// weight on their tree path. Zero when either peer is unknown or
+    /// `s == t`. Symmetric in its arguments, exact on symmetric
+    /// graphs, and a lower bound on both directed flows otherwise (see
+    /// the module docs).
+    pub fn flow(&self, s: PeerId, t: PeerId) -> Bytes {
+        if s == t {
+            return Bytes::ZERO;
+        }
+        let (Some(&a), Some(&b)) = (self.index.get(&s), self.index.get(&t)) else {
+            return Bytes::ZERO;
+        };
+        Bytes(self.min_on_path(a, b))
+    }
+
+    /// Symmetrized maxflow from `s` to **every** other peer in one
+    /// `O(n)` tree sweep: the returned map holds every peer with
+    /// nonzero flow (absent peers, including `s` itself, have zero) —
+    /// the same shape as the SSAT kernel maps, so callers can swap
+    /// between the two batch backends.
+    pub fn all_flows_from(&self, s: PeerId) -> FxHashMap<PeerId, Bytes> {
+        let mut flows: FxHashMap<PeerId, Bytes> = FxHashMap::default();
+        let Some(&root) = self.index.get(&s) else {
+            return flows;
+        };
+        // iterative DFS carrying the running path minimum
+        let mut stack: Vec<(u32, u32, u64)> = Vec::with_capacity(self.adj[root as usize].len());
+        for &(v, w) in &self.adj[root as usize] {
+            stack.push((v, root, w));
+        }
+        while let Some((v, from, min_w)) = stack.pop() {
+            if min_w > 0 {
+                flows.insert(self.ids[v as usize], Bytes(min_w));
+            }
+            for &(next, w) in &self.adj[v as usize] {
+                if next != from {
+                    stack.push((next, v, min_w.min(w)));
+                }
+            }
+        }
+        flows
+    }
+
+    /// The tree's edges as `(child, parent, weight)` peer triples
+    /// (n − 1 of them; used by tests and diagnostics).
+    pub fn parent_edges(&self) -> impl Iterator<Item = (PeerId, PeerId, Bytes)> + '_ {
+        (1..self.ids.len()).map(move |i| {
+            (
+                self.ids[i],
+                self.ids[self.parent[i] as usize],
+                Bytes(self.parent_w[i]),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::{compute, Method};
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    /// Add an undirected edge (both directions, equal weight).
+    fn undirected(g: &mut ContributionGraph, a: u32, b: u32, w: u64) {
+        g.add_transfer(p(a), p(b), Bytes(w));
+        g.add_transfer(p(b), p(a), Bytes(w));
+    }
+
+    fn sym_diamond() -> ContributionGraph {
+        let mut g = ContributionGraph::new();
+        undirected(&mut g, 0, 1, 10);
+        undirected(&mut g, 1, 3, 5);
+        undirected(&mut g, 0, 2, 8);
+        undirected(&mut g, 2, 3, 8);
+        g
+    }
+
+    #[test]
+    fn matches_dinic_on_symmetric_diamond() {
+        let g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        for s in 0..4 {
+            for t in 0..4 {
+                if s == t {
+                    continue;
+                }
+                let exact = compute(&g, p(s), p(t), Method::Dinic);
+                assert_eq!(tree.flow(p(s), p(t)), exact, "flow({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_flows_match_pair_queries() {
+        let g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        for s in 0..4 {
+            let flows = tree.all_flows_from(p(s));
+            for t in 0..4 {
+                let expect = tree.flow(p(s), p(t));
+                let got = flows.get(&p(t)).copied().unwrap_or(Bytes::ZERO);
+                assert_eq!(got, expect, "all_flows_from({s})[{t}]");
+            }
+            assert!(!flows.contains_key(&p(s)), "source never its own target");
+        }
+    }
+
+    #[test]
+    fn lower_bounds_directed_flow_on_asymmetric_graph() {
+        // 0 -> 1 strong, 1 -> 0 weak; plus a one-directional edge
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(0), p(1), Bytes(100));
+        g.add_transfer(p(1), p(0), Bytes(30));
+        g.add_transfer(p(1), p(2), Bytes(50));
+        let tree = GomoryHuTree::build(&g);
+        for (s, t) in [(0, 1), (1, 0), (1, 2), (0, 2)] {
+            let tree_f = tree.flow(p(s), p(t));
+            let fwd = compute(&g, p(s), p(t), Method::Dinic);
+            let bwd = compute(&g, p(t), p(s), Method::Dinic);
+            assert!(
+                tree_f <= fwd.min(bwd),
+                "tree flow {tree_f:?} must lower-bound both directions ({fwd:?}, {bwd:?})"
+            );
+        }
+        assert_eq!(tree.flow(p(0), p(1)), Bytes(30));
+        // the 1 -> 2 edge has no reverse direction: symmetrized away
+        assert_eq!(tree.flow(p(1), p(2)), Bytes::ZERO);
+    }
+
+    #[test]
+    fn disconnected_components_have_zero_cross_flow() {
+        let mut g = ContributionGraph::new();
+        undirected(&mut g, 0, 1, 10);
+        undirected(&mut g, 5, 6, 20);
+        let tree = GomoryHuTree::build(&g);
+        assert_eq!(tree.flow(p(0), p(5)), Bytes::ZERO);
+        assert_eq!(tree.flow(p(0), p(1)), Bytes(10));
+        assert_eq!(tree.flow(p(5), p(6)), Bytes(20));
+        let flows = tree.all_flows_from(p(0));
+        assert!(!flows.contains_key(&p(5)));
+        assert!(!flows.contains_key(&p(6)));
+    }
+
+    #[test]
+    fn unknown_peers_and_self_queries_are_zero() {
+        let g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        assert_eq!(tree.flow(p(0), p(0)), Bytes::ZERO);
+        assert_eq!(tree.flow(p(0), p(99)), Bytes::ZERO);
+        assert_eq!(tree.flow(p(99), p(0)), Bytes::ZERO);
+        assert!(tree.all_flows_from(p(99)).is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = ContributionGraph::new();
+        let tree = GomoryHuTree::build(&g);
+        assert_eq!(tree.node_count(), 0);
+        assert_eq!(tree.flow(p(0), p(1)), Bytes::ZERO);
+        assert!(tree.all_flows_from(p(0)).is_empty());
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges_and_records_version() {
+        let g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        assert_eq!(tree.parent_edges().count(), 3);
+        assert_eq!(tree.version(), g.version());
+    }
+
+    #[test]
+    fn flow_is_symmetric_in_arguments() {
+        let g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(tree.flow(p(s), p(t)), tree.flow(p(t), p(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_exercises_lifting() {
+        // a long chain: flow(0, k) = min of the chain prefix weights
+        let mut g = ContributionGraph::new();
+        let weights = [9, 3, 7, 2, 8, 5, 6, 4, 10, 1];
+        for (i, &w) in weights.iter().enumerate() {
+            undirected(&mut g, i as u32, i as u32 + 1, w);
+        }
+        let tree = GomoryHuTree::build(&g);
+        for t in 1..=weights.len() as u32 {
+            let expect = weights[..t as usize].iter().copied().min().unwrap();
+            assert_eq!(tree.flow(p(0), p(t)), Bytes(expect), "chain flow 0 -> {t}");
+        }
+    }
+}

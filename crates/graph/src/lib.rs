@@ -20,8 +20,13 @@
 //! * [`ssat`] — the single-source all-targets kernel for the deployed
 //!   two-hop bound: one traversal of a node's two-hop neighbourhood
 //!   yields its bounded maxflow to (or from) every other peer at once.
-//! * [`mincut`] — the source-side minimum cut, used by tests to verify
-//!   the max-flow/min-cut theorem on every computed flow.
+//! * [`gomoryhu`] — the all-pairs analogue for **unbounded** flow: a
+//!   Gusfield-simplified Gomory–Hu cut tree over the min-symmetrized
+//!   graph (n − 1 Dinic runs), answering any pair in `O(log n)` and a
+//!   whole single-source sweep in `O(n)`; exact on symmetric graphs, a
+//!   lower bound under directed asymmetry.
+//! * [`mincut`] — source- and sink-side minimum cuts, used by tests to
+//!   verify the max-flow/min-cut theorem on every computed flow.
 //! * [`analysis`] — graph statistics, the §3.2 two-hop coverage
 //!   measure, and DOT export.
 
@@ -29,6 +34,7 @@
 
 pub mod analysis;
 pub mod contribution;
+pub mod gomoryhu;
 pub mod maxflow;
 pub mod mincut;
 pub mod network;

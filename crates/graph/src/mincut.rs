@@ -27,6 +27,38 @@ pub fn source_side(net: &FlowNetwork, s: u32) -> Vec<bool> {
     reachable
 }
 
+/// The **complement of the sink side** of a minimum cut: `true` for
+/// nodes that can *not* reach `t` in the residual network (so the
+/// vector is directly usable as the `S` side for [`cut_capacity`]).
+///
+/// Unlike [`source_side`], this certificate is valid for a maximum
+/// **preflow** as well as a maximum flow: push–relabel without a
+/// second (flow-decomposition) phase may leave excess trapped at
+/// interior nodes, which can make extra nodes residually reachable
+/// *from* `s`, but the set of nodes that cannot reach `t` still forms
+/// a minimum cut of value `excess(t)`.
+pub fn sink_side_complement(net: &FlowNetwork, t: u32) -> Vec<bool> {
+    let n = net.node_count();
+    // reverse residual reachability: walk arcs (u -> v, cap > 0)
+    // backwards from t, using the twin-arc layout (arc `ai` leaves the
+    // node that arc `ai ^ 1` points at)
+    let mut reaches_t = vec![false; n];
+    let mut stack = vec![t];
+    reaches_t[t as usize] = true;
+    while let Some(v) = stack.pop() {
+        for &ai in &net.adj[v as usize] {
+            // arc ai is (v -> x); its twin ai ^ 1 is (x -> v), whose
+            // remaining capacity decides whether x reaches t through v
+            let x = net.arcs[ai as usize].to;
+            if net.arcs[(ai ^ 1) as usize].cap > 0 && !reaches_t[x as usize] {
+                reaches_t[x as usize] = true;
+                stack.push(x);
+            }
+        }
+    }
+    reaches_t.into_iter().map(|r| !r).collect()
+}
+
 /// Capacity of the cut `(S, V∖S)` in the **original** network: the sum
 /// of original capacities of forward arcs leaving `S`.
 ///
@@ -87,6 +119,56 @@ mod tests {
         assert!(!side[t as usize]);
         assert_eq!(cut_capacity(&net, &side), flow);
         assert_eq!(flow, 23);
+    }
+
+    #[test]
+    fn every_backend_produces_a_certified_cut() {
+        // cross-backend min-cut certificate: for each maxflow backend,
+        // the cut read off the residual network must separate s from t
+        // and its capacity must equal the returned flow value
+        let mut g = ContributionGraph::new();
+        for (f, t, c) in [
+            (0, 1, 16),
+            (0, 2, 13),
+            (1, 2, 10),
+            (2, 1, 4),
+            (1, 3, 12),
+            (3, 2, 9),
+            (2, 4, 14),
+            (4, 3, 7),
+            (3, 5, 20),
+            (4, 5, 4),
+        ] {
+            g.add_transfer(p(f), p(t), Bytes(c));
+        }
+        let mut net = FlowNetwork::from_graph(&g);
+        let s = net.node(p(0)).unwrap();
+        let t = net.node(p(5)).unwrap();
+        type Backend = (&'static str, fn(&mut FlowNetwork, u32, u32) -> u64);
+        let backends: [Backend; 5] = [
+            ("ford_fulkerson", maxflow::ford_fulkerson),
+            ("edmonds_karp", maxflow::edmonds_karp),
+            ("dinic", maxflow::dinic),
+            ("push_relabel", maxflow::push_relabel),
+            ("bounded_full", |n, s, t| maxflow::bounded(n, s, t, 100)),
+        ];
+        for (name, run) in backends {
+            net.reset();
+            let flow = run(&mut net, s, t);
+            assert_eq!(flow, 23, "{name} flow value");
+            // sink-side certificate: valid for flows and preflows alike
+            let side = sink_side_complement(&net, t);
+            assert!(side[s as usize], "{name}: s must be on the S side");
+            assert!(!side[t as usize], "{name}: t must be cut off");
+            assert_eq!(cut_capacity(&net, &side), flow, "{name} sink-side cut");
+            if name != "push_relabel" {
+                // source-side certificate needs a genuine flow (no
+                // trapped excess), which augmenting backends guarantee
+                let side = source_side(&net, s);
+                assert!(side[s as usize] && !side[t as usize], "{name} separation");
+                assert_eq!(cut_capacity(&net, &side), flow, "{name} source-side cut");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Differential test harness for the maxflow backends.
+//!
+//! Pins the algebraic relationships between every flow implementation
+//! in the crate on random graphs:
+//!
+//! * on **undirected** (symmetric) graphs, the Gomory–Hu tree, per-pair
+//!   Dinic, Edmonds–Karp and FIFO push–relabel all agree exactly, for
+//!   every pair — n − 1 maxflows really do reproduce all n(n−1) values;
+//! * on **directed** (asymmetric) graphs, the tree flow is a lower
+//!   bound of the per-pair directed flow in *both* directions (the
+//!   documented min-symmetrization error model);
+//! * every backend's flow carries a min-cut certificate: the residual
+//!   cut separates s from t and its capacity equals the flow value;
+//! * `all_flows_from` sweeps agree pointwise with pair queries, and
+//!   tree flows are symmetric in their arguments.
+//!
+//! The suite runs under the vendored deterministic proptest (fixed
+//! per-case seed derivation, no regression files); `scripts/tier1.sh`
+//! runs it explicitly and fails on any `proptest-regressions` drift.
+
+use bartercast_graph::contribution::ContributionGraph;
+use bartercast_graph::gomoryhu::GomoryHuTree;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::mincut;
+use bartercast_graph::network::FlowNetwork;
+use bartercast_util::units::{Bytes, PeerId};
+use proptest::prelude::*;
+
+/// A random undirected edge list over up to `n` nodes: each entry adds
+/// the same weight in both directions.
+fn sym_edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0..n, 0..n, 1u64..1000), 0..max_edges)
+}
+
+fn build_symmetric(edges: &[(u32, u32, u64)]) -> ContributionGraph {
+    let mut g = ContributionGraph::new();
+    for &(f, t, c) in edges {
+        if f != t {
+            g.add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            g.add_transfer(PeerId(t), PeerId(f), Bytes(c));
+        }
+    }
+    g
+}
+
+fn build_directed(edges: &[(u32, u32, u64)]) -> ContributionGraph {
+    let mut g = ContributionGraph::new();
+    for &(f, t, c) in edges {
+        if f != t {
+            g.add_transfer(PeerId(f), PeerId(t), Bytes(c));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gomoryhu_equals_every_unbounded_backend_on_undirected_graphs(
+        edges in sym_edges_strategy(14, 40),
+    ) {
+        let g = build_symmetric(&edges);
+        prop_assert_eq!(g.asymmetry(), 0.0);
+        let tree = GomoryHuTree::build(&g);
+        for s in 0..14u32 {
+            for t in 0..14u32 {
+                if s == t {
+                    continue;
+                }
+                let tree_f = tree.flow(PeerId(s), PeerId(t));
+                let dn = maxflow::compute(&g, PeerId(s), PeerId(t), Method::Dinic);
+                let ek = maxflow::compute(&g, PeerId(s), PeerId(t), Method::EdmondsKarp);
+                let pr = maxflow::compute(&g, PeerId(s), PeerId(t), Method::PushRelabel);
+                prop_assert_eq!(tree_f, dn, "tree vs dinic at ({s}, {t})");
+                prop_assert_eq!(dn, ek, "dinic vs edmonds-karp at ({s}, {t})");
+                prop_assert_eq!(ek, pr, "edmonds-karp vs push-relabel at ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_flow_lower_bounds_directed_flow(
+        edges in prop::collection::vec((0u32..12, 0u32..12, 1u64..1000), 0..40),
+    ) {
+        let g = build_directed(&edges);
+        let tree = GomoryHuTree::build(&g);
+        for s in 0..12u32 {
+            for t in (s + 1)..12u32 {
+                let tree_f = tree.flow(PeerId(s), PeerId(t));
+                let fwd = maxflow::compute(&g, PeerId(s), PeerId(t), Method::Dinic);
+                let bwd = maxflow::compute(&g, PeerId(t), PeerId(s), Method::Dinic);
+                prop_assert!(
+                    tree_f <= fwd && tree_f <= bwd,
+                    "tree {tree_f:?} must lower-bound directed flows {fwd:?} / {bwd:?} at ({s}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sweeps_match_pair_queries_and_are_symmetric(
+        edges in sym_edges_strategy(12, 36),
+        s in 0u32..14,
+    ) {
+        // s ranges past the node universe so absent sources are hit too
+        let g = build_symmetric(&edges);
+        let tree = GomoryHuTree::build(&g);
+        let flows = tree.all_flows_from(PeerId(s));
+        prop_assert!(!flows.contains_key(&PeerId(s)));
+        for t in 0..14u32 {
+            let pair = tree.flow(PeerId(s), PeerId(t));
+            let swept = flows.get(&PeerId(t)).copied().unwrap_or(Bytes::ZERO);
+            prop_assert_eq!(swept, pair, "all_flows_from({s})[{t}]");
+            prop_assert_eq!(pair, tree.flow(PeerId(t), PeerId(s)), "symmetry at ({s}, {t})");
+        }
+    }
+
+    #[test]
+    fn every_backend_flow_carries_a_mincut_certificate(
+        edges in prop::collection::vec((0u32..10, 0u32..10, 1u64..1000), 0..30),
+        s in 0u32..10,
+        t in 0u32..10,
+    ) {
+        let g = build_directed(&edges);
+        let mut net = FlowNetwork::from_graph(&g);
+        let (Some(si), Some(ti)) = (net.node(PeerId(s)), net.node(PeerId(t))) else {
+            return Ok(());
+        };
+        if si == ti {
+            return Ok(());
+        }
+        type Backend = (&'static str, fn(&mut FlowNetwork, u32, u32) -> u64);
+        let backends: [Backend; 5] = [
+            ("ford_fulkerson", maxflow::ford_fulkerson),
+            ("edmonds_karp", maxflow::edmonds_karp),
+            ("dinic", maxflow::dinic),
+            ("push_relabel", maxflow::push_relabel),
+            ("bounded_full", |n, s, t| maxflow::bounded(n, s, t, 64)),
+        ];
+        for (name, run) in backends {
+            net.reset();
+            let flow = run(&mut net, si, ti);
+            // the sink-side certificate holds for flows and preflows
+            let side = mincut::sink_side_complement(&net, ti);
+            prop_assert!(side[si as usize], "{name}: s left the S side");
+            prop_assert!(!side[ti as usize], "{name}: t not cut off");
+            prop_assert_eq!(mincut::cut_capacity(&net, &side), flow, "{name} cut capacity");
+            if name != "push_relabel" {
+                let side = mincut::source_side(&net, si);
+                prop_assert!(side[si as usize] && !side[ti as usize], "{name} separation");
+                prop_assert_eq!(mincut::cut_capacity(&net, &side), flow, "{name} source cut");
+            }
+        }
+    }
+}
+
+/// One deterministic large case at the satellite's 64-node ceiling:
+/// a symmetric small-world-ish graph where the tree must agree with
+/// per-pair Dinic on a sampled set of pairs.
+#[test]
+fn gomoryhu_agrees_with_dinic_at_64_nodes() {
+    let n = 64u32;
+    let mut g = ContributionGraph::new();
+    // ring
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let w = 50 + (i as u64 * 37) % 400;
+        g.add_transfer(PeerId(i), PeerId(j), Bytes(w));
+        g.add_transfer(PeerId(j), PeerId(i), Bytes(w));
+    }
+    // deterministic chords
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for _ in 0..3 * n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = ((x >> 33) % n as u64) as u32;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let b = ((x >> 33) % n as u64) as u32;
+        if a != b {
+            let w = 10 + (x % 300);
+            g.add_transfer(PeerId(a), PeerId(b), Bytes(w));
+            g.add_transfer(PeerId(b), PeerId(a), Bytes(w));
+        }
+    }
+    assert_eq!(g.asymmetry(), 0.0);
+    let tree = GomoryHuTree::build(&g);
+    assert_eq!(tree.node_count(), 64);
+    // sample pairs: every node against a stride of targets
+    for s in 0..n {
+        for k in 0..4 {
+            let t = (s + 7 + 13 * k) % n;
+            if s == t {
+                continue;
+            }
+            let exact = maxflow::compute(&g, PeerId(s), PeerId(t), Method::Dinic);
+            assert_eq!(tree.flow(PeerId(s), PeerId(t)), exact, "pair ({s}, {t})");
+        }
+    }
+}

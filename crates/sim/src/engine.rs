@@ -141,7 +141,8 @@ impl Simulation {
                 };
                 let engine = ReputationEngine::new()
                     .with_method(config.maxflow)
-                    .with_metric(config.metric);
+                    .with_metric(config.metric)
+                    .with_flow_tolerance(config.maxflow_tolerance);
                 let mut peer = SimPeer::new(
                     pt.peer,
                     behaviour,
@@ -669,9 +670,12 @@ impl Simulation {
     /// same index set as evaluators).
     ///
     /// Each evaluator scores all targets through its engine's batch
-    /// path (`reputations_from`), which computes the deployed two-hop
-    /// flows for every target in one neighbourhood traversal instead
-    /// of one maxflow pair per target.
+    /// path (`reputations_from`): the deployed two-hop configuration
+    /// computes every target's flows in one neighbourhood traversal,
+    /// and **unbounded** ablation configs route through the engine's
+    /// Gomory–Hu tree backend when the subjective graph's asymmetry is
+    /// within `SimConfig::maxflow_tolerance` (exact per-pair flow
+    /// otherwise) — instead of one maxflow pair per target either way.
     ///
     /// Evaluators are independent (each queries only its own engine),
     /// so for large populations the computation fans out across
@@ -992,6 +996,35 @@ mod tests {
                 assert_eq!(p.behaviour, Behaviour::Freerider);
             }
         }
+    }
+
+    #[test]
+    fn unbounded_config_runs_to_horizon() {
+        // ablation config: exact per-pair Dinic for every Equation-2
+        // sweep (zero tolerance rejects the tree on the asymmetric
+        // subjective graphs a real run produces)
+        let mut cfg = small_config();
+        cfg.maxflow = bartercast_graph::maxflow::Method::Dinic;
+        let report = Simulation::new(small_trace(11), cfg).run();
+        assert!(report.pieces_transferred > 0);
+        assert!(!report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn unbounded_tree_backend_is_deterministic() {
+        // tolerance 1.0 admits the Gomory–Hu batch backend on every
+        // sweep regardless of asymmetry: the run must still complete
+        // and stay bit-reproducible across identical seeds
+        let mut cfg = small_config();
+        cfg.maxflow = bartercast_graph::maxflow::Method::Dinic;
+        cfg.maxflow_tolerance = 1.0;
+        cfg.validate();
+        let a = Simulation::new(small_trace(11), cfg.clone()).run();
+        let b = Simulation::new(small_trace(11), cfg).run();
+        assert!(a.pieces_transferred > 0);
+        let ra: Vec<f64> = a.outcomes.iter().map(|o| o.system_reputation).collect();
+        let rb: Vec<f64> = b.outcomes.iter().map(|o| o.system_reputation).collect();
+        assert_eq!(ra, rb);
     }
 
     #[test]

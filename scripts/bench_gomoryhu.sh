@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Measure the unbounded Equation-2 sweep (per-pair Dinic vs Gomory–Hu
+# tree) and emit BENCH_gomoryhu.json at the repository root. The bench
+# gates on correctness first: on the symmetric fixture the tree must
+# reproduce per-pair Dinic exactly before anything is timed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bench --bin bench_gomoryhu -- BENCH_gomoryhu.json

@@ -1,7 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, clippy clean.
+# Tier-1 gate: release build, full test suite, clippy clean, plus the
+# differential flow suite and a proptest-regressions drift check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
+# Differential harness, run explicitly: Gomory–Hu tree vs per-pair
+# Dinic / Edmonds–Karp / push–relabel, min-cut certificates, and the
+# cache-invalidation and codec fuzz properties. The vendored proptest
+# derives every case seed deterministically (no time/entropy input),
+# so these runs are reproducible byte-for-byte.
+cargo test -q -p bartercast-graph --test differential
+cargo test -q -p bartercast-core --test invalidation --test codec_fuzz
+# The vendored proptest never writes regression files; any
+# proptest-regressions entry appearing in the tree means a test pulled
+# in the real crate or something is scribbling where it shouldn't.
+if [ -n "$(git status --porcelain | grep proptest-regressions || true)" ] \
+    || [ -n "$(find . -name proptest-regressions -not -path './target/*' -print -quit)" ]; then
+    echo "error: proptest-regressions drift detected" >&2
+    exit 1
+fi
 cargo clippy --all-targets -- -D warnings
