@@ -17,11 +17,12 @@ fn bench_pss_rounds(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_round", n), &n, |b, &n| {
             b.iter(|| {
                 let cfg = PssConfig::default();
-                let mut nodes: Vec<PssNode> =
-                    (0..n).map(|i| PssNode::new(PeerId(i as u32), cfg)).collect();
-                for i in 0..n {
+                let mut nodes: Vec<PssNode> = (0..n)
+                    .map(|i| PssNode::new(PeerId(i as u32), cfg))
+                    .collect();
+                for (i, node) in nodes.iter_mut().enumerate() {
                     let next = PeerId(((i + 1) % n) as u32);
-                    nodes[i].bootstrap([next]);
+                    node.bootstrap([next]);
                 }
                 let mut rng = StdRng::seed_from_u64(1);
                 for _ in 0..5 {
@@ -46,8 +47,16 @@ fn bench_pss_rounds(c: &mut Criterion) {
 fn big_history() -> PrivateHistory {
     let mut h = PrivateHistory::new(PeerId(0));
     for i in 1..=500u32 {
-        h.record_download(PeerId(i), Bytes::from_mb((i * 13 % 900 + 1) as u64), Seconds(i as u64));
-        h.record_upload(PeerId(i), Bytes::from_mb((i * 7 % 500 + 1) as u64), Seconds(i as u64));
+        h.record_download(
+            PeerId(i),
+            Bytes::from_mb((i * 13 % 900 + 1) as u64),
+            Seconds(i as u64),
+        );
+        h.record_upload(
+            PeerId(i),
+            Bytes::from_mb((i * 7 % 500 + 1) as u64),
+            Seconds(i as u64),
+        );
     }
     h
 }
@@ -76,7 +85,9 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("gossip/codec");
     let h = big_history();
     let msg = BarterCastMessage::from_history(&h, BarterCastConfig { nh: 10, nr: 10 });
-    group.bench_function("encode", |b| b.iter(|| black_box(codec::encode(black_box(&msg)))));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(codec::encode(black_box(&msg))))
+    });
     let frame = codec::encode(&msg);
     group.bench_function("decode", |b| {
         b.iter(|| black_box(codec::decode(black_box(&frame)).unwrap()))

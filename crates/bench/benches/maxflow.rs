@@ -23,14 +23,7 @@ fn bench_random(c: &mut Criterion) {
         let g = random_graph(n, (n as usize) * 6, 42);
         for (name, method) in methods() {
             group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
-                b.iter(|| {
-                    black_box(compute(
-                        black_box(g),
-                        PeerId(0),
-                        PeerId(n - 1),
-                        method,
-                    ))
-                })
+                b.iter(|| black_box(compute(black_box(g), PeerId(0), PeerId(n - 1), method)))
             });
         }
     }
@@ -43,14 +36,7 @@ fn bench_small_world(c: &mut Criterion) {
         let g = small_world_graph(n, (n as usize) * 2, 7);
         for (name, method) in methods() {
             group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
-                b.iter(|| {
-                    black_box(compute(
-                        black_box(g),
-                        PeerId(0),
-                        PeerId(n / 2),
-                        method,
-                    ))
-                })
+                b.iter(|| black_box(compute(black_box(g), PeerId(0), PeerId(n / 2), method)))
             });
         }
     }

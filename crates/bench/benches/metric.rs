@@ -2,8 +2,8 @@
 //! clamp, plus the full engine query path (maxflow + metric + cache)
 //! in cold and warm states.
 
-use bartercast_core::cache::ReputationEngine;
 use bartercast_core::metric::ReputationMetric;
+use bartercast_core::ReputationEngine;
 use bartercast_util::units::{Bytes, PeerId};
 use bench::small_world_graph;
 use criterion::{criterion_group, criterion_main, Criterion};

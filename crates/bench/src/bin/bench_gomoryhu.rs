@@ -11,6 +11,7 @@
 //! Dinic flows Equation 1 needs for every target, sampling evaluators
 //! at large n (evaluators are independent, so the mean is unbiased).
 
+use bartercast_core::{CacheStats, ReputationEngine};
 use bartercast_graph::gomoryhu::GomoryHuTree;
 use bartercast_graph::maxflow::{self, Method};
 use bartercast_graph::{ContributionGraph, FlowNetwork};
@@ -47,6 +48,7 @@ struct Row {
     tree_build_us: f64,
     tree_evaluator_us: f64,
     speedup: f64,
+    stats: CacheStats,
 }
 
 fn correctness_gate(g: &ContributionGraph, tree: &GomoryHuTree, n: u32) {
@@ -96,12 +98,24 @@ fn measure(n: u32) -> Row {
     let sweep_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
     let tree_evaluator_us = tree_build_us / n as f64 + sweep_us;
 
+    // production path: the engine's unbounded batch sweep routes every
+    // evaluator through its Gomory–Hu backend on this symmetric
+    // fixture; its cache counters (tree_sweeps should cover all n
+    // evaluators with one tree build) land in the JSON row
+    let mut engine = ReputationEngine::new().with_method(Method::Dinic);
+    *engine.graph_mut() = g.clone();
+    let targets: Vec<PeerId> = (0..n).map(PeerId).collect();
+    for e in 0..n {
+        black_box(engine.reputations_from(PeerId(e), &targets));
+    }
+
     Row {
         n,
         per_pair_evaluator_us,
         tree_build_us,
         tree_evaluator_us,
         speedup: per_pair_evaluator_us / tree_evaluator_us,
+        stats: engine.stats(),
     }
 }
 
@@ -122,8 +136,13 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"tree_build_us\": {:.3}, \"tree_evaluator_us\": {:.3}, \"speedup\": {:.3}}}",
-                r.n, r.per_pair_evaluator_us, r.tree_build_us, r.tree_evaluator_us, r.speedup
+                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"tree_build_us\": {:.3}, \"tree_evaluator_us\": {:.3}, \"speedup\": {:.3}, \"cache\": {{{}}}}}",
+                r.n,
+                r.per_pair_evaluator_us,
+                r.tree_build_us,
+                r.tree_evaluator_us,
+                r.speedup,
+                r.stats.json_fields()
             )
         })
         .collect();

@@ -8,6 +8,7 @@
 //! reported per evaluator so the ratio is the sweep speedup.
 
 use bartercast_core::metric::ReputationMetric;
+use bartercast_core::{CacheStats, ReputationEngine};
 use bartercast_graph::maxflow::{self, Method};
 use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
 use bartercast_util::units::{Bytes, PeerId};
@@ -53,7 +54,9 @@ struct Row {
     n: u32,
     per_pair_evaluator_us: f64,
     ssat_evaluator_us: f64,
+    engine_evaluator_us: f64,
     speedup: f64,
+    stats: CacheStats,
 }
 
 fn measure(n: u32) -> Row {
@@ -65,7 +68,11 @@ fn measure(n: u32) -> Row {
     for e in 0..n.min(8) {
         let a = per_pair_evaluator(&mut net, PeerId(e), n);
         let b = ssat_evaluator(&g, PeerId(e), n);
-        assert_eq!(a.to_bits(), b.to_bits(), "kernel mismatch at n={n}, evaluator {e}");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "kernel mismatch at n={n}, evaluator {e}"
+        );
     }
 
     // per-pair: sample evaluators at large n (full sweep is exactly
@@ -84,11 +91,25 @@ fn measure(n: u32) -> Row {
     }
     let ssat_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
 
+    // production path: the ReputationEngine batch sweep (SSAT backend
+    // plus memo), every evaluator over every target — its cache
+    // counters land in the JSON row
+    let mut engine = ReputationEngine::new();
+    *engine.graph_mut() = g.clone();
+    let targets: Vec<PeerId> = (0..n).map(PeerId).collect();
+    let start = Instant::now();
+    for e in 0..n {
+        black_box(engine.reputations_from(PeerId(e), &targets));
+    }
+    let engine_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+
     Row {
         n,
         per_pair_evaluator_us,
         ssat_evaluator_us,
+        engine_evaluator_us,
         speedup: per_pair_evaluator_us / ssat_evaluator_us,
+        stats: engine.stats(),
     }
 }
 
@@ -100,8 +121,12 @@ fn main() {
     for &n in &[64u32, 256, 1024] {
         let row = measure(n);
         eprintln!(
-            "n={:5}  per_pair {:10.1} µs/evaluator   ssat {:8.1} µs/evaluator   speedup {:6.1}x",
-            row.n, row.per_pair_evaluator_us, row.ssat_evaluator_us, row.speedup
+            "n={:5}  per_pair {:10.1} µs/evaluator   ssat {:8.1} µs/evaluator   engine {:8.1} µs/evaluator   speedup {:6.1}x",
+            row.n,
+            row.per_pair_evaluator_us,
+            row.ssat_evaluator_us,
+            row.engine_evaluator_us,
+            row.speedup
         );
         rows.push(row);
     }
@@ -109,8 +134,13 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"ssat_evaluator_us\": {:.3}, \"speedup\": {:.3}}}",
-                r.n, r.per_pair_evaluator_us, r.ssat_evaluator_us, r.speedup
+                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"ssat_evaluator_us\": {:.3}, \"engine_evaluator_us\": {:.3}, \"speedup\": {:.3}, \"cache\": {{{}}}}}",
+                r.n,
+                r.per_pair_evaluator_us,
+                r.ssat_evaluator_us,
+                r.engine_evaluator_us,
+                r.speedup,
+                r.stats.json_fields()
             )
         })
         .collect();

@@ -19,11 +19,7 @@ pub fn random_graph(nodes: u32, edges: usize, seed: u64) -> ContributionGraph {
         let f = rng.gen_range(0..nodes);
         let t = rng.gen_range(0..nodes);
         if f != t {
-            g.add_transfer(
-                PeerId(f),
-                PeerId(t),
-                Bytes::from_mb(rng.gen_range(1..1024)),
-            );
+            g.add_transfer(PeerId(f), PeerId(t), Bytes::from_mb(rng.gen_range(1..1024)));
         }
     }
     g
@@ -37,8 +33,16 @@ pub fn small_world_graph(nodes: u32, chords: usize, seed: u64) -> ContributionGr
     let mut g = ContributionGraph::new();
     for i in 0..nodes {
         let next = (i + 1) % nodes;
-        g.add_transfer(PeerId(i), PeerId(next), Bytes::from_mb(rng.gen_range(10..500)));
-        g.add_transfer(PeerId(next), PeerId(i), Bytes::from_mb(rng.gen_range(10..500)));
+        g.add_transfer(
+            PeerId(i),
+            PeerId(next),
+            Bytes::from_mb(rng.gen_range(10..500)),
+        );
+        g.add_transfer(
+            PeerId(next),
+            PeerId(i),
+            Bytes::from_mb(rng.gen_range(10..500)),
+        );
     }
     for _ in 0..chords {
         let f = rng.gen_range(0..nodes);

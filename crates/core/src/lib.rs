@@ -28,16 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod audit;
-pub mod cache;
 pub mod codec;
 pub mod history;
 pub mod identity;
 pub mod message;
 pub mod metric;
 pub mod policy;
+pub mod repcache;
 
 pub use audit::Auditor;
-pub use cache::ReputationEngine;
+pub use repcache::{CacheStats, ReputationEngine};
 pub use history::{PrivateHistory, TransferTotals};
 pub use message::{BarterCastConfig, BarterCastMessage, TransferRecord};
 pub use metric::{reputation_from_flows, ReputationMetric};

@@ -1,0 +1,161 @@
+//! Backend dispatch: which flow kernel serves a query, and the
+//! consolidated cache statistics the engine reports.
+//!
+//! The engine used to pick its evaluation path with per-call `match`es
+//! on [`Method`] — one arm per kernel, with the fallback policy
+//! (Gomory–Hu tree vs. exact per-pair flow) duplicated at each call
+//! site. [`BackendSet`] centralizes that: it owns one instance of each
+//! [`FlowBackend`] and answers "who serves this query?" by asking the
+//! backends themselves, in a fixed priority order.
+
+use bartercast_graph::backend::{GomoryHu, PairwiseDinic, Ssat};
+use bartercast_graph::maxflow::Method;
+use bartercast_graph::FlowBackend;
+
+/// The engine's flow kernels, consulted in priority order:
+///
+/// 1. [`Ssat`] — single-source all-targets sweeps for the deployed
+///    bounded methods (`k ≤ 2`); exact.
+/// 2. [`GomoryHu`] — `O(n)` tree sweeps for unbounded methods while
+///    the graph's directed asymmetry stays within the tolerance.
+/// 3. [`PairwiseDinic`] — exact per-pair evaluation; supports
+///    everything, so selection never fails.
+///
+/// Point queries skip the tree (see [`BackendSet::select_point`]):
+/// they are cheap enough to stay exact, and the old engine's contract
+/// was that `reputation` never approximates.
+#[derive(Debug, Clone)]
+pub struct BackendSet {
+    ssat: Ssat,
+    gomoryhu: GomoryHu,
+    pairwise: PairwiseDinic,
+}
+
+impl BackendSet {
+    /// Backends for `method`, with the Gomory–Hu tree admissible up to
+    /// `tolerance` directed asymmetry.
+    pub fn new(method: Method, tolerance: f64) -> Self {
+        BackendSet {
+            ssat: Ssat::new(method),
+            gomoryhu: GomoryHu::new(tolerance),
+            pairwise: PairwiseDinic::new(method),
+        }
+    }
+
+    /// The highest-priority backend that supports `method` at the
+    /// graph's current `asymmetry`. Used for batch queries, where a
+    /// sweep kernel pays off; falls through to [`PairwiseDinic`],
+    /// which supports everything.
+    pub fn select(&mut self, method: Method, asymmetry: f64) -> &mut dyn FlowBackend {
+        let ordered: [&mut dyn FlowBackend; 3] =
+            [&mut self.ssat, &mut self.gomoryhu, &mut self.pairwise];
+        for backend in ordered {
+            if backend.supports(method, asymmetry) {
+                return backend;
+            }
+        }
+        unreachable!("PairwiseDinic supports every method")
+    }
+
+    /// The backend for a single-pair query: the bounded SSAT kernel
+    /// when the method admits it, else exact per-pair evaluation —
+    /// never the Gomory–Hu tree, whose approximation is only accepted
+    /// on batch sweeps where its `O(n)` amortization buys something.
+    pub fn select_point(&mut self, method: Method) -> &mut dyn FlowBackend {
+        if self.ssat.supports(method, 0.0) {
+            &mut self.ssat
+        } else {
+            &mut self.pairwise
+        }
+    }
+
+    /// Graph version of the Gomory–Hu backend's current tree, if one
+    /// is built (diagnostics: rebuild-once-per-version tests).
+    pub fn tree_version(&self) -> Option<u64> {
+        self.gomoryhu.tree_version()
+    }
+}
+
+/// One snapshot of the engine's cache behaviour, consolidating what
+/// used to be spread over `cache_stats()`, `cache_len()` and
+/// `batch_backend_stats()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo cache. Each queried pair counts
+    /// exactly once per query, on every query path.
+    pub hits: u64,
+    /// Queries that computed flows. Entries prefilled by the same
+    /// call's sweep still count as misses the first time they are
+    /// requested, so totals stay comparable across query paths.
+    pub misses: u64,
+    /// Memoized `(evaluator, target)` entries currently held.
+    pub entries: usize,
+    /// Entries dropped by the LRU budget since construction.
+    pub evictions: u64,
+    /// Entries dropped because a graph change dirtied one of their
+    /// endpoints (or, for unbounded methods, any edge).
+    pub invalidated: u64,
+    /// Unbounded batch queries served by the Gomory–Hu tree.
+    pub tree_sweeps: u64,
+    /// Unbounded batch queries that fell back to exact per-pair flow
+    /// because the graph's asymmetry exceeded the tolerance.
+    pub fallback_sweeps: u64,
+}
+
+impl CacheStats {
+    /// The stats as a fragment of JSON object fields (no braces), for
+    /// the bench binaries' `BENCH_*.json` rows.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \
+             \"invalidated\": {}, \"tree_sweeps\": {}, \"fallback_sweeps\": {}",
+            self.hits,
+            self.misses,
+            self.entries,
+            self.evictions,
+            self.invalidated,
+            self.tree_sweeps,
+            self.fallback_sweeps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_selection_priority() {
+        let mut set = BackendSet::new(Method::DEPLOYED, 0.0);
+        assert_eq!(set.select(Method::DEPLOYED, 1.0).name(), "ssat");
+        assert_eq!(set.select(Method::Dinic, 0.0).name(), "gomory-hu");
+        assert_eq!(set.select(Method::Dinic, 0.5).name(), "pairwise");
+        assert_eq!(set.select(Method::Bounded(7), 0.0).name(), "pairwise");
+    }
+
+    #[test]
+    fn point_selection_never_approximates() {
+        let mut set = BackendSet::new(Method::Dinic, 1.0);
+        // tree would be admissible for a batch at this tolerance, but
+        // point queries stay exact
+        assert_eq!(set.select(Method::Dinic, 0.5).name(), "gomory-hu");
+        assert_eq!(set.select_point(Method::Dinic).name(), "pairwise");
+        assert_eq!(set.select_point(Method::DEPLOYED).name(), "ssat");
+    }
+
+    #[test]
+    fn json_fields_are_well_formed() {
+        let s = CacheStats {
+            hits: 1,
+            misses: 2,
+            entries: 3,
+            evictions: 4,
+            invalidated: 5,
+            tree_sweeps: 6,
+            fallback_sweeps: 7,
+        };
+        let json = format!("{{{}}}", s.json_fields());
+        assert!(json.starts_with("{\"hits\": 1,"));
+        assert!(json.ends_with("\"fallback_sweeps\": 7}"));
+    }
+}

@@ -1,24 +1,46 @@
-//! The reputation engine: subjective graph + maxflow + metric + cache.
+//! The reputation engine: subjective graph + flow backends + metric +
+//! memo cache.
 //!
 //! Each peer owns one [`ReputationEngine`]. It holds the peer's
 //! subjective [`ContributionGraph`] (private history edges plus
 //! gossiped records), evaluates Equation 1 with a configurable maxflow
 //! method (the deployed default is two-hop-bounded), and memoizes
 //! results until the graph changes.
+//!
+//! The engine is assembled from three submodules:
+//!
+//! * [`backend`] — [`BackendSet`], the dispatch policy over the
+//!   [`FlowBackend`] kernels (SSAT sweep, Gomory–Hu tree, per-pair
+//!   fallback), plus the consolidated [`CacheStats`].
+//! * [`journal`] — the [`ChangeJournal`] dirty bitmap driving
+//!   incremental cache invalidation across graph changes.
+//! * [`memo`] — the [`MemoCache`] per-entry LRU bounding the memory
+//!   the memoized reputations can take.
 
 use crate::history::PrivateHistory;
 use crate::message::BarterCastMessage;
 use crate::metric::ReputationMetric;
-use bartercast_graph::gomoryhu::GomoryHuTree;
 use bartercast_graph::maxflow::{self, Method};
-use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
+use bartercast_graph::{ContributionGraph, FlowPair};
 use bartercast_util::units::{Bytes, PeerId};
 use bartercast_util::{FxHashMap, FxHashSet};
 
-/// Default ceiling on memoized `(evaluator, target)` entries before
-/// idle sweep eviction kicks in (see
-/// [`ReputationEngine::with_cache_budget`]).
-pub const DEFAULT_CACHE_BUDGET: usize = 1 << 20;
+pub mod backend;
+pub mod journal;
+pub mod memo;
+
+pub use backend::{BackendSet, CacheStats};
+pub use journal::{ChangeJournal, DEFAULT_JOURNAL_CAPACITY, JOURNAL_WORD_BITS};
+pub use memo::{MemoCache, DEFAULT_CACHE_BUDGET};
+
+/// Whether `method` evaluates unbounded maxflow (any path length), as
+/// opposed to the deployed path-length-bounded variants.
+fn is_unbounded(method: Method) -> bool {
+    matches!(
+        method,
+        Method::FordFulkerson | Method::EdmondsKarp | Method::Dinic | Method::PushRelabel
+    )
+}
 
 /// Subjective reputation evaluation with memoization.
 #[derive(Debug, Clone)]
@@ -26,19 +48,19 @@ pub struct ReputationEngine {
     graph: ContributionGraph,
     method: Method,
     metric: ReputationMetric,
-    cache: FxHashMap<(PeerId, PeerId), f64>,
-    /// Graph version the cache and `net` were last synchronized to;
+    /// The flow kernels, dispatched per query by [`BackendSet`]; each
+    /// backend invalidates its own per-version state lazily, so the
+    /// engine never issues reset calls.
+    backends: BackendSet,
+    /// Memoized `(evaluator, target)` reputations under a per-entry
+    /// LRU budget.
+    memo: MemoCache,
+    /// Dirty-node bitmap folded from the graph's change tracking on
+    /// every [`ReputationEngine::sync`].
+    journal: ChangeJournal,
+    /// Graph version the memo cache was last synchronized to;
     /// [`ReputationEngine::sync`] is the single place that moves it.
     cached_version: u64,
-    /// Flow network rebuilt lazily when the graph version moves, so a
-    /// burst of reputation queries against an unchanged graph shares
-    /// one network construction. Valid only at `cached_version`
-    /// (`sync` drops it whenever the version advances).
-    net: Option<FlowNetwork>,
-    /// Gomory–Hu tree over the min-symmetrized graph: the batch
-    /// backend for unbounded methods. Like `net`, rebuilt lazily and
-    /// only when the graph version moves.
-    gh_tree: Option<GomoryHuTree>,
     /// Maximum directed asymmetry ([`ContributionGraph::asymmetry`])
     /// at which the Gomory–Hu batch backend is trusted; beyond it,
     /// unbounded batch queries fall back to exact per-pair flow.
@@ -46,19 +68,12 @@ pub struct ReputationEngine {
     /// Memoized `(version, asymmetry)` so a burst of batch queries
     /// measures the graph once.
     asymmetry_at: Option<(u64, f64)>,
-    /// Per-evaluator last-use stamps for sweep-filled cache regions,
-    /// driving idle eviction under [`ReputationEngine::cache_budget`].
-    sweep_stamp: FxHashMap<PeerId, u64>,
-    /// Monotone sweep counter backing `sweep_stamp`.
-    sweep_clock: u64,
-    /// Entry ceiling for the memo cache: when a batch sweep pushes the
-    /// cache past it, whole idle evaluators (oldest sweep stamp first)
-    /// are evicted until it fits again.
-    cache_budget: usize,
     hits: u64,
     misses: u64,
+    /// Entries dropped by graph-change invalidation (diagnostics).
+    invalidated: u64,
     /// Batch sweeps answered by the Gomory–Hu tree vs. per-pair
-    /// fallback (diagnostics; see `batch_backend_stats`).
+    /// fallback (diagnostics; see [`CacheStats`]).
     tree_sweeps: u64,
     fallback_sweeps: u64,
 }
@@ -77,17 +92,15 @@ impl ReputationEngine {
             graph: ContributionGraph::new(),
             method: Method::DEPLOYED,
             metric: ReputationMetric::default(),
-            cache: FxHashMap::default(),
+            backends: BackendSet::new(Method::DEPLOYED, 0.0),
+            memo: MemoCache::default(),
+            journal: ChangeJournal::new(),
             cached_version: 0,
-            net: None,
-            gh_tree: None,
             flow_tolerance: 0.0,
             asymmetry_at: None,
-            sweep_stamp: FxHashMap::default(),
-            sweep_clock: 0,
-            cache_budget: DEFAULT_CACHE_BUDGET,
             hits: 0,
             misses: 0,
+            invalidated: 0,
             tree_sweeps: 0,
             fallback_sweeps: 0,
         }
@@ -102,12 +115,11 @@ impl ReputationEngine {
     }
 
     /// Override the maxflow method (ablation: unbounded algorithms).
-    /// Invalidates any memoized reputations.
+    /// Invalidates any memoized reputations and rebuilds the backends.
     pub fn with_method(mut self, method: Method) -> Self {
         self.method = method;
-        self.cache.clear();
-        self.sweep_stamp.clear();
-        self.gh_tree = None;
+        self.backends = BackendSet::new(method, self.flow_tolerance);
+        self.memo.clear();
         self
     }
 
@@ -115,8 +127,7 @@ impl ReputationEngine {
     /// reputations.
     pub fn with_metric(mut self, metric: ReputationMetric) -> Self {
         self.metric = metric;
-        self.cache.clear();
-        self.sweep_stamp.clear();
+        self.memo.clear();
         self
     }
 
@@ -135,63 +146,64 @@ impl ReputationEngine {
     /// always falls back to exact per-pair flow.
     pub fn with_flow_tolerance(mut self, tolerance: f64) -> Self {
         self.flow_tolerance = tolerance;
+        self.backends = BackendSet::new(self.method, tolerance);
         // tree-filled entries are only as exact as the tolerance that
         // admitted them; changing it must not mix approximations
-        self.cache.clear();
-        self.sweep_stamp.clear();
+        self.memo.clear();
         self
     }
 
     /// Cap the memo cache at `budget` entries. Batch sweeps memoize
     /// their full single-source result set (every reachable peer, not
-    /// just the requested targets); when that pushes the cache past
-    /// the budget, the engine evicts whole evaluators that have been
-    /// idle longest (by sweep recency) until the cache fits. Purely a
-    /// memory/perf knob: eviction can never produce stale values.
+    /// just the requested targets); the per-entry LRU evicts the
+    /// least-recently-used entries when that pushes the cache past the
+    /// budget. Purely a memory/perf knob: eviction can never produce
+    /// stale values.
     pub fn with_cache_budget(mut self, budget: usize) -> Self {
-        self.cache_budget = budget;
+        self.memo.set_budget(budget);
         self
     }
 
-    /// Bring the memo cache and shared flow network up to the current
-    /// graph version. The single synchronization point for all query
-    /// paths (`reputation`, `reputations_from`, `flows_cached`).
+    /// Pre-size the change journal for `nodes` node slots (an
+    /// allocation hint — see [`journal::DEFAULT_JOURNAL_CAPACITY`];
+    /// the journal grows past it without losing precision).
+    pub fn with_journal_capacity(mut self, nodes: usize) -> Self {
+        self.journal = ChangeJournal::with_capacity(nodes);
+        self
+    }
+
+    /// Bring the memo cache up to the current graph version. The
+    /// single synchronization point for all query paths.
     ///
-    /// When the graph moved, the shared network is always dropped, but
-    /// the memo cache is evicted **incrementally** where the method
-    /// permits: for path-length bounds ≤ 2, a changed edge `(a, b)`
-    /// can only alter `flow(s, t)` when `s = a` or `t = b`, so the
-    /// entry `(i, j)` — which combines `flow(j → i)` and
-    /// `flow(i → j)` — is affected exactly when `i` or `j` is an
-    /// endpoint of a changed edge. Entries whose pairs avoid every
-    /// dirty endpoint are provably unchanged and survive. Unbounded
-    /// methods (where a distant edge can reroute flow anywhere) and a
-    /// truncated change log fall back to clearing everything.
+    /// When the graph moved, the memo cache is evicted
+    /// **incrementally** where the method permits: for path-length
+    /// bounds ≤ 2, a changed edge `(a, b)` can only alter `flow(s, t)`
+    /// when `s = a` or `t = b`, so the entry `(i, j)` — which combines
+    /// `flow(j → i)` and `flow(i → j)` — is affected exactly when `i`
+    /// or `j` is an endpoint of a changed edge. The journal folds the
+    /// graph's per-node change versions (which never truncate) into a
+    /// dirty bitmap, so entries whose pairs avoid every dirty endpoint
+    /// are provably unchanged and survive — across arbitrarily long
+    /// gaps between syncs. Unbounded methods, where a distant edge can
+    /// reroute flow anywhere, must still clear everything; that is a
+    /// semantic requirement of the method, not a capacity fallback.
     fn sync(&mut self) {
         let version = self.graph.version();
         if version == self.cached_version {
             return;
         }
-        let evicted_incrementally = matches!(self.method, Method::Bounded(k) if k <= 2)
-            && match self.graph.changes_since(self.cached_version) {
-                Some(changes) => {
-                    let mut dirty: FxHashSet<PeerId> = FxHashSet::default();
-                    for (a, b) in changes {
-                        dirty.insert(a);
-                        dirty.insert(b);
-                    }
-                    self.cache
-                        .retain(|&(i, j), _| !dirty.contains(&i) && !dirty.contains(&j));
-                    true
-                }
-                None => false,
-            };
-        if !evicted_incrementally {
-            self.cache.clear();
-            self.sweep_stamp.clear();
+        if matches!(self.method, Method::Bounded(k) if k <= 2) {
+            self.journal.absorb(&self.graph, self.cached_version);
+            let journal = &self.journal;
+            let removed = self
+                .memo
+                .retain(|&(i, j)| !journal.is_dirty(i) && !journal.is_dirty(j));
+            self.invalidated += removed as u64;
+            self.journal.clear();
+        } else {
+            self.invalidated += self.memo.len() as u64;
+            self.memo.clear();
         }
-        self.net = None;
-        self.gh_tree = None;
         self.cached_version = version;
     }
 
@@ -236,7 +248,9 @@ impl ReputationEngine {
     }
 
     /// The two directed maxflows of Equation 1:
-    /// `(maxflow(j → i), maxflow(i → j))`.
+    /// `(maxflow(j → i), maxflow(i → j))`, computed on throwaway
+    /// networks (diagnostics; the query paths go through the shared
+    /// backends instead).
     pub fn flows(&self, i: PeerId, j: PeerId) -> (Bytes, Bytes) {
         (
             maxflow::compute(&self.graph, j, i, self.method),
@@ -244,74 +258,63 @@ impl ReputationEngine {
         )
     }
 
-    /// [`ReputationEngine::flows`] against the shared, lazily rebuilt
-    /// flow network (hot path for bulk reputation queries).
-    fn flows_cached(&mut self, i: PeerId, j: PeerId) -> (Bytes, Bytes) {
-        self.sync();
-        let net = self
-            .net
-            .get_or_insert_with(|| FlowNetwork::from_graph(&self.graph));
-        (
-            maxflow::compute_on(net, j, i, self.method),
-            maxflow::compute_on(net, i, j, self.method),
-        )
-    }
-
     /// Subjective reputation `R_i(j)` (§3.3, Equation 1), memoized
     /// until the graph changes.
+    ///
+    /// Point queries go through [`BackendSet::select_point`]: always
+    /// an exact kernel, never the Gomory–Hu approximation.
     pub fn reputation(&mut self, i: PeerId, j: PeerId) -> f64 {
         if i == j {
             return 0.0;
         }
         self.sync();
-        if let Some(&r) = self.cache.get(&(i, j)) {
+        if let Some(r) = self.memo.get(&(i, j)) {
             self.hits += 1;
             return r;
         }
         self.misses += 1;
-        let (toward, away) = self.flows_cached(i, j);
+        let backend = self.backends.select_point(self.method);
+        let toward = backend.flow(&self.graph, j, i);
+        let away = backend.flow(&self.graph, i, j);
         let r = self.metric.eval(toward, away);
-        self.cache.insert((i, j), r);
+        self.memo.insert((i, j), r);
         r
     }
 
     /// Batch form of [`ReputationEngine::reputation`]: `R_i(j)` for
     /// every `j` in `targets`, in order.
     ///
-    /// Three backends, dispatched on the method:
-    ///
-    /// * **`Bounded(2)`** (deployed): the single-source all-targets
-    ///   kernel ([`ssat::flows_into`] / [`ssat::flows_from`]) — two
-    ///   traversals of `i`'s two-hop neighbourhood replace one maxflow
-    ///   pair per target, bit-identical to per-pair evaluation. The
-    ///   **full** single-source result set (every reachable peer) is
-    ///   memoized, so consecutive sweeps over different target lists
-    ///   are pure cache hits; the cache budget bounds the memory this
-    ///   can take (idle evaluators evicted first).
-    /// * **Unbounded methods**: the Gomory–Hu tree over the
-    ///   min-symmetrized graph, when the graph's directed asymmetry is
-    ///   within [`ReputationEngine::with_flow_tolerance`] — one
-    ///   `O(n)` tree sweep instead of `2·|targets|` full maxflow runs,
-    ///   with the tree itself costing n − 1 Dinic runs *per graph
-    ///   version* instead of per sweep. Exact (bit-identical) on
-    ///   symmetric graphs; beyond the tolerance every query falls back
-    ///   to exact per-pair flow (the oracle).
-    /// * **Anything else** (`Bounded(k ≠ 2)`): a plain per-pair loop.
+    /// The backend is chosen once per call by [`BackendSet::select`]:
+    /// the SSAT sweep for bounded methods `k ≤ 2`, the Gomory–Hu tree
+    /// for unbounded methods within the asymmetry tolerance, and exact
+    /// per-pair evaluation otherwise. When the backend offers a batch
+    /// sweep, it runs lazily on the first cache miss and its **full**
+    /// single-source result set (every reachable peer) is memoized, so
+    /// consecutive sweeps over different target lists are pure cache
+    /// hits; the cache budget bounds the memory this can take.
     pub fn reputations_from(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
-        match self.method {
-            Method::Bounded(2) => self.reputations_from_ssat(i, targets),
-            Method::FordFulkerson
-            | Method::EdmondsKarp
-            | Method::Dinic
-            | Method::PushRelabel => self.reputations_from_unbounded(i, targets),
-            _ => targets.iter().map(|&j| self.reputation(i, j)).collect(),
-        }
-    }
-
-    /// `Bounded(2)` batch path: SSAT kernel + full-sweep memoization.
-    fn reputations_from_ssat(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
         self.sync();
-        self.touch_sweep(i);
+        let asymmetry = if is_unbounded(self.method) {
+            self.asymmetry_cached()
+        } else {
+            0.0
+        };
+        let backend = self.backends.select(self.method, asymmetry);
+        if is_unbounded(self.method) {
+            // per-call dispatch diagnostics, counted even when every
+            // target turns out to be a cache hit
+            if backend.name() == "gomory-hu" {
+                self.tree_sweeps += 1;
+            } else {
+                self.fallback_sweeps += 1;
+            }
+        }
+        // the sweep (when the backend has one) runs lazily on the
+        // first miss; `fresh` tracks the entries it inserted, which
+        // still count as misses the first time they are requested so
+        // hit/miss totals stay comparable with per-pair accounting
+        let mut flows: Option<FxHashMap<PeerId, FlowPair>> = None;
+        let mut no_sweep = false;
         let mut fresh: Option<FxHashSet<PeerId>> = None;
         let mut out = Vec::with_capacity(targets.len());
         for &j in targets {
@@ -319,183 +322,81 @@ impl ReputationEngine {
                 out.push(0.0);
                 continue;
             }
-            // entries inserted by *this call's* sweep still count as
-            // misses the first time they are requested, so hit/miss
-            // totals stay comparable with the pre-sweep accounting
-            let prefilled = fresh.as_ref().is_some_and(|f| f.contains(&j));
-            if !prefilled {
-                if let Some(&r) = self.cache.get(&(i, j)) {
+            if !fresh.as_ref().is_some_and(|f| f.contains(&j)) {
+                if let Some(r) = self.memo.get(&(i, j)) {
                     self.hits += 1;
                     out.push(r);
                     continue;
                 }
             }
             self.misses += 1;
-            let inserted = fresh.get_or_insert_with(|| {
-                let toward = ssat::flows_into(&self.graph, i);
-                let away = ssat::flows_from(&self.graph, i);
-                Self::fill_sweep(
-                    &mut self.cache,
-                    &self.metric,
-                    i,
-                    toward.keys().chain(away.keys()).copied(),
-                    |j| {
-                        let t = toward.get(&j).copied().unwrap_or(Bytes::ZERO);
-                        let a = away.get(&j).copied().unwrap_or(Bytes::ZERO);
-                        (t, a)
-                    },
-                )
-            });
-            inserted.remove(&j);
-            // peers absent from both SSAT maps have zero flow either
-            // way; memoize them too so repeat queries hit
-            let r = match self.cache.get(&(i, j)) {
-                Some(&r) => r,
+            if flows.is_none() && !no_sweep {
+                match backend.all_flows_from(&self.graph, i) {
+                    Some(swept) => {
+                        // memoize the entire single-source result set;
+                        // entries already memoized are left alone (same
+                        // graph version, hence identical values)
+                        let mut inserted = FxHashSet::default();
+                        for (&peer, pair) in &swept {
+                            if peer != i && self.memo.peek(&(i, peer)).is_none() {
+                                self.memo
+                                    .insert((i, peer), self.metric.eval(pair.toward, pair.away));
+                                inserted.insert(peer);
+                            }
+                        }
+                        flows = Some(swept);
+                        fresh = Some(inserted);
+                    }
+                    None => no_sweep = true,
+                }
+            }
+            // compute the output value straight from the flows (never
+            // read back through the memo, whose budget may already
+            // have evicted this call's own insertions)
+            let value = match &flows {
+                Some(swept) => {
+                    let pair = swept.get(&j).copied().unwrap_or_default();
+                    self.metric.eval(pair.toward, pair.away)
+                }
                 None => {
-                    let r = self.metric.eval(Bytes::ZERO, Bytes::ZERO);
-                    self.cache.insert((i, j), r);
-                    r
+                    let toward = backend.flow(&self.graph, j, i);
+                    let away = backend.flow(&self.graph, i, j);
+                    self.metric.eval(toward, away)
                 }
             };
-            out.push(r);
-        }
-        if fresh.is_some() {
-            self.enforce_budget(i);
+            // peers absent from the sweep have zero flow either way;
+            // memoize them too so repeat queries hit
+            if self.memo.peek(&(i, j)).is_none() {
+                self.memo.insert((i, j), value);
+            }
+            if let Some(f) = fresh.as_mut() {
+                f.remove(&j);
+            }
+            out.push(value);
         }
         out
     }
 
-    /// Memoize evaluator `i`'s **entire** single-source result set —
-    /// the sweep already covers every reachable peer, so caching only
-    /// requested targets (as the first version of this path did) threw
-    /// the rest away. Entries already memoized are left alone (they
-    /// are at the same graph version, hence identical); the returned
-    /// set holds the keys that were genuinely new.
-    fn fill_sweep(
-        cache: &mut FxHashMap<(PeerId, PeerId), f64>,
-        metric: &ReputationMetric,
-        i: PeerId,
-        keys: impl Iterator<Item = PeerId>,
-        flows_of: impl Fn(PeerId) -> (Bytes, Bytes),
-    ) -> FxHashSet<PeerId> {
-        let mut fresh = FxHashSet::default();
-        for j in keys {
-            if j != i && !cache.contains_key(&(i, j)) {
-                let (t, a) = flows_of(j);
-                cache.insert((i, j), metric.eval(t, a));
-                fresh.insert(j);
-            }
-        }
-        fresh
-    }
-
-    /// Unbounded batch path: Gomory–Hu tree within the asymmetry
-    /// tolerance, exact per-pair fallback beyond it.
-    fn reputations_from_unbounded(&mut self, i: PeerId, targets: &[PeerId]) -> Vec<f64> {
-        self.sync();
-        if self.asymmetry_cached() > self.flow_tolerance {
-            self.fallback_sweeps += 1;
-            return targets.iter().map(|&j| self.reputation(i, j)).collect();
-        }
-        self.tree_sweeps += 1;
-        self.touch_sweep(i);
-        let version = self.graph.version();
-        if self.gh_tree.as_ref().map(GomoryHuTree::version) != Some(version) {
-            self.gh_tree = Some(GomoryHuTree::build(&self.graph));
-        }
-        let tree = self.gh_tree.take().expect("tree built above");
-        let flows = tree.all_flows_from(i);
-        let mut fresh: Option<FxHashSet<PeerId>> = None;
-        let mut out = Vec::with_capacity(targets.len());
-        for &j in targets {
-            if j == i {
-                out.push(0.0);
-                continue;
-            }
-            let prefilled = fresh.as_ref().is_some_and(|f| f.contains(&j));
-            if !prefilled {
-                if let Some(&r) = self.cache.get(&(i, j)) {
-                    self.hits += 1;
-                    out.push(r);
-                    continue;
-                }
-            }
-            self.misses += 1;
-            let inserted = fresh.get_or_insert_with(|| {
-                // the tree flow serves both directions of Equation 1
-                // (see with_flow_tolerance for the error model)
-                Self::fill_sweep(&mut self.cache, &self.metric, i, flows.keys().copied(), |j| {
-                    let f = flows.get(&j).copied().unwrap_or(Bytes::ZERO);
-                    (f, f)
-                })
-            });
-            inserted.remove(&j);
-            let r = match self.cache.get(&(i, j)) {
-                Some(&r) => r,
-                None => {
-                    let r = self.metric.eval(Bytes::ZERO, Bytes::ZERO);
-                    self.cache.insert((i, j), r);
-                    r
-                }
-            };
-            out.push(r);
-        }
-        self.gh_tree = Some(tree);
-        if fresh.is_some() {
-            self.enforce_budget(i);
-        }
-        out
-    }
-
-    /// Refresh evaluator `i`'s sweep-recency stamp.
-    fn touch_sweep(&mut self, i: PeerId) {
-        self.sweep_clock += 1;
-        self.sweep_stamp.insert(i, self.sweep_clock);
-    }
-
-    /// Evict whole idle evaluators (oldest sweep stamp first, never
-    /// the one currently sweeping) until the cache fits its budget.
-    fn enforce_budget(&mut self, current: PeerId) {
-        if self.cache.len() <= self.cache_budget {
-            return;
-        }
-        let mut owners: Vec<(u64, PeerId)> = self
-            .sweep_stamp
-            .iter()
-            .filter(|&(&p, _)| p != current)
-            .map(|(&p, &stamp)| (stamp, p))
-            .collect();
-        owners.sort_unstable();
-        for (_, p) in owners {
-            if self.cache.len() <= self.cache_budget {
-                break;
-            }
-            self.cache.retain(|&(e, _), _| e != p);
-            self.sweep_stamp.remove(&p);
+    /// One snapshot of the cache counters: hits, misses, live entries,
+    /// LRU evictions, change invalidations, and the unbounded batch
+    /// dispatch split (tree vs. per-pair fallback).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.memo.len(),
+            evictions: self.memo.evictions(),
+            invalidated: self.invalidated,
+            tree_sweeps: self.tree_sweeps,
+            fallback_sweeps: self.fallback_sweeps,
         }
     }
 
-    /// `(cache hits, cache misses)` since construction. A hit is a
-    /// query answered from the memo cache, a miss one that computed
-    /// flows; both [`ReputationEngine::reputation`] and
-    /// [`ReputationEngine::reputations_from`] count each queried pair
-    /// exactly once, so the totals stay comparable across query paths
-    /// and cache invalidations.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Number of memoized `(i, j)` entries currently held.
-    pub fn cache_len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// `(tree sweeps, fallback sweeps)`: how many unbounded batch
-    /// queries the Gomory–Hu backend answered vs. how many fell back
-    /// to exact per-pair flow because the graph's asymmetry exceeded
-    /// the tolerance.
-    pub fn batch_backend_stats(&self) -> (u64, u64) {
-        (self.tree_sweeps, self.fallback_sweeps)
+    /// Graph version of the Gomory–Hu backend's current tree, if one
+    /// is built (diagnostics: lets tests assert the tree is rebuilt
+    /// once per graph version, not once per sweep).
+    pub fn tree_version(&self) -> Option<u64> {
+        self.backends.tree_version()
     }
 }
 
@@ -514,6 +415,11 @@ mod tests {
         e.graph_mut().add_transfer(p(2), p(1), Bytes::from_mb(300));
         e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(200));
         e
+    }
+
+    fn hit_miss(e: &ReputationEngine) -> (u64, u64) {
+        let s = e.stats();
+        (s.hits, s.misses)
     }
 
     #[test]
@@ -569,13 +475,11 @@ mod tests {
         let r1 = e.reputation(p(0), p(2));
         let r2 = e.reputation(p(0), p(2));
         assert_eq!(r1, r2);
-        let (hits, misses) = e.cache_stats();
-        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(hit_miss(&e), (1, 1));
         // mutate graph: cache must invalidate
         e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
         let r3 = e.reputation(p(0), p(2));
-        let (_, misses2) = e.cache_stats();
-        assert_eq!(misses2, 2);
+        assert_eq!(e.stats().misses, 2);
         assert!(r3 >= r1);
     }
 
@@ -627,15 +531,15 @@ mod tests {
         let mut e = engine_with_chain();
         // batch fills the cache: 2 misses (self-query is free)
         e.reputations_from(p(0), &[p(0), p(1), p(2)]);
-        assert_eq!(e.cache_stats(), (0, 2));
-        assert_eq!(e.cache_len(), 2);
+        assert_eq!(hit_miss(&e), (0, 2));
+        assert_eq!(e.stats().entries, 2);
         // per-pair queries now hit the batch-filled entries
         e.reputation(p(0), p(1));
         e.reputation(p(0), p(2));
-        assert_eq!(e.cache_stats(), (2, 2));
+        assert_eq!(hit_miss(&e), (2, 2));
         // and a second batch is pure hits
         e.reputations_from(p(0), &[p(1), p(2)]);
-        assert_eq!(e.cache_stats(), (4, 2));
+        assert_eq!(hit_miss(&e), (4, 2));
     }
 
     #[test]
@@ -646,13 +550,14 @@ mod tests {
         e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(100));
         e.reputation(p(0), p(1));
         e.reputation(p(5), p(6));
-        assert_eq!(e.cache_stats(), (0, 2));
+        assert_eq!(hit_miss(&e), (0, 2));
         // touching the {5,6} component must not evict the (0,1) entry
         e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(1));
         e.reputation(p(0), p(1));
-        assert_eq!(e.cache_stats(), (1, 2), "(0,1) must survive eviction");
+        assert_eq!(hit_miss(&e), (1, 2), "(0,1) must survive eviction");
         e.reputation(p(5), p(6));
-        assert_eq!(e.cache_stats(), (1, 3), "(5,6) must be recomputed");
+        assert_eq!(hit_miss(&e), (1, 3), "(5,6) must be recomputed");
+        assert_eq!(e.stats().invalidated, 1, "exactly the dirty entry dropped");
     }
 
     #[test]
@@ -674,6 +579,22 @@ mod tests {
     }
 
     #[test]
+    fn long_sync_gaps_never_force_full_invalidation() {
+        // the old flat change log truncated at 4096 entries and fell
+        // back to clearing the whole cache; the journal reads per-node
+        // change versions instead, so any gap length evicts precisely
+        let mut e = ReputationEngine::new();
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(100));
+        e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(100));
+        e.reputation(p(0), p(1));
+        for k in 0..(2 * DEFAULT_JOURNAL_CAPACITY as u64) {
+            e.graph_mut().add_transfer(p(6), p(5), Bytes(k + 1));
+        }
+        e.reputation(p(0), p(1));
+        assert_eq!(hit_miss(&e), (1, 1), "(0,1) must survive the distant churn");
+    }
+
+    #[test]
     fn unbounded_methods_clear_everything_on_change() {
         let mut e = ReputationEngine::new().with_method(Method::Dinic);
         e.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(100));
@@ -682,7 +603,7 @@ mod tests {
         // under Dinic a distant edge can matter, so any change clears
         e.graph_mut().add_transfer(p(6), p(5), Bytes::from_mb(1));
         e.reputation(p(0), p(1));
-        assert_eq!(e.cache_stats(), (0, 2));
+        assert_eq!(hit_miss(&e), (0, 2));
     }
 
     /// Symmetric diamond: every edge mirrored, so asymmetry is 0 and
@@ -696,13 +617,18 @@ mod tests {
         e
     }
 
+    fn sweep_split(e: &ReputationEngine) -> (u64, u64) {
+        let s = e.stats();
+        (s.tree_sweeps, s.fallback_sweeps)
+    }
+
     #[test]
     fn tree_backend_matches_per_pair_on_symmetric_graphs() {
         let mut batch = engine_with_symmetric_diamond(Method::Dinic);
         let mut per_pair = batch.clone();
         let targets = [p(0), p(1), p(2), p(3), p(9)];
         let rs = batch.reputations_from(p(0), &targets);
-        assert_eq!(batch.batch_backend_stats(), (1, 0), "must use the tree");
+        assert_eq!(sweep_split(&batch), (1, 0), "must use the tree");
         for (&j, &r) in targets.iter().zip(&rs) {
             assert_eq!(
                 r.to_bits(),
@@ -719,7 +645,7 @@ mod tests {
         let mut per_pair = e.clone();
         let targets = [p(1), p(2)];
         let rs = e.reputations_from(p(0), &targets);
-        assert_eq!(e.batch_backend_stats(), (0, 1), "must fall back");
+        assert_eq!(sweep_split(&e), (0, 1), "must fall back");
         for (&j, &r) in targets.iter().zip(&rs) {
             assert_eq!(r.to_bits(), per_pair.reputation(p(0), j).to_bits());
         }
@@ -732,11 +658,11 @@ mod tests {
         e.graph_mut().add_transfer(p(1), p(3), Bytes::from_mb(10));
         assert!(e.graph().asymmetry() > 0.0);
         e.reputations_from(p(0), &[p(1), p(2)]);
-        assert_eq!(e.batch_backend_stats(), (1, 0));
+        assert_eq!(sweep_split(&e), (1, 0));
         // but zero tolerance rejects the same graph
         let mut strict = e.clone().with_flow_tolerance(0.0);
         strict.reputations_from(p(0), &[p(1), p(2)]);
-        assert_eq!(strict.batch_backend_stats(), (1, 1));
+        assert_eq!(sweep_split(&strict), (1, 1));
     }
 
     #[test]
@@ -746,9 +672,9 @@ mod tests {
         // be a pure cache hit
         let mut e = engine_with_chain();
         e.reputations_from(p(0), &[p(1)]);
-        assert_eq!(e.cache_stats(), (0, 1));
+        assert_eq!(hit_miss(&e), (0, 1));
         e.reputations_from(p(0), &[p(2)]);
-        assert_eq!(e.cache_stats(), (1, 1), "peer 2 was memoized by the first sweep");
+        assert_eq!(hit_miss(&e), (1, 1), "peer 2 was memoized by the first sweep");
         assert_eq!(
             e.reputation(p(0), p(2)).to_bits(),
             engine_with_chain().reputation(p(0), p(2)).to_bits()
@@ -756,39 +682,56 @@ mod tests {
     }
 
     #[test]
-    fn cache_budget_evicts_idle_evaluators_without_staleness() {
-        let mut e = engine_with_chain().with_cache_budget(3);
-        e.reputations_from(p(0), &[p(2)]); // fills (0,1), (0,2)
-        assert_eq!(e.cache_len(), 2);
-        e.reputations_from(p(1), &[p(2)]); // fills (1,0), (1,2): over budget
-        assert!(e.cache_len() <= 3, "budget must hold: {}", e.cache_len());
-        // evaluator 0 (idle longest) was evicted wholesale; re-querying
-        // recomputes the same value — eviction is never stale
-        let (_, misses_before) = e.cache_stats();
+    fn cache_budget_evicts_cold_entries_without_staleness() {
+        let mut e = engine_with_chain().with_cache_budget(2);
+        e.reputations_from(p(0), &[p(2)]); // sweep fills (0,1), (0,2)
+        assert_eq!(e.stats().entries, 2);
+        // evaluator 1's sweep fills (1,2), (1,0): both of evaluator 0's
+        // now-coldest entries are evicted to hold the budget
+        e.reputations_from(p(1), &[p(2)]);
+        let s = e.stats();
+        assert_eq!(s.entries, 2, "budget must hold");
+        assert_eq!(s.evictions, 2);
+        // re-querying recomputes the same value — eviction is never stale
+        let misses_before = e.stats().misses;
         let r = e.reputation(p(0), p(2));
-        let (_, misses_after) = e.cache_stats();
-        assert_eq!(misses_after, misses_before + 1, "entry was evicted");
+        assert_eq!(e.stats().misses, misses_before + 1, "entry was evicted");
         assert_eq!(r.to_bits(), engine_with_chain().reputation(p(0), p(2)).to_bits());
+    }
+
+    #[test]
+    fn per_entry_lru_keeps_hot_entries_alive() {
+        // whole-evaluator eviction would drop (0,2) along with the rest
+        // of evaluator 0's entries when evaluator 1 sweeps; per-entry
+        // recency keeps the hot pair and sheds only the cold one
+        let mut e = engine_with_chain().with_cache_budget(3);
+        e.reputations_from(p(0), &[p(1)]); // fills (0,1), (0,2)
+        e.reputation(p(0), p(2)); // hit: (0,2) is now the hottest entry
+        let hits_before = e.stats().hits;
+        e.reputations_from(p(1), &[p(0)]); // fills (1,*): one eviction
+        assert_eq!(e.stats().evictions, 1);
+        e.reputation(p(0), p(2));
+        assert_eq!(e.stats().hits, hits_before + 1, "hot entry survived the churn");
     }
 
     #[test]
     fn tree_rebuild_only_on_version_change() {
         let mut e = engine_with_symmetric_diamond(Method::Dinic);
         e.reputations_from(p(0), &[p(2)]);
-        let v1 = e.gh_tree.as_ref().expect("tree built by sweep").version();
+        let v1 = e.tree_version().expect("tree built by sweep");
         // graph unchanged: a sweep from another evaluator reuses the
         // same tree instead of paying n − 1 Dinic runs again
         e.reputations_from(p(1), &[p(2)]);
-        assert_eq!(e.gh_tree.as_ref().unwrap().version(), v1);
-        assert_eq!(e.batch_backend_stats(), (2, 0));
+        assert_eq!(e.tree_version(), Some(v1));
+        assert_eq!(sweep_split(&e), (2, 0));
         // symmetric mutation: the version moves and the next sweep
         // rebuilds (PR 1's version-based invalidation, reused here)
         e.graph_mut().add_transfer(p(0), p(2), Bytes::from_gb(1));
         e.graph_mut().add_transfer(p(2), p(0), Bytes::from_gb(1));
         e.reputations_from(p(0), &[p(2)]);
-        let v2 = e.gh_tree.as_ref().unwrap().version();
+        let v2 = e.tree_version().unwrap();
         assert!(v2 > v1, "tree must track the graph version: {v1} -> {v2}");
-        assert_eq!(e.batch_backend_stats(), (3, 0));
+        assert_eq!(sweep_split(&e), (3, 0));
     }
 
     #[test]

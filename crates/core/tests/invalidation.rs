@@ -69,10 +69,10 @@ proptest! {
         budget in 0usize..8,
     ) {
         // the Bounded(2) batch path memoizes each evaluator's *entire*
-        // single-source result set and evicts whole idle evaluators
-        // when the cache outgrows its budget; neither the full-sweep
-        // fill nor the eviction may ever surface a stale value, at any
-        // budget (including 0, where every sweep evicts its neighbours)
+        // single-source result set under a per-entry LRU budget;
+        // neither the full-sweep fill nor the eviction may ever
+        // surface a stale value, at any budget (including 0, where
+        // every insertion is immediately evicted)
         let targets: Vec<PeerId> = (0..6).map(PeerId).collect();
         let mut warm = ReputationEngine::new().with_cache_budget(budget);
         for (step, &(f, t, c, merge)) in ops.iter().enumerate() {
@@ -123,6 +123,78 @@ proptest! {
             for (&j, &g) in targets.iter().zip(&got) {
                 let want = cold.reputation(PeerId(source), j);
                 prop_assert_eq!(g.to_bits(), want.to_bits(), "R_{source}({j})");
+            }
+        }
+    }
+
+    #[test]
+    fn journal_survives_long_sync_gaps(
+        ops in ops_strategy(),
+        gap in 1usize..3,
+        qs in 0u32..6,
+        qt in 0u32..6,
+    ) {
+        // the journal reads per-node change versions instead of a
+        // capped change log, so a warm cache that falls arbitrarily
+        // far behind (here: multiples of the old 4096-entry cap
+        // between syncs) must still evict precisely and never go stale
+        let mut warm = ReputationEngine::new();
+        let churn = gap * bartercast_core::repcache::DEFAULT_JOURNAL_CAPACITY;
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            // long burst of mutations with no query in between
+            for k in 0..churn as u64 {
+                warm.graph_mut().add_transfer(
+                    PeerId((k % 6) as u32),
+                    PeerId(((k + 1) % 6) as u32),
+                    Bytes(1 + k % 97),
+                );
+            }
+            let got = warm.reputation(PeerId(qs), PeerId(qt));
+            let mut cold = ReputationEngine::new();
+            *cold.graph_mut() = warm.graph().clone();
+            let want = cold.reputation(PeerId(qs), PeerId(qt));
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "stale after {}-mutation gap", churn);
+        }
+    }
+
+    #[test]
+    fn adversarial_query_mix_never_stale_under_lru(
+        ops in ops_strategy(),
+        budget in 1usize..6,
+        hot_s in 0u32..6,
+        hot_t in 0u32..6,
+    ) {
+        // adversarial mix for the per-entry LRU: one hot pair queried
+        // between sweeps from every other evaluator, with a budget
+        // small enough that eviction fires constantly; hits and misses
+        // may vary, values may not
+        let targets: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut warm = ReputationEngine::new().with_cache_budget(budget);
+        for (step, &(f, t, c, merge)) in ops.iter().enumerate() {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            let hot = warm.reputation(PeerId(hot_s), PeerId(hot_t));
+            let sweeper = PeerId((step % 6) as u32);
+            let swept = warm.reputations_from(sweeper, &targets);
+            let hot_again = warm.reputation(PeerId(hot_s), PeerId(hot_t));
+            prop_assert_eq!(hot.to_bits(), hot_again.to_bits(), "hot pair value drifted");
+            let mut cold = ReputationEngine::new();
+            *cold.graph_mut() = warm.graph().clone();
+            prop_assert_eq!(
+                hot.to_bits(),
+                cold.reputation(PeerId(hot_s), PeerId(hot_t)).to_bits(),
+                "hot pair stale at budget {budget}"
+            );
+            for (&j, &g) in targets.iter().zip(&swept) {
+                prop_assert_eq!(g.to_bits(), cold.reputation(sweeper, j).to_bits());
             }
         }
     }

@@ -9,7 +9,7 @@
 //! Equation 1 reputations for every peer it has seen.
 
 use crate::community::Community;
-use bartercast_core::cache::ReputationEngine;
+use bartercast_core::ReputationEngine;
 use bartercast_core::history::PrivateHistory;
 use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
 use bartercast_util::stats::Ecdf;

@@ -1,0 +1,354 @@
+//! The [`FlowBackend`] trait: a uniform interface over the three ways
+//! this crate can evaluate Equation-1 flows.
+//!
+//! The reputation engine used to dispatch on [`Method`] with ad-hoc
+//! `match`es — one arm per kernel, each with its own lazily rebuilt
+//! per-version state. Backends now present one surface:
+//!
+//! * [`Ssat`] — the single-source all-targets kernel for the deployed
+//!   path-length bound (`Bounded(k)`, `k ≤ 2`). Exact and
+//!   bit-identical to per-pair bounded evaluation.
+//! * [`GomoryHu`] — the Gusfield Gomory–Hu tree over the
+//!   min-symmetrized graph for unbounded methods, admissible while the
+//!   graph's directed asymmetry stays within the backend's tolerance.
+//! * [`PairwiseDinic`] — per-pair evaluation with whatever [`Method`]
+//!   is configured, on a shared lazily rebuilt [`FlowNetwork`]. The
+//!   universal fallback: supports every method at any asymmetry, but
+//!   offers no batch sweep.
+//!
+//! Every backend caches whatever per-version state it needs (flow
+//! network, cut tree) keyed by [`ContributionGraph::version`], so a
+//! burst of queries against an unchanged graph shares one
+//! construction and a graph mutation invalidates lazily — no explicit
+//! reset calls.
+
+use crate::contribution::ContributionGraph;
+use crate::gomoryhu::GomoryHuTree;
+use crate::maxflow::{self, Method};
+use crate::network::FlowNetwork;
+use crate::ssat;
+use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::FxHashMap;
+
+/// The two directed Equation-1 flows of one `(evaluator, target)`
+/// pair, from the evaluator `i`'s point of view: `toward` is
+/// `maxflow(j → i)` (service the target rendered), `away` is
+/// `maxflow(i → j)` (service the target consumed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowPair {
+    /// `maxflow(target → evaluator)`.
+    pub toward: Bytes,
+    /// `maxflow(evaluator → target)`.
+    pub away: Bytes,
+}
+
+/// A reputation-flow evaluator: one of the interchangeable kernels
+/// behind the reputation engine, used as a trait object.
+pub trait FlowBackend: std::fmt::Debug + Send {
+    /// Stable identifier for diagnostics and dispatch statistics.
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can serve `method` on a graph with the
+    /// given directed asymmetry (see
+    /// [`ContributionGraph::asymmetry`]). The engine consults backends
+    /// in priority order and uses the first that answers `true`.
+    fn supports(&self, method: Method, asymmetry: f64) -> bool;
+
+    /// Directed flow `s → t` as this backend evaluates it. Zero when
+    /// either endpoint is absent or `s == t`.
+    fn flow(&mut self, graph: &ContributionGraph, s: PeerId, t: PeerId) -> Bytes;
+
+    /// Both Equation-1 flows from evaluator `i` to **every** reachable
+    /// peer in one sweep, or `None` when this backend has no batch
+    /// kernel (the caller then falls back to per-pair
+    /// [`FlowBackend::flow`] calls). Peers absent from the returned
+    /// map have zero flow in both directions.
+    fn all_flows_from(
+        &mut self,
+        graph: &ContributionGraph,
+        i: PeerId,
+    ) -> Option<FxHashMap<PeerId, FlowPair>>;
+}
+
+/// A lazily rebuilt [`FlowNetwork`] tagged with the graph version it
+/// was built at — the shared-state pattern both point-query backends
+/// use.
+#[derive(Debug, Clone, Default)]
+struct VersionedNet {
+    net: Option<(u64, FlowNetwork)>,
+}
+
+impl VersionedNet {
+    /// The network for the graph's current version, rebuilding at most
+    /// once per version.
+    fn at(&mut self, graph: &ContributionGraph) -> &mut FlowNetwork {
+        let version = graph.version();
+        if self.net.as_ref().map(|(v, _)| *v) != Some(version) {
+            self.net = Some((version, FlowNetwork::from_graph(graph)));
+        }
+        &mut self.net.as_mut().expect("net built above").1
+    }
+}
+
+/// Per-pair evaluation with the configured [`Method`] on a shared
+/// network — the universal fallback (historically per-pair Dinic for
+/// the unbounded ablations, hence the name). Supports every method at
+/// any asymmetry; no batch sweep.
+#[derive(Debug, Clone)]
+pub struct PairwiseDinic {
+    method: Method,
+    net: VersionedNet,
+}
+
+impl PairwiseDinic {
+    /// A per-pair backend evaluating flows with `method`.
+    pub fn new(method: Method) -> Self {
+        PairwiseDinic {
+            method,
+            net: VersionedNet::default(),
+        }
+    }
+}
+
+impl FlowBackend for PairwiseDinic {
+    fn name(&self) -> &'static str {
+        "pairwise"
+    }
+
+    fn supports(&self, _method: Method, _asymmetry: f64) -> bool {
+        true
+    }
+
+    fn flow(&mut self, graph: &ContributionGraph, s: PeerId, t: PeerId) -> Bytes {
+        maxflow::compute_on(self.net.at(graph), s, t, self.method)
+    }
+
+    fn all_flows_from(
+        &mut self,
+        _graph: &ContributionGraph,
+        _i: PeerId,
+    ) -> Option<FxHashMap<PeerId, FlowPair>> {
+        None
+    }
+}
+
+/// The single-source all-targets kernel for bounded path lengths
+/// `k ≤ 2`: one traversal of the evaluator's two-hop neighbourhood
+/// yields its bounded flows to and from every peer at once,
+/// bit-identical to per-pair bounded evaluation (`k = 1` degenerates
+/// to reading the direct edges).
+#[derive(Debug, Clone)]
+pub struct Ssat {
+    method: Method,
+    net: VersionedNet,
+}
+
+impl Ssat {
+    /// An SSAT backend evaluating point queries with `method` (which
+    /// must be the same bounded method `supports` admits, or point and
+    /// batch answers would diverge).
+    pub fn new(method: Method) -> Self {
+        Ssat {
+            method,
+            net: VersionedNet::default(),
+        }
+    }
+}
+
+impl FlowBackend for Ssat {
+    fn name(&self) -> &'static str {
+        "ssat"
+    }
+
+    fn supports(&self, method: Method, _asymmetry: f64) -> bool {
+        matches!(method, Method::Bounded(k) if (1..=2).contains(&k))
+    }
+
+    fn flow(&mut self, graph: &ContributionGraph, s: PeerId, t: PeerId) -> Bytes {
+        maxflow::compute_on(self.net.at(graph), s, t, self.method)
+    }
+
+    fn all_flows_from(
+        &mut self,
+        graph: &ContributionGraph,
+        i: PeerId,
+    ) -> Option<FxHashMap<PeerId, FlowPair>> {
+        let (toward, away) = match self.method {
+            Method::Bounded(1) => (
+                graph.in_edges(i).collect::<FxHashMap<_, _>>(),
+                graph.out_edges(i).collect::<FxHashMap<_, _>>(),
+            ),
+            _ => (ssat::flows_into(graph, i), ssat::flows_from(graph, i)),
+        };
+        let mut flows: FxHashMap<PeerId, FlowPair> = FxHashMap::default();
+        for (&j, &t) in &toward {
+            flows.entry(j).or_default().toward = t;
+        }
+        for (&j, &a) in &away {
+            flows.entry(j).or_default().away = a;
+        }
+        Some(flows)
+    }
+}
+
+/// The Gomory–Hu cut tree over the min-symmetrized graph: `O(n)`
+/// single-source sweeps for unbounded methods, built once per graph
+/// version (n − 1 Dinic runs). Exact on symmetric graphs; admissible
+/// up to the configured asymmetry tolerance, beyond which
+/// [`FlowBackend::supports`] rejects and the engine falls back to
+/// per-pair flow. The tree flow serves **both** directions of
+/// Equation 1 (it is symmetric by construction).
+#[derive(Debug, Clone)]
+pub struct GomoryHu {
+    tolerance: f64,
+    tree: Option<GomoryHuTree>,
+}
+
+impl GomoryHu {
+    /// A tree backend admissible up to `tolerance` directed asymmetry.
+    pub fn new(tolerance: f64) -> Self {
+        GomoryHu {
+            tolerance,
+            tree: None,
+        }
+    }
+
+    /// Graph version of the currently built tree, if any (diagnostics:
+    /// lets tests assert the tree is rebuilt once per version, not
+    /// once per sweep).
+    pub fn tree_version(&self) -> Option<u64> {
+        self.tree.as_ref().map(GomoryHuTree::version)
+    }
+
+    /// The tree for the graph's current version, rebuilding at most
+    /// once per version.
+    fn at(&mut self, graph: &ContributionGraph) -> &GomoryHuTree {
+        let version = graph.version();
+        if self.tree_version() != Some(version) {
+            self.tree = Some(GomoryHuTree::build(graph));
+        }
+        self.tree.as_ref().expect("tree built above")
+    }
+}
+
+impl FlowBackend for GomoryHu {
+    fn name(&self) -> &'static str {
+        "gomory-hu"
+    }
+
+    fn supports(&self, method: Method, asymmetry: f64) -> bool {
+        matches!(
+            method,
+            Method::FordFulkerson | Method::EdmondsKarp | Method::Dinic | Method::PushRelabel
+        ) && asymmetry <= self.tolerance
+    }
+
+    fn flow(&mut self, graph: &ContributionGraph, s: PeerId, t: PeerId) -> Bytes {
+        self.at(graph).flow(s, t)
+    }
+
+    fn all_flows_from(
+        &mut self,
+        graph: &ContributionGraph,
+        i: PeerId,
+    ) -> Option<FxHashMap<PeerId, FlowPair>> {
+        let flows = self.at(graph).all_flows_from(i);
+        Some(
+            flows
+                .into_iter()
+                .map(|(j, f)| (j, FlowPair { toward: f, away: f }))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    fn chain() -> ContributionGraph {
+        // 2 -> 1 -> 0
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(2), p(1), Bytes::from_mb(300));
+        g.add_transfer(p(1), p(0), Bytes::from_mb(200));
+        g
+    }
+
+    #[test]
+    fn ssat_sweep_matches_point_queries() {
+        let g = chain();
+        let mut b = Ssat::new(Method::DEPLOYED);
+        let flows = b.all_flows_from(&g, p(0)).expect("ssat has a sweep");
+        for j in [p(1), p(2)] {
+            let pair = flows.get(&j).copied().unwrap_or_default();
+            assert_eq!(pair.toward, b.flow(&g, j, p(0)), "toward {j}");
+            assert_eq!(pair.away, b.flow(&g, p(0), j), "away {j}");
+        }
+    }
+
+    #[test]
+    fn ssat_bounded_one_reads_direct_edges() {
+        let g = chain();
+        let mut b = Ssat::new(Method::Bounded(1));
+        assert!(b.supports(Method::Bounded(1), 1.0));
+        let flows = b.all_flows_from(&g, p(0)).unwrap();
+        // only the direct 1 -> 0 edge reaches peer 0 within one hop
+        assert_eq!(flows.get(&p(1)).unwrap().toward, Bytes::from_mb(200));
+        assert!(!flows.contains_key(&p(2)));
+        assert_eq!(b.flow(&g, p(2), p(0)), Bytes::ZERO);
+    }
+
+    #[test]
+    fn pairwise_supports_everything_but_has_no_sweep() {
+        let g = chain();
+        let mut b = PairwiseDinic::new(Method::Dinic);
+        assert!(b.supports(Method::Dinic, 1.0));
+        assert!(b.supports(Method::Bounded(7), 1.0));
+        assert!(b.all_flows_from(&g, p(0)).is_none());
+        assert_eq!(b.flow(&g, p(2), p(0)), Bytes::from_mb(200));
+    }
+
+    #[test]
+    fn gomoryhu_gated_by_tolerance_and_method() {
+        let b = GomoryHu::new(0.25);
+        assert!(b.supports(Method::Dinic, 0.2));
+        assert!(!b.supports(Method::Dinic, 0.3));
+        assert!(!b.supports(Method::DEPLOYED, 0.0), "bounded never admitted");
+    }
+
+    #[test]
+    fn gomoryhu_builds_once_per_version() {
+        let mut g = chain();
+        // symmetrize so the tree is meaningful
+        g.add_transfer(p(1), p(2), Bytes::from_mb(300));
+        g.add_transfer(p(0), p(1), Bytes::from_mb(200));
+        let mut b = GomoryHu::new(0.0);
+        b.all_flows_from(&g, p(0)).unwrap();
+        let v1 = b.tree_version().expect("tree built");
+        b.all_flows_from(&g, p(1)).unwrap();
+        assert_eq!(b.tree_version(), Some(v1), "unchanged graph reuses tree");
+        g.add_transfer(p(0), p(2), Bytes::from_mb(1));
+        b.flow(&g, p(0), p(2));
+        assert!(b.tree_version().unwrap() > v1, "mutation forces rebuild");
+    }
+
+    #[test]
+    fn gomoryhu_sweep_matches_point_queries_on_symmetric_graph() {
+        let mut g = ContributionGraph::new();
+        for (a, b, mb) in [(0, 1, 100), (1, 2, 200), (0, 3, 50), (3, 2, 50)] {
+            g.add_transfer(p(a), p(b), Bytes::from_mb(mb));
+            g.add_transfer(p(b), p(a), Bytes::from_mb(mb));
+        }
+        let mut b = GomoryHu::new(0.0);
+        let flows = b.all_flows_from(&g, p(0)).unwrap();
+        for j in [p(1), p(2), p(3)] {
+            let pair = flows.get(&j).copied().unwrap_or_default();
+            assert_eq!(pair.toward, pair.away, "tree flow is symmetric");
+            assert_eq!(pair.toward, b.flow(&g, j, p(0)));
+        }
+    }
+}

@@ -8,12 +8,6 @@
 
 use bartercast_util::units::{Bytes, PeerId};
 use bartercast_util::{FxHashMap, FxHashSet};
-use std::collections::VecDeque;
-
-/// Maximum number of edge changes kept in the change log. Readers that
-/// fall further behind than this get `None` from
-/// [`ContributionGraph::changes_since`] and must do a full rescan.
-const CHANGE_LOG_CAP: usize = 4096;
 
 /// A directed graph of aggregated byte transfers between peers.
 ///
@@ -40,12 +34,13 @@ pub struct ContributionGraph {
     incoming: FxHashMap<PeerId, FxHashMap<PeerId, Bytes>>,
     edge_count: usize,
     version: u64,
-    /// Endpoints of recently changed edges, tagged with the version
-    /// each change produced; bounded by [`CHANGE_LOG_CAP`].
-    changes: VecDeque<(u64, PeerId, PeerId)>,
-    /// Highest version evicted from `changes`; `changes_since(v)` is
-    /// only answerable for `v >= truncated_at`.
-    truncated_at: u64,
+    /// Per-node change tracking: the version at which each node last
+    /// had an incident edge change. Unlike the bounded change-log
+    /// deque this replaced, the map never truncates (it is bounded by
+    /// the node count, not the mutation count), so a reader can fall
+    /// arbitrarily far behind and still get an exact dirty set from
+    /// [`ContributionGraph::dirty_nodes_since`].
+    node_changed_at: FxHashMap<PeerId, u64>,
 }
 
 impl ContributionGraph {
@@ -105,35 +100,25 @@ impl ContributionGraph {
         true
     }
 
-    /// Record a changed edge in the bounded change log.
+    /// Record a changed edge: both endpoints become dirty at the
+    /// current version.
     fn log_change(&mut self, from: PeerId, to: PeerId) {
-        if self.changes.len() == CHANGE_LOG_CAP {
-            if let Some((v, _, _)) = self.changes.pop_front() {
-                self.truncated_at = v;
-            }
-        }
-        self.changes.push_back((self.version, from, to));
+        self.node_changed_at.insert(from, self.version);
+        self.node_changed_at.insert(to, self.version);
     }
 
-    /// The endpoints of every edge changed after version `since`, or
-    /// `None` when the change log no longer reaches back that far (the
-    /// caller must then treat everything as potentially changed).
+    /// Every node that has been an endpoint of an edge changed after
+    /// version `since` (arbitrary order, no duplicates).
     ///
-    /// Pairs are yielded oldest-first and may repeat when the same edge
-    /// changed more than once.
-    pub fn changes_since(
-        &self,
-        since: u64,
-    ) -> Option<impl Iterator<Item = (PeerId, PeerId)> + '_> {
-        if since < self.truncated_at {
-            return None;
-        }
-        Some(
-            self.changes
-                .iter()
-                .filter(move |(v, _, _)| *v > since)
-                .map(|&(_, f, t)| (f, t)),
-        )
+    /// Always answerable: the per-node map never truncates, so a
+    /// reader may fall arbitrarily far behind between reads without
+    /// losing precision — the cost is one scan over the nodes that
+    /// ever changed, not over the mutation history.
+    pub fn dirty_nodes_since(&self, since: u64) -> impl Iterator<Item = PeerId> + '_ {
+        self.node_changed_at
+            .iter()
+            .filter(move |&(_, &v)| v > since)
+            .map(|(&p, _)| p)
     }
 
     /// The aggregated bytes `from` has uploaded to `to` (zero if no edge).
@@ -399,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    fn changes_since_reports_exact_endpoints() {
+    fn dirty_nodes_since_reports_exact_endpoints() {
         let mut g = ContributionGraph::new();
         let v0 = g.version();
         g.add_transfer(p(1), p(2), Bytes::from_mb(1));
@@ -407,11 +392,13 @@ mod tests {
         g.merge_record(p(3), p(4), Bytes::from_mb(2));
         g.add_transfer(p(1), p(2), Bytes::from_mb(1));
 
-        let all: Vec<_> = g.changes_since(v0).unwrap().collect();
-        assert_eq!(all, vec![(p(1), p(2)), (p(3), p(4)), (p(1), p(2))]);
-        let later: Vec<_> = g.changes_since(v1).unwrap().collect();
-        assert_eq!(later, vec![(p(3), p(4)), (p(1), p(2))]);
-        assert_eq!(g.changes_since(g.version()).unwrap().count(), 0);
+        let mut all: Vec<_> = g.dirty_nodes_since(v0).collect();
+        all.sort();
+        assert_eq!(all, vec![p(1), p(2), p(3), p(4)]);
+        let mut later: Vec<_> = g.dirty_nodes_since(v1).collect();
+        later.sort();
+        assert_eq!(later, vec![p(1), p(2), p(3), p(4)]);
+        assert_eq!(g.dirty_nodes_since(g.version()).count(), 0);
     }
 
     #[test]
@@ -422,22 +409,22 @@ mod tests {
         g.add_transfer(p(1), p(1), Bytes::from_mb(1)); // self edge: ignored
         g.add_transfer(p(1), p(2), Bytes::ZERO); // zero: ignored
         g.merge_record(p(1), p(2), Bytes::from_mb(4)); // stale: ignored
-        assert_eq!(g.changes_since(v).unwrap().count(), 0);
+        assert_eq!(g.dirty_nodes_since(v).count(), 0);
     }
 
     #[test]
-    fn change_log_truncation_returns_none() {
+    fn dirty_tracking_survives_arbitrarily_long_gaps() {
         let mut g = ContributionGraph::new();
-        // overflow the log: CHANGE_LOG_CAP + 10 distinct effective changes
-        for i in 0..(super::CHANGE_LOG_CAP + 10) as u64 {
+        g.add_transfer(p(5), p(6), Bytes(1));
+        let v = g.version();
+        // far more mutations than the old change-log cap (4096) ever
+        // held: the per-node map must stay exact, not truncate
+        for i in 0..10_000u64 {
             g.add_transfer(p(1), p(2), Bytes(i + 1));
         }
-        assert!(g.changes_since(0).is_none(), "log must admit truncation");
-        // a recent cursor is still answerable
-        let v = g.version();
-        g.add_transfer(p(5), p(6), Bytes(1));
-        let recent: Vec<_> = g.changes_since(v).unwrap().collect();
-        assert_eq!(recent, vec![(p(5), p(6))]);
+        let mut dirty: Vec<_> = g.dirty_nodes_since(v).collect();
+        dirty.sort();
+        assert_eq!(dirty, vec![p(1), p(2)], "untouched nodes must stay clean");
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   graph (n − 1 Dinic runs), answering any pair in `O(log n)` and a
 //!   whole single-source sweep in `O(n)`; exact on symmetric graphs, a
 //!   lower bound under directed asymmetry.
+//! * [`backend`] — the [`FlowBackend`] trait unifying the three
+//!   kernels above behind one dispatchable surface (`flow`,
+//!   `all_flows_from`, `supports`), used as trait objects by the
+//!   reputation engine.
 //! * [`mincut`] — source- and sink-side minimum cuts, used by tests to
 //!   verify the max-flow/min-cut theorem on every computed flow.
 //! * [`analysis`] — graph statistics, the §3.2 two-hop coverage
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backend;
 pub mod contribution;
 pub mod gomoryhu;
 pub mod maxflow;
@@ -40,6 +45,7 @@ pub mod mincut;
 pub mod network;
 pub mod ssat;
 
+pub use backend::{FlowBackend, FlowPair};
 pub use contribution::ContributionGraph;
 pub use maxflow::{compute, Method, DEPLOYED_MAX_PATH_LEN};
 pub use network::FlowNetwork;

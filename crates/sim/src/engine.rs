@@ -24,8 +24,7 @@ use crate::metrics::{GroupSeries, PeerOutcome, SimReport};
 use crate::peer::SimPeer;
 use bartercast_bt::choke::Candidate;
 use bartercast_bt::swarm::Swarm;
-use bartercast_core::cache::ReputationEngine;
-use bartercast_core::policy::ReputationPolicy;
+use bartercast_core::ReputationEngine;
 use bartercast_gossip::{shuffle, PssConfig};
 use bartercast_trace::model::Trace;
 use bartercast_util::stats::Running;
@@ -372,15 +371,8 @@ impl Simulation {
                 // deterministic candidate order
                 candidates.sort_by_key(|c| c.peer);
                 // reputations first (separate borrow of self.peers[i])
-                let reps: FxHashMap<PeerId, f64> = if matches!(policy, ReputationPolicy::None) {
-                    FxHashMap::default()
-                } else {
-                    // batch scoring: all candidates share one two-hop
-                    // traversal inside the engine's SSAT kernel
-                    let candidate_ids: Vec<PeerId> = candidates.iter().map(|c| c.peer).collect();
-                    let values = self.peers[i].reputations_of(&candidate_ids, epoch);
-                    candidate_ids.into_iter().zip(values).collect()
-                };
+                let reps =
+                    crate::sweep::score_candidates(&mut self.peers[i], &policy, &candidates, epoch);
                 let role = self.swarms[s].member(pid).unwrap().role();
                 let slot = if role == bartercast_bt::Role::Leecher { 0 } else { 1 };
                 self.contention[slot].0 += candidates.len() as u64;
@@ -678,92 +670,15 @@ impl Simulation {
     /// otherwise) — instead of one maxflow pair per target either way.
     ///
     /// Evaluators are independent (each queries only its own engine),
-    /// so for large populations the computation fans out across
-    /// threads with `std::thread::scope`; each thread owns a disjoint
-    /// chunk of peers and produces a partial sum vector that is
-    /// reduced at the end. Results are identical to the sequential
-    /// path (each evaluator's contributions are accumulated in the
-    /// same order either way, and the final reduction sums partials
-    /// in chunk order).
+    /// so large populations fan out over the work-stealing scheduler
+    /// in [`crate::sweep`]; every schedule is bit-identical to the
+    /// serial loop because threads only gather per-evaluator value
+    /// vectors and the reduction runs afterwards in evaluator order.
     pub fn system_reputations(&mut self, indices: &[usize]) -> Vec<f64> {
         let denom = (indices.len().saturating_sub(1)).max(1) as f64;
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8);
-        let sums = if indices.len() < 32 || n_threads < 2 {
-            Self::reputation_sums(&mut self.peers, indices, indices)
-        } else {
-            let target_ids: Vec<PeerId> = indices.iter().map(|&i| self.peers[i].id).collect();
-            let index_set: FxHashSet<usize> = indices.iter().copied().collect();
-            let total = self.peers.len();
-            let mut partials: Vec<Vec<f64>> = Vec::new();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                let mut rest: &mut [SimPeer] = &mut self.peers;
-                let chunk = total.div_ceil(n_threads);
-                let mut offset = 0usize;
-                while !rest.is_empty() {
-                    let take = chunk.min(rest.len());
-                    let (head, tail) = rest.split_at_mut(take);
-                    rest = tail;
-                    let base = offset;
-                    offset += take;
-                    let target_ids = &target_ids;
-                    let index_set = &index_set;
-                    handles.push(scope.spawn(move || {
-                        let mut sums = vec![0.0; target_ids.len()];
-                        for (local, peer) in head.iter_mut().enumerate() {
-                            let j = base + local;
-                            if !index_set.contains(&j) {
-                                continue;
-                            }
-                            let evaluator = peer.id;
-                            let values = peer.engine.reputations_from(evaluator, target_ids);
-                            for (k, &target) in target_ids.iter().enumerate() {
-                                if target == evaluator {
-                                    continue;
-                                }
-                                sums[k] += values[k];
-                            }
-                        }
-                        sums
-                    }));
-                }
-                for h in handles {
-                    partials.push(h.join().expect("reputation thread panicked"));
-                }
-            });
-            let mut sums = vec![0.0; indices.len()];
-            for part in partials {
-                for (acc, v) in sums.iter_mut().zip(part) {
-                    *acc += v;
-                }
-            }
-            sums
-        };
+        let schedule = crate::sweep::SweepSchedule::auto(indices.len());
+        let sums = crate::sweep::system_reputation_sums(&mut self.peers, indices, schedule);
         sums.iter().map(|s| s / denom).collect()
-    }
-
-    /// Sequential evaluator loop used for small populations.
-    fn reputation_sums(
-        peers: &mut [SimPeer],
-        evaluators: &[usize],
-        targets: &[usize],
-    ) -> Vec<f64> {
-        let target_ids: Vec<PeerId> = targets.iter().map(|&i| peers[i].id).collect();
-        let mut sums = vec![0.0; targets.len()];
-        for &j in evaluators {
-            let evaluator = peers[j].id;
-            let values = peers[j].engine.reputations_from(evaluator, &target_ids);
-            for (k, &target) in target_ids.iter().enumerate() {
-                if target == evaluator {
-                    continue;
-                }
-                sums[k] += values[k];
-            }
-        }
-        sums
     }
 
     fn connectable_pair(&self, i: usize, j: usize) -> bool {
@@ -879,6 +794,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bartercast_core::policy::ReputationPolicy;
     use bartercast_trace::synth::{SynthConfig, TraceBuilder};
     use bartercast_util::units::Seconds;
 

@@ -3,7 +3,7 @@
 use crate::adversary::Conduct;
 use crate::config::Behaviour;
 use bartercast_core::audit::Auditor;
-use bartercast_core::cache::ReputationEngine;
+use bartercast_core::ReputationEngine;
 use bartercast_core::history::PrivateHistory;
 use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
 use bartercast_gossip::{PssConfig, PssNode};

@@ -22,7 +22,7 @@
 //! Run via `cargo run -p bartercast-experiments --release --bin scale`.
 
 use crate::config::Behaviour;
-use bartercast_core::cache::ReputationEngine;
+use bartercast_core::ReputationEngine;
 use bartercast_core::history::PrivateHistory;
 use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
 use bartercast_gossip::{Transport, TransportConfig};

@@ -1,15 +1,36 @@
-//! Parallel parameter sweeps.
+//! Parallel sweeps: parameter fan-out and the Equation-2 scheduler.
 //!
-//! The Figure 2c/3a/3b experiments run the same trace under several
-//! configurations. Runs are independent, so they fan out across
-//! threads with `std::thread::scope` (per the hpc-parallel guides:
-//! structured parallelism, no shared mutable state — each thread owns
-//! its simulation and returns its report).
+//! Two kinds of parallelism live here:
+//!
+//! * [`run_configs`] / [`sweep`] — the Figure 2c/3a/3b experiments run
+//!   the same trace under several configurations; runs are independent
+//!   and fan out one-per-thread.
+//! * [`system_reputation_sums`] — the Equation-2 sweep inside one
+//!   simulation: every evaluator scores every target through its own
+//!   engine. Evaluator workloads are far from uniform (an archival
+//!   seeder's subjective graph dwarfs a leecher's), so static chunking
+//!   leaves threads idle behind the chunk that drew the heavy
+//!   evaluators. The [`SweepSchedule::WorkStealing`] scheduler fixes
+//!   that: a degree-ordered task list (heaviest subjective graph
+//!   first) claimed by an atomic counter, so threads that finish early
+//!   pull the next pending evaluator instead of waiting.
+//!
+//! Every schedule is bit-identical by construction: threads only
+//! *gather* each evaluator's value vector, and the floating-point
+//! reduction happens afterwards on one thread, in evaluator order.
+//! Which thread computed which evaluator can never change a result.
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
 use crate::metrics::SimReport;
+use crate::peer::SimPeer;
+use bartercast_bt::choke::Candidate;
+use bartercast_core::policy::ReputationPolicy;
 use bartercast_trace::model::Trace;
+use bartercast_util::units::PeerId;
+use bartercast_util::FxHashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run one simulation per configuration, in parallel, preserving input
 /// order in the output.
@@ -41,12 +62,228 @@ where
     run_configs(trace, configs)
 }
 
+/// Below this many evaluators the thread-spawn overhead outweighs the
+/// sweep work and [`SweepSchedule::auto`] stays serial.
+pub const PARALLEL_THRESHOLD: usize = 32;
+
+/// Ceiling on sweep worker threads.
+const MAX_THREADS: usize = 8;
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// How the Equation-2 sweep distributes evaluators over threads. All
+/// schedules produce bit-identical sums (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepSchedule {
+    /// One thread, evaluators in index order.
+    Serial,
+    /// Contiguous equal-size chunks of the peer slice, one per thread
+    /// (the scheme this module's work stealing replaced; kept for
+    /// benchmarking the difference).
+    StaticChunks,
+    /// Degree-ordered task list claimed via an atomic counter: threads
+    /// take the heaviest pending evaluator as soon as they free up.
+    WorkStealing,
+}
+
+impl SweepSchedule {
+    /// The production choice: serial below [`PARALLEL_THRESHOLD`]
+    /// evaluators or on single-core hosts, work stealing otherwise.
+    pub fn auto(evaluators: usize) -> Self {
+        if evaluators < PARALLEL_THRESHOLD || max_threads() < 2 {
+            SweepSchedule::Serial
+        } else {
+            SweepSchedule::WorkStealing
+        }
+    }
+}
+
+/// Equation-2 numerators: for each target in `indices` (by peer
+/// index), the sum of `R_j(target)` over every evaluator `j` in
+/// `indices`, `j ≠ target`. Each evaluator scores all targets through
+/// its engine's batch path (`reputations_from`), so the deployed
+/// two-hop configuration pays one neighbourhood traversal per
+/// evaluator and unbounded ablations route through the engine's
+/// Gomory–Hu backend where admissible.
+///
+/// Threads gather per-evaluator value vectors under `schedule`; the
+/// reduction then runs serially in `indices` order, so every schedule
+/// returns bit-identical sums.
+pub fn system_reputation_sums(
+    peers: &mut [SimPeer],
+    indices: &[usize],
+    schedule: SweepSchedule,
+) -> Vec<f64> {
+    let target_ids: Vec<PeerId> = indices.iter().map(|&i| peers[i].id).collect();
+    let gathered = match schedule {
+        SweepSchedule::Serial => gather_serial(peers, indices, &target_ids),
+        SweepSchedule::StaticChunks => gather_static(peers, indices, &target_ids),
+        SweepSchedule::WorkStealing => gather_stealing(peers, indices, &target_ids),
+    };
+    let mut sums = vec![0.0; target_ids.len()];
+    for (pos, values) in gathered.iter().enumerate() {
+        let evaluator = target_ids[pos];
+        for (k, &target) in target_ids.iter().enumerate() {
+            if target != evaluator {
+                sums[k] += values[k];
+            }
+        }
+    }
+    sums
+}
+
+/// Policy-facing reputation scores for a choke round's candidates, as
+/// a `candidate -> score` map. `ReputationPolicy::None` never consults
+/// the engine; everything else scores all candidates through the
+/// peer's epoch-cached batch path, sharing one two-hop traversal.
+pub fn score_candidates(
+    peer: &mut SimPeer,
+    policy: &ReputationPolicy,
+    candidates: &[Candidate],
+    epoch: u64,
+) -> FxHashMap<PeerId, f64> {
+    if matches!(policy, ReputationPolicy::None) {
+        return FxHashMap::default();
+    }
+    let candidate_ids: Vec<PeerId> = candidates.iter().map(|c| c.peer).collect();
+    let values = peer.reputations_of(&candidate_ids, epoch);
+    candidate_ids.into_iter().zip(values).collect()
+}
+
+fn gather_serial(
+    peers: &mut [SimPeer],
+    indices: &[usize],
+    target_ids: &[PeerId],
+) -> Vec<Vec<f64>> {
+    indices
+        .iter()
+        .map(|&i| {
+            let evaluator = peers[i].id;
+            peers[i].engine.reputations_from(evaluator, target_ids)
+        })
+        .collect()
+}
+
+/// Position in `indices` per peer index, for threads that walk the
+/// peer slice directly.
+fn positions(indices: &[usize]) -> FxHashMap<usize, usize> {
+    indices.iter().enumerate().map(|(pos, &i)| (i, pos)).collect()
+}
+
+fn gather_static(
+    peers: &mut [SimPeer],
+    indices: &[usize],
+    target_ids: &[PeerId],
+) -> Vec<Vec<f64>> {
+    let pos_of = positions(indices);
+    let chunk = peers.len().div_ceil(max_threads());
+    let mut gathered: Vec<Option<Vec<f64>>> = Vec::new();
+    gathered.resize_with(indices.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest: &mut [SimPeer] = peers;
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = offset;
+            offset += take;
+            let pos_of = &pos_of;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, Vec<f64>)> = Vec::new();
+                for (off, peer) in head.iter_mut().enumerate() {
+                    if let Some(&pos) = pos_of.get(&(base + off)) {
+                        let evaluator = peer.id;
+                        local.push((pos, peer.engine.reputations_from(evaluator, target_ids)));
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (pos, values) in h.join().expect("sweep thread panicked") {
+                gathered[pos] = Some(values);
+            }
+        }
+    });
+    gathered
+        .into_iter()
+        .map(|v| v.expect("every evaluator gathered"))
+        .collect()
+}
+
+fn gather_stealing(
+    peers: &mut [SimPeer],
+    indices: &[usize],
+    target_ids: &[PeerId],
+) -> Vec<Vec<f64>> {
+    let pos_of = positions(indices);
+    // one claimable task per evaluator, heaviest subjective graph
+    // first so the long poles start immediately (classic LPT ordering)
+    let mut slots: Vec<(usize, usize, &mut SimPeer)> = Vec::with_capacity(indices.len());
+    for (i, peer) in peers.iter_mut().enumerate() {
+        if let Some(&pos) = pos_of.get(&i) {
+            let cost = peer.engine.graph().edge_count();
+            slots.push((cost, pos, peer));
+        }
+    }
+    slots.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let tasks: Vec<Mutex<Option<(usize, &mut SimPeer)>>> = slots
+        .into_iter()
+        .map(|(_, pos, peer)| Mutex::new(Some((pos, peer))))
+        .collect();
+    let claim = AtomicUsize::new(0);
+    let mut gathered: Vec<Option<Vec<f64>>> = Vec::new();
+    gathered.resize_with(indices.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..max_threads() {
+            let tasks = &tasks;
+            let claim = &claim;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, Vec<f64>)> = Vec::new();
+                loop {
+                    let t = claim.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let (pos, peer) = tasks[t]
+                        .lock()
+                        .expect("task mutex poisoned")
+                        .take()
+                        .expect("each task claimed exactly once");
+                    let evaluator = peer.id;
+                    local.push((pos, peer.engine.reputations_from(evaluator, target_ids)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (pos, values) in h.join().expect("sweep thread panicked") {
+                gathered[pos] = Some(values);
+            }
+        }
+    });
+    gathered
+        .into_iter()
+        .map(|v| v.expect("every evaluator gathered"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bartercast_core::policy::ReputationPolicy;
+    use bartercast_core::ReputationEngine;
+    use bartercast_gossip::PssConfig;
     use bartercast_trace::synth::{SynthConfig, TraceBuilder};
-    use bartercast_util::units::Seconds;
+    use bartercast_util::units::{Bandwidth, Bytes, Seconds};
+    use proptest::prelude::*;
 
     fn tiny_trace() -> Trace {
         TraceBuilder::new(SynthConfig {
@@ -104,5 +341,93 @@ mod tests {
         )
         .run();
         assert_eq!(reports[1].pieces_transferred, again.pieces_transferred);
+    }
+
+    /// A synthetic population whose transfer pattern concentrates
+    /// degree on the first few peers (the skew the work-stealing
+    /// scheduler exists for).
+    fn skewed_population(n: u32, edges_seed: u64) -> Vec<SimPeer> {
+        let mut peers: Vec<SimPeer> = (0..n)
+            .map(|i| {
+                SimPeer::new(
+                    PeerId(i),
+                    crate::config::Behaviour::Sharer,
+                    crate::adversary::Conduct::Honest,
+                    true,
+                    Bandwidth::from_mbps(3),
+                    Bandwidth::from_kbps(512),
+                    PssConfig::default(),
+                    ReputationEngine::new(),
+                )
+            })
+            .collect();
+        // deterministic pseudo-random transfers, heavy on low indices
+        let mut state = edges_seed | 1;
+        for step in 0..(n as u64 * 8) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let hub = (state >> 33) % (1 + n as u64 / 4);
+            let other = (state >> 17) % n as u64;
+            if hub == other {
+                continue;
+            }
+            let amount = Bytes(1 + (state % 1_000_000));
+            let (a, b) = (PeerId(hub as u32), PeerId(other as u32));
+            let idx = if step % 3 == 0 { hub } else { other } as usize;
+            peers[idx].engine.graph_mut().add_transfer(a, b, amount);
+        }
+        peers
+    }
+
+    #[test]
+    fn schedules_agree_bitwise() {
+        let indices: Vec<usize> = (0..40).collect();
+        let serial = {
+            let mut peers = skewed_population(40, 99);
+            system_reputation_sums(&mut peers, &indices, SweepSchedule::Serial)
+        };
+        let chunked = {
+            let mut peers = skewed_population(40, 99);
+            system_reputation_sums(&mut peers, &indices, SweepSchedule::StaticChunks)
+        };
+        let stolen = {
+            let mut peers = skewed_population(40, 99);
+            system_reputation_sums(&mut peers, &indices, SweepSchedule::WorkStealing)
+        };
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&serial), bits(&chunked));
+        assert_eq!(bits(&serial), bits(&stolen));
+    }
+
+    #[test]
+    fn subset_of_evaluators_is_supported() {
+        // archival peers are excluded from Equation 2: the scheduler
+        // must handle indices that skip peers
+        let indices: Vec<usize> = (0..40).filter(|i| i % 3 != 0).collect();
+        let mut a = skewed_population(40, 5);
+        let mut b = skewed_population(40, 5);
+        let serial = system_reputation_sums(&mut a, &indices, SweepSchedule::Serial);
+        let stolen = system_reputation_sums(&mut b, &indices, SweepSchedule::WorkStealing);
+        assert_eq!(serial.len(), indices.len());
+        for (s, w) in serial.iter().zip(&stolen) {
+            assert_eq!(s.to_bits(), w.to_bits());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn work_stealing_is_bit_identical_to_serial(seed in 0u64..1000, n in 33u32..48) {
+            let indices: Vec<usize> = (0..n as usize).collect();
+            let mut serial_peers = skewed_population(n, seed);
+            let mut stealing_peers = skewed_population(n, seed);
+            let serial =
+                system_reputation_sums(&mut serial_peers, &indices, SweepSchedule::Serial);
+            let stolen =
+                system_reputation_sums(&mut stealing_peers, &indices, SweepSchedule::WorkStealing);
+            for (k, (s, w)) in serial.iter().zip(&stolen).enumerate() {
+                prop_assert_eq!(s.to_bits(), w.to_bits(), "target {} differs", k);
+            }
+        }
     }
 }

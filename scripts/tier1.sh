@@ -21,3 +21,8 @@ if [ -n "$(git status --porcelain | grep proptest-regressions || true)" ] \
     exit 1
 fi
 cargo clippy --all-targets -- -D warnings
+# The bench crate (binaries + criterion benches) is not exercised by
+# `cargo test`, so gate its hygiene explicitly: formatting and a
+# warnings-as-errors lint pass across all its targets.
+cargo fmt -p bench --check
+cargo clippy -p bench --all-targets -- -D warnings
