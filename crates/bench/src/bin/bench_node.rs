@@ -1,0 +1,228 @@
+//! End-to-end measurement of the node runtime: how fast a full
+//! cluster of real peers (threads, framed sessions, bounded queues)
+//! disseminates every gossip-reachable record.
+//!
+//! Emits `BENCH_node.json` in the current directory (override with a
+//! path argument). Three rows:
+//!
+//! * **mem** — 8 nodes on the deterministic in-process transport,
+//!   lossless: the runtime's own overhead, no adversity.
+//! * **mem_lossy** — the tier-1 gate's shape: 5% frame loss plus one
+//!   forced disconnect per node mid-run, so the row also reports how
+//!   much reconnect/backoff traffic the adversity cost.
+//! * **tcp** — the same population on real loopback sockets (4 nodes,
+//!   to keep OS socket churn modest). Skipped gracefully — row kept,
+//!   `"skipped": true` — on hosts without loopback (sandboxes).
+//!
+//! Reported per row: wall-clock to convergence, records/sec received
+//! across the cluster, bytes on the wire per record sent, reconnect
+//! and shed counts, and the summed `NodeStats` counters.
+
+use bartercast_node::cluster::{Cluster, ClusterConfig};
+use bartercast_node::mem::MemConfig;
+use bartercast_node::node::{Node, NodeConfig};
+use bartercast_node::stats::NodeStats;
+use bartercast_node::transport::{TcpTransport, Transport};
+use bartercast_util::units::PeerId;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Row {
+    transport: &'static str,
+    n: usize,
+    skipped: bool,
+    converge_ms: f64,
+    records_per_sec: f64,
+    bytes_per_record: f64,
+    frames_dropped: u64,
+    stats: NodeStats,
+}
+
+fn sum_stats(all: &[NodeStats]) -> NodeStats {
+    let mut total = NodeStats::default();
+    for s in all {
+        total.sessions_opened += s.sessions_opened;
+        total.sessions_failed += s.sessions_failed;
+        total.sessions_closed += s.sessions_closed;
+        total.reconnects += s.reconnects;
+        total.records_sent += s.records_sent;
+        total.records_received += s.records_received;
+        total.records_duplicate += s.records_duplicate;
+        total.bytes_sent += s.bytes_sent;
+        total.bytes_received += s.bytes_received;
+        total.queue_shed += s.queue_shed;
+        total.protocol_errors += s.protocol_errors;
+    }
+    total
+}
+
+fn finish(
+    transport: &'static str,
+    n: usize,
+    elapsed: Duration,
+    frames_dropped: u64,
+    stats: NodeStats,
+) -> Row {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Row {
+        transport,
+        n,
+        skipped: false,
+        converge_ms: secs * 1e3,
+        records_per_sec: stats.records_received as f64 / secs,
+        bytes_per_record: stats.bytes_sent as f64 / (stats.records_sent.max(1)) as f64,
+        frames_dropped,
+        stats,
+    }
+}
+
+/// One in-process cluster run; `loss > 0` also injects one forced
+/// disconnect per node, mirroring the tier-1 cluster gate.
+fn run_mem(name: &'static str, n: usize, loss: f64) -> Row {
+    let config = ClusterConfig {
+        n,
+        mem: MemConfig {
+            loss,
+            seed: 0xBC0B,
+            ..MemConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let started = Instant::now();
+    let cluster = Cluster::boot(config).expect("boot in-process cluster");
+    if loss > 0.0 {
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 0..n {
+            cluster.force_disconnect(PeerId(i as u32));
+        }
+    }
+    if !cluster.run_until_converged(Duration::from_secs(120)) {
+        eprintln!(
+            "error: {name} cluster did not converge: progress={:?}",
+            cluster.progress()
+        );
+        std::process::exit(1);
+    }
+    let elapsed = started.elapsed();
+    let frames_dropped = cluster.transport().frames_dropped();
+    let stats = sum_stats(&cluster.shutdown());
+    finish(name, n, elapsed, frames_dropped, stats)
+}
+
+/// The same population over real loopback sockets.
+fn run_tcp(n: usize) -> Row {
+    let config = ClusterConfig {
+        n,
+        ..ClusterConfig::default()
+    };
+    let histories = Cluster::seed_histories(&config);
+    let expected = Cluster::expected_edges(&histories, config.node.bartercast);
+    let transport = Arc::new(TcpTransport::new());
+    let started = Instant::now();
+    let nodes: Vec<Node> = histories
+        .into_iter()
+        .enumerate()
+        .map(|(i, history)| {
+            let bootstrap: Vec<PeerId> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| PeerId(j as u32))
+                .collect();
+            Node::spawn(
+                PeerId(i as u32),
+                Arc::clone(&transport) as Arc<dyn Transport>,
+                bootstrap,
+                history,
+                NodeConfig {
+                    seed: config.node.seed.wrapping_add(i as u64),
+                    ..config.node
+                },
+            )
+            .expect("boot tcp node")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if nodes.iter().all(|node| node.subjective_edges() == expected) {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("error: tcp cluster did not converge");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let elapsed = started.elapsed();
+    let stats = sum_stats(&nodes.into_iter().map(Node::shutdown).collect::<Vec<_>>());
+    finish("tcp", n, elapsed, 0, stats)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_node.json".to_string());
+
+    let mut rows = vec![run_mem("mem", 8, 0.0), run_mem("mem_lossy", 8, 0.05)];
+    if TcpTransport::loopback_available() {
+        rows.push(run_tcp(4));
+    } else {
+        eprintln!("tcp: no loopback in this environment, skipping");
+        rows.push(Row {
+            transport: "tcp",
+            n: 0,
+            skipped: true,
+            converge_ms: 0.0,
+            records_per_sec: 0.0,
+            bytes_per_record: 0.0,
+            frames_dropped: 0,
+            stats: NodeStats::default(),
+        });
+    }
+
+    for r in &rows {
+        if r.skipped {
+            eprintln!("{:9}  skipped", r.transport);
+            continue;
+        }
+        eprintln!(
+            "{:9}  n={}  converged in {:8.1} ms   {:9.0} records/s   {:6.1} bytes/record   \
+             reconnects={}  shed={}  dropped_frames={}",
+            r.transport,
+            r.n,
+            r.converge_ms,
+            r.records_per_sec,
+            r.bytes_per_record,
+            r.stats.reconnects,
+            r.stats.queue_shed,
+            r.frames_dropped
+        );
+    }
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"transport\": \"{}\", \"n\": {}, \"skipped\": {}, \
+                 \"converge_ms\": {:.3}, \"records_per_sec\": {:.1}, \
+                 \"bytes_per_record\": {:.2}, \"frames_dropped\": {}, \
+                 \"node\": {{{}}}}}",
+                r.transport,
+                r.n,
+                r.skipped,
+                r.converge_ms,
+                r.records_per_sec,
+                r.bytes_per_record,
+                r.frames_dropped,
+                r.stats.json_fields()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"node_runtime\",\n  \"unit\": \"ms_to_convergence\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

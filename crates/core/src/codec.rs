@@ -12,6 +12,19 @@
 //! Decoding is defensive — any truncation, bad magic, or unsupported
 //! version yields a typed error instead of a panic, since messages
 //! arrive from untrusted peers.
+//!
+//! For byte-stream transports (the node runtime's TCP sessions), the
+//! message body above travels inside a length-delimited frame:
+//!
+//! ```text
+//! [length u32 LE] [payload: length bytes]
+//! ```
+//!
+//! [`FrameDecoder`] reassembles such frames incrementally from
+//! arbitrarily fragmented reads — one byte at a time is fine — and
+//! rejects any frame whose claimed length exceeds its cap *before*
+//! buffering the payload, so a hostile length prefix can neither panic
+//! nor force an unbounded allocation.
 
 use crate::message::{BarterCastMessage, TransferRecord};
 use bartercast_util::units::{Bytes, PeerId};
@@ -26,6 +39,13 @@ pub const VERSION: u8 = 1;
 /// rejected before any allocation).
 pub const MAX_RECORDS: usize = 1024;
 
+/// Upper bound on a stream frame's payload, in bytes. A full-size
+/// message body is `8 + 20 ·`[`MAX_RECORDS`]` = 20488` bytes; the cap
+/// leaves room for small envelope overheads layered on top (the node
+/// runtime prepends a one-byte frame kind) while still rejecting
+/// hostile length prefixes long before any large allocation.
+pub const MAX_FRAME_BYTES: usize = 32 * 1024;
+
 /// Decoding failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -37,6 +57,8 @@ pub enum DecodeError {
     BadVersion(u8),
     /// Record count exceeded [`MAX_RECORDS`].
     TooManyRecords(usize),
+    /// A stream frame's length prefix exceeded the decoder's cap.
+    FrameTooLarge(usize),
 }
 
 impl fmt::Display for DecodeError {
@@ -46,6 +68,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
             DecodeError::TooManyRecords(n) => write!(f, "record count {n} exceeds maximum"),
+            DecodeError::FrameTooLarge(n) => write!(f, "frame length {n} exceeds maximum"),
         }
     }
 }
@@ -109,6 +132,151 @@ pub fn decode(mut buf: &[u8]) -> Result<BarterCastMessage, DecodeError> {
         });
     }
     Ok(BarterCastMessage { sender, records })
+}
+
+/// Wrap an arbitrary payload in a stream frame: `[len u32 LE][payload]`.
+///
+/// Panics (debug assertion) if the payload exceeds
+/// [`MAX_FRAME_BYTES`]; callers build payloads from bounded messages,
+/// so this cannot happen for well-formed traffic.
+pub fn frame(payload: &[u8]) -> BytesMut {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+    buf
+}
+
+/// Encode a message and wrap it in a stream frame in one step.
+pub fn encode_framed(msg: &BarterCastMessage) -> BytesMut {
+    frame(&encode(msg))
+}
+
+/// Incremental decoder for length-delimited stream frames.
+///
+/// Feed it whatever fragments a byte-stream transport yields —
+/// including single bytes — and pull complete frame payloads out as
+/// they become available. A length prefix exceeding the cap is
+/// rejected as soon as the four length bytes arrive, before the
+/// payload is buffered, so a hostile prefix cannot force an unbounded
+/// allocation. After any error the decoder is *poisoned* (the stream
+/// position is no longer trustworthy) and every further call returns
+/// the same error: the only safe recovery is dropping the connection.
+///
+/// ```
+/// use bartercast_core::codec::{self, FrameDecoder};
+/// use bartercast_core::BarterCastMessage;
+/// use bartercast_util::units::PeerId;
+///
+/// let msg = BarterCastMessage { sender: PeerId(7), records: vec![] };
+/// let wire = codec::encode_framed(&msg);
+/// let mut dec = FrameDecoder::new();
+/// // bytes arrive one at a time; the message pops out exactly once
+/// let mut out = Vec::new();
+/// for b in wire.iter() {
+///     dec.feed(&[*b]);
+///     while let Some(m) = dec.next_message().unwrap() {
+///         out.push(m);
+///     }
+/// }
+/// assert_eq!(out, vec![msg]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameDecoder {
+    /// Unconsumed stream bytes; `read` marks how far frames have been
+    /// drained (compacted opportunistically to keep the buffer small).
+    buf: Vec<u8>,
+    read: usize,
+    max_frame: usize,
+    poisoned: Option<DecodeError>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder capped at [`MAX_FRAME_BYTES`] per frame.
+    pub fn new() -> Self {
+        Self::with_max_frame(MAX_FRAME_BYTES)
+    }
+
+    /// A decoder with a custom per-frame payload cap (tests and
+    /// transports with tighter budgets).
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            read: 0,
+            max_frame,
+            poisoned: None,
+        }
+    }
+
+    /// Append raw stream bytes. Fragmentation is arbitrary: frames may
+    /// span many feeds, and one feed may carry many frames.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            // a poisoned stream is dead; don't let its remnants grow
+            return;
+        }
+        // compact before growing: drained frames never need replaying
+        if self.read > 0 && (self.read == self.buf.len() || self.read >= 4096) {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet drained as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// The next complete frame payload, `Ok(None)` while more bytes
+    /// are needed, or the poisoning error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, DecodeError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let pending = &self.buf[self.read..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > self.max_frame {
+            let err = DecodeError::FrameTooLarge(len);
+            self.poisoned = Some(err.clone());
+            self.buf.clear();
+            self.read = 0;
+            return Err(err);
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = pending[4..4 + len].to_vec();
+        self.read += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// The next complete frame decoded as a [`BarterCastMessage`].
+    /// Malformed payloads poison the decoder like a bad length prefix:
+    /// the framing may be intact, but the peer is speaking garbage.
+    pub fn next_message(&mut self) -> Result<Option<BarterCastMessage>, DecodeError> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(payload) => match decode(&payload) {
+                Ok(msg) => Ok(Some(msg)),
+                Err(e) => {
+                    self.poisoned = Some(e.clone());
+                    self.buf.clear();
+                    self.read = 0;
+                    Err(e)
+                }
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +364,80 @@ mod tests {
     fn error_display() {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::BadMagic(1).to_string().contains("magic"));
+        assert!(DecodeError::FrameTooLarge(99).to_string().contains("99"));
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_byte_at_a_time() {
+        let msgs = [sample(), sample()];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_framed(m));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in wire {
+            dec.feed(&[b]);
+            while let Some(m) = dec.next_message().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_handles_many_frames_per_feed() {
+        let mut wire = Vec::new();
+        for _ in 0..5 {
+            wire.extend_from_slice(&encode_framed(&sample()));
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut count = 0;
+        while let Some(m) = dec.next_message().unwrap() {
+            assert_eq!(m, sample());
+            count += 1;
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_length_before_payload() {
+        let mut dec = FrameDecoder::with_max_frame(64);
+        // hostile prefix claiming 4 GiB: rejected from the length
+        // bytes alone, with nothing buffered afterwards
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(DecodeError::FrameTooLarge(u32::MAX as usize))
+        );
+        // poisoned: same error forever, and feeds are discarded
+        dec.feed(&[0u8; 128]);
+        assert_eq!(dec.buffered(), 0);
+        assert_eq!(
+            dec.next_frame(),
+            Err(DecodeError::FrameTooLarge(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn frame_decoder_poisons_on_garbage_payload() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame(&[0xFF, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(dec.next_message(), Err(DecodeError::BadMagic(0xFF)));
+        // a valid frame after the garbage is still refused
+        dec.feed(&encode_framed(&sample()));
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn frame_decoder_raw_frames_are_payload_agnostic() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame(b"hello"));
+        dec.feed(&frame(b""));
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(dec.next_frame().unwrap(), None);
     }
 }

@@ -106,7 +106,78 @@ proptest! {
                 | DecodeError::BadVersion(_)
                 | DecodeError::TooManyRecords(_),
             ) => {}
+            Err(e @ DecodeError::FrameTooLarge(_)) => {
+                // only the stream decoder's length prefix produces this
+                prop_assert!(false, "bare decode returned {e}");
+            }
         }
+    }
+
+    #[test]
+    fn frame_decoder_survives_arbitrary_fragmentation(
+        batches in prop::collection::vec(message_strategy(), 1..4),
+        chunk_seed in 1u64..u64::MAX,
+    ) {
+        // a stream of well-formed frames, delivered in chunks whose
+        // sizes are derived from the seed (1..=13 bytes, so frames
+        // always span several feeds), must reproduce the exact message
+        // sequence no matter where the cuts fall
+        let msgs: Vec<_> = batches
+            .iter()
+            .map(|(s, rs)| build(*s, rs))
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&codec::encode_framed(m));
+        }
+        let mut dec = codec::FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut state = chunk_seed;
+        let mut pos = 0usize;
+        while pos < wire.len() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let step = 1 + (state >> 33) as usize % 13;
+            let end = (pos + step).min(wire.len());
+            dec.feed(&wire[pos..end]);
+            pos = end;
+            while let Some(m) = dec.next_message().expect("clean stream") {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_corrupted_length_never_panics_never_overallocates(
+        msg_parts in message_strategy(),
+        corrupt in 0u8..=255,
+        which in 0usize..4,
+    ) {
+        let (sender, records) = &msg_parts;
+        let mut wire = codec::encode_framed(&build(*sender, records)).to_vec();
+        wire[which] = corrupt; // corrupt one length-prefix byte
+        let mut dec = codec::FrameDecoder::new();
+        dec.feed(&wire);
+        // drain until quiescent: typed errors and silence are both
+        // acceptable; panics and unbounded buffering are not
+        loop {
+            match dec.next_message() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    // once poisoned, the error is sticky and feeds are
+                    // dropped rather than accumulated
+                    prop_assert_eq!(dec.next_message(), Err(e));
+                    dec.feed(&wire);
+                    prop_assert_eq!(dec.buffered(), 0);
+                    break;
+                }
+            }
+        }
+        prop_assert!(dec.buffered() <= wire.len());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! `bartercast-node`: the peer runtime.
+//!
+//! Everything below `crates/node` turns the passive BarterCast
+//! libraries (history, codec, reputation engine, gossip sampling) into
+//! a *running peer*: threads, sockets, queues, retries. The layering:
+//!
+//! * [`transport`] — the [`Transport`](transport::Transport)
+//!   abstraction (peer-addressed, blocking, frame-out/stream-in) and
+//!   the loopback TCP implementation;
+//! * [`mem`] — the deterministic in-process transport with seeded
+//!   delay, frame loss, and fragmented reads;
+//! * [`wire`] — session envelopes (versioned `Hello`, `Records`,
+//!   `Bye`) framed with the `bartercast-core` stream codec;
+//! * [`session`] — the per-connection state machine, one thread per
+//!   live connection;
+//! * [`node`] — the node core: event loop, dial scheduler with
+//!   exponential backoff, bounded queues, graceful shutdown;
+//! * [`cluster`] — the in-process cluster harness that boots N nodes
+//!   on one transport and checks subjective-graph convergence;
+//! * [`stats`] — relaxed-atomic counters snapshotted as
+//!   [`NodeStats`](stats::NodeStats).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod mem;
+pub mod node;
+pub mod session;
+pub mod stats;
+pub mod transport;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use mem::{MemConfig, MemTransport};
+pub use node::{Node, NodeConfig};
+pub use stats::{NodeCounters, NodeStats};
+pub use transport::{Conn, Listener, TcpTransport, Transport};

@@ -1,0 +1,493 @@
+//! The in-process transport: duplex byte pipes with seeded delay,
+//! frame loss, and fragmented delivery.
+//!
+//! [`MemTransport`] gives the node runtime a socket-free network:
+//! connections are pairs of FIFO byte pipes guarded by mutex/condvar,
+//! so the *same* session code that drives TCP runs deterministically
+//! inside one process. Three adversities are injected, all from a
+//! seeded per-connection RNG:
+//!
+//! * **loss** — each sent frame is dropped whole with probability
+//!   `loss` (frame-aligned, so the stream never desynchronizes; a
+//!   dropped frame models a lost message, which the periodic exchange
+//!   protocol must absorb);
+//! * **delay** — each accepted frame becomes readable only after a
+//!   delay drawn from `[min_delay, max_delay]`, monotone per pipe so
+//!   FIFO order is preserved;
+//! * **fragmentation** — reads return random small chunks
+//!   (`1..=max_read_chunk` bytes), so the incremental frame decoder is
+//!   exercised on every message, not just in fuzz tests.
+//!
+//! [`MemTransport::disconnect`] severs every live pipe touching a
+//! peer — the forced-disconnect injection the cluster harness uses to
+//! prove the reconnect machinery works.
+
+use crate::transport::{Conn, Listener, Transport};
+use bartercast_util::units::PeerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Adversity knobs for the in-process network.
+#[derive(Debug, Clone, Copy)]
+pub struct MemConfig {
+    /// Probability an individual sent frame is dropped whole.
+    pub loss: f64,
+    /// Minimum one-way frame delay.
+    pub min_delay: Duration,
+    /// Maximum one-way frame delay (inclusive).
+    pub max_delay: Duration,
+    /// Largest fragment a single [`Conn::recv`] returns.
+    pub max_read_chunk: usize,
+    /// Seed for every per-connection RNG (combined with the endpoint
+    /// pair and a connection counter, so distinct connections see
+    /// distinct but reproducible streams).
+    pub seed: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            loss: 0.0,
+            min_delay: Duration::ZERO,
+            max_delay: Duration::from_micros(200),
+            max_read_chunk: 64,
+            seed: 0xBC,
+        }
+    }
+}
+
+/// One direction of a connection: a FIFO of delayed byte chunks.
+#[derive(Debug, Default)]
+struct PipeBuf {
+    /// `(readable_at, bytes, read_offset)` in FIFO order.
+    chunks: VecDeque<(Instant, Vec<u8>, usize)>,
+    /// Monotone floor for the next chunk's `readable_at`.
+    last_ready: Option<Instant>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    buf: Mutex<PipeBuf>,
+    cv: Condvar,
+}
+
+impl Pipe {
+    fn close(&self) {
+        self.buf.lock().expect("pipe lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Accept queue for one listening peer.
+#[derive(Default)]
+struct AcceptQueue {
+    queue: Mutex<VecDeque<MemConn>>,
+    cv: Condvar,
+}
+
+/// Book-keeping for [`MemTransport::disconnect`].
+struct LiveConn {
+    a: PeerId,
+    b: PeerId,
+    a_to_b: Arc<Pipe>,
+    b_to_a: Arc<Pipe>,
+}
+
+#[derive(Default)]
+struct Registry {
+    listeners: HashMap<PeerId, Arc<AcceptQueue>>,
+    live: Vec<LiveConn>,
+    connects: u64,
+}
+
+/// The deterministic in-process transport. Cheap to clone; clones
+/// share the same network.
+#[derive(Clone)]
+pub struct MemTransport {
+    config: MemConfig,
+    registry: Arc<Mutex<Registry>>,
+    frames_dropped: Arc<AtomicU64>,
+}
+
+impl MemTransport {
+    /// An empty in-process network with the given adversity knobs.
+    pub fn new(config: MemConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.loss));
+        assert!(config.min_delay <= config.max_delay);
+        assert!(config.max_read_chunk >= 1);
+        MemTransport {
+            config,
+            registry: Arc::new(Mutex::new(Registry::default())),
+            frames_dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Frames silently dropped by loss injection so far.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for MemTransport {
+    fn listen(&self, local: PeerId) -> io::Result<Box<dyn Listener>> {
+        let queue = Arc::new(AcceptQueue::default());
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .listeners
+            .insert(local, Arc::clone(&queue));
+        Ok(Box::new(MemListener { queue }))
+    }
+
+    fn connect(&self, from: PeerId, to: PeerId) -> io::Result<Box<dyn Conn>> {
+        let mut reg = self.registry.lock().expect("registry lock");
+        let queue = reg.listeners.get(&to).cloned().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("peer {to} is not listening"),
+            )
+        })?;
+        reg.connects += 1;
+        let nonce = reg.connects;
+        let a_to_b = Arc::new(Pipe::default());
+        let b_to_a = Arc::new(Pipe::default());
+        // drop vanished connections so the live list stays bounded
+        reg.live.retain(|c| {
+            !c.a_to_b.buf.lock().expect("pipe lock").closed
+                || !c.b_to_a.buf.lock().expect("pipe lock").closed
+        });
+        reg.live.push(LiveConn {
+            a: from,
+            b: to,
+            a_to_b: Arc::clone(&a_to_b),
+            b_to_a: Arc::clone(&b_to_a),
+        });
+        drop(reg);
+        let seed_for = |side: u64| {
+            self.config
+                .seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((from.0 as u64) << 40)
+                .wrapping_add((to.0 as u64) << 8)
+                .wrapping_add(nonce.wrapping_mul(0xD1B54A32D192ED03))
+                .wrapping_add(side)
+        };
+        let initiator = MemConn {
+            tx: Arc::clone(&a_to_b),
+            rx: Arc::clone(&b_to_a),
+            config: self.config,
+            rng: StdRng::seed_from_u64(seed_for(1)),
+            frames_dropped: Arc::clone(&self.frames_dropped),
+        };
+        let acceptor = MemConn {
+            tx: b_to_a,
+            rx: a_to_b,
+            config: self.config,
+            rng: StdRng::seed_from_u64(seed_for(2)),
+            frames_dropped: Arc::clone(&self.frames_dropped),
+        };
+        queue.queue.lock().expect("accept lock").push_back(acceptor);
+        queue.cv.notify_one();
+        Ok(Box::new(initiator))
+    }
+
+    fn disconnect(&self, peer: PeerId) -> usize {
+        let mut reg = self.registry.lock().expect("registry lock");
+        let mut killed = 0;
+        reg.live.retain(|c| {
+            if c.a == peer || c.b == peer {
+                c.a_to_b.close();
+                c.b_to_a.close();
+                killed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        killed
+    }
+}
+
+struct MemListener {
+    queue: Arc<AcceptQueue>,
+}
+
+impl Listener for MemListener {
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queue.queue.lock().expect("accept lock");
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Ok(Some(Box::new(conn)));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self
+                .queue
+                .cv
+                .wait_timeout(q, deadline - now)
+                .expect("accept lock");
+            q = guard;
+        }
+    }
+}
+
+struct MemConn {
+    tx: Arc<Pipe>,
+    rx: Arc<Pipe>,
+    config: MemConfig,
+    rng: StdRng,
+    frames_dropped: Arc<AtomicU64>,
+}
+
+impl Drop for MemConn {
+    fn drop(&mut self) {
+        // closing our write side is the EOF the remote reader sees;
+        // closing our read side unblocks the remote writer with an
+        // error instead of letting it fill an orphaned buffer
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl Conn for MemConn {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss) {
+            self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // dropped in flight; the sender cannot tell
+        }
+        let span = self
+            .config
+            .max_delay
+            .saturating_sub(self.config.min_delay)
+            .as_micros() as u64;
+        let delay = self.config.min_delay
+            + Duration::from_micros(if span == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..=span)
+            });
+        let mut buf = self.tx.buf.lock().expect("pipe lock");
+        if buf.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection severed",
+            ));
+        }
+        // FIFO: a fast frame never overtakes a slow one
+        let mut ready = Instant::now() + delay;
+        if let Some(floor) = buf.last_ready {
+            ready = ready.max(floor);
+        }
+        buf.last_ready = Some(ready);
+        buf.chunks.push_back((ready, frame.to_vec(), 0));
+        self.tx.cv.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
+        if buf.is_empty() {
+            return Ok(Some(0));
+        }
+        let cap = self
+            .rng
+            .gen_range(1..=self.config.max_read_chunk)
+            .min(buf.len());
+        let deadline = Instant::now() + timeout;
+        let mut pipe = self.rx.buf.lock().expect("pipe lock");
+        loop {
+            let now = Instant::now();
+            if let Some((ready, bytes, offset)) = pipe.chunks.front_mut() {
+                if *ready <= now {
+                    let n = cap.min(bytes.len() - *offset);
+                    buf[..n].copy_from_slice(&bytes[*offset..*offset + n]);
+                    *offset += n;
+                    if *offset == bytes.len() {
+                        pipe.chunks.pop_front();
+                    }
+                    return Ok(Some(n));
+                }
+                if now >= deadline {
+                    return Ok(None);
+                }
+                // data exists but is still "in flight": wait for the
+                // earlier of its readiness and the caller's deadline
+                let wait = (*ready - now).min(deadline - now);
+                let (guard, _) = self.rx.cv.wait_timeout(pipe, wait).expect("pipe lock");
+                pipe = guard;
+                continue;
+            }
+            if pipe.closed {
+                return Ok(Some(0)); // EOF
+            }
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self
+                .rx
+                .cv
+                .wait_timeout(pipe, deadline - now)
+                .expect("pipe lock");
+            pipe = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    fn lossless() -> MemTransport {
+        MemTransport::new(MemConfig::default())
+    }
+
+    fn drain(conn: &mut Box<dyn Conn>, want: usize) -> Vec<u8> {
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < want && Instant::now() < deadline {
+            let mut chunk = [0u8; 256];
+            match conn.recv(&mut chunk, Duration::from_millis(20)).unwrap() {
+                Some(0) => break,
+                Some(n) => got.extend_from_slice(&chunk[..n]),
+                None => {}
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_across_frames() {
+        let t = lossless();
+        let mut listener = t.listen(p(1)).unwrap();
+        let mut a = t.connect(p(0), p(1)).unwrap();
+        let mut b = listener
+            .accept(Duration::from_secs(1))
+            .unwrap()
+            .expect("inbound");
+        a.send(b"first-frame|").unwrap();
+        a.send(b"second-frame").unwrap();
+        let got = drain(&mut b, 24);
+        assert_eq!(&got, b"first-frame|second-frame");
+    }
+
+    #[test]
+    fn reads_are_fragmented() {
+        let t = MemTransport::new(MemConfig {
+            max_read_chunk: 3,
+            ..MemConfig::default()
+        });
+        let mut listener = t.listen(p(1)).unwrap();
+        let mut a = t.connect(p(0), p(1)).unwrap();
+        let mut b = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+        a.send(&[7u8; 32]).unwrap();
+        let mut chunk = [0u8; 32];
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if let Some(n) = b.recv(&mut chunk, Duration::from_millis(20)).unwrap() {
+                assert!(n <= 3, "fragment of {n} bytes exceeds the cap");
+                break;
+            }
+            assert!(Instant::now() < deadline, "no data arrived");
+        }
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing_but_counts() {
+        let t = MemTransport::new(MemConfig {
+            loss: 1.0,
+            ..MemConfig::default()
+        });
+        let mut listener = t.listen(p(1)).unwrap();
+        let mut a = t.connect(p(0), p(1)).unwrap();
+        let mut b = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+        for _ in 0..10 {
+            a.send(b"doomed").unwrap();
+        }
+        assert_eq!(t.frames_dropped(), 10);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.recv(&mut buf, Duration::from_millis(30)).unwrap(), None);
+    }
+
+    #[test]
+    fn connect_without_listener_is_refused() {
+        let t = lossless();
+        let err = match t.connect(p(0), p(5)) {
+            Err(e) => e,
+            Ok(_) => panic!("nobody is listening on peer 5"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn disconnect_severs_both_directions_but_not_the_listener() {
+        let t = lossless();
+        let mut listener = t.listen(p(1)).unwrap();
+        let mut a = t.connect(p(0), p(1)).unwrap();
+        let mut b = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(t.disconnect(p(1)), 1);
+        assert!(a.send(b"x").is_err(), "writer must observe the cut");
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            b.recv(&mut buf, Duration::from_millis(20)).unwrap(),
+            Some(0),
+            "reader must observe EOF"
+        );
+        // the listener survives: reconnection is possible
+        let mut a2 = t.connect(p(0), p(1)).unwrap();
+        a2.send(b"back").unwrap();
+        let mut b2 = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(drain(&mut b2, 4), b"back");
+    }
+
+    #[test]
+    fn dropping_a_conn_signals_eof_to_the_peer() {
+        let t = lossless();
+        let mut listener = t.listen(p(1)).unwrap();
+        let a = t.connect(p(0), p(1)).unwrap();
+        let mut b = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+        drop(a);
+        let mut buf = [0u8; 4];
+        let deadline = Instant::now() + Duration::from_secs(1);
+        loop {
+            match b.recv(&mut buf, Duration::from_millis(20)).unwrap() {
+                Some(0) => break,
+                Some(_) => panic!("no data was ever sent"),
+                None => assert!(Instant::now() < deadline, "EOF never arrived"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_loss_pattern() {
+        let observe = |seed| {
+            let t = MemTransport::new(MemConfig {
+                loss: 0.5,
+                seed,
+                ..MemConfig::default()
+            });
+            let _listener = t.listen(p(1)).unwrap();
+            let mut a = t.connect(p(0), p(1)).unwrap();
+            let mut dropped = Vec::new();
+            for k in 0..64 {
+                let before = t.frames_dropped();
+                a.send(&[k]).unwrap();
+                dropped.push(t.frames_dropped() > before);
+            }
+            dropped
+        };
+        assert_eq!(observe(7), observe(7));
+        assert_ne!(observe(7), observe(8), "different seeds should differ");
+    }
+}

@@ -1,0 +1,515 @@
+//! The per-connection session state machine.
+//!
+//! Each established connection is owned by exactly one thread running
+//! [`run_session`], which walks three states:
+//!
+//! ```text
+//!            send Hello                 Hello received
+//!  Connect ───────────────▶ Handshake ─────────────────▶ Exchange
+//!                               │                            │
+//!                   timeout /   │          Bye received /    │
+//!                   bad proto   │          queue closed /    │
+//!                               ▼          shutdown          ▼
+//!                            Failed ◀──── io error ────── Teardown
+//!                                                            │
+//!                                                  drain + send Bye
+//! ```
+//!
+//! In `Exchange` the loop alternates between draining its bounded
+//! outbound queue (each message becomes one `Records` envelope) and
+//! short timed reads feeding the incremental
+//! [`FrameDecoder`](bartercast_core::codec::FrameDecoder). Everything
+//! the node core needs to know flows back as [`SessionEvent`]s over a
+//! bounded channel; the session never touches node state directly.
+//!
+//! Shutdown is cooperative: the node either flips the shared shutdown
+//! flag (global stop) or drops the outbound sender (close this one
+//! session). Both paths drain pending messages and send `Bye`, so the
+//! peer sees a clean teardown rather than a reset.
+
+use crate::stats::NodeCounters;
+use crate::transport::Conn;
+use crate::wire::{self, Envelope};
+use bartercast_core::codec::FrameDecoder;
+use bartercast_core::BarterCastMessage;
+use bartercast_util::units::PeerId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::time::{Duration, Instant};
+
+/// Which side of the connection this session is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// We dialed.
+    Initiator,
+    /// We accepted.
+    Responder,
+}
+
+/// What a session reports back to the node core. `token` is the
+/// node-assigned id of the session thread, so events can be correlated
+/// with the session table even before the remote identity is known.
+#[derive(Debug)]
+pub enum SessionEvent {
+    /// Handshake completed; the remote identity is now known.
+    Established {
+        /// Node-assigned session id.
+        token: u64,
+        /// Peer on the other end, from its `Hello`.
+        remote: PeerId,
+        /// Which side we are.
+        direction: Direction,
+    },
+    /// A `Records` envelope arrived.
+    Records {
+        /// Node-assigned session id.
+        token: u64,
+        /// Peer the session is established with.
+        from: PeerId,
+        /// The decoded BarterCast message.
+        msg: BarterCastMessage,
+    },
+    /// The session ended; the thread is about to exit.
+    Closed {
+        /// Node-assigned session id.
+        token: u64,
+        /// `true` for graceful teardown (`Bye` sent or received),
+        /// `false` for timeouts, resets, and protocol errors.
+        clean: bool,
+    },
+}
+
+/// Tunables for one session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// How long the handshake may take end-to-end.
+    pub handshake_timeout: Duration,
+    /// Per-poll read timeout in the exchange loop; bounds how stale the
+    /// shutdown check can get.
+    pub poll_timeout: Duration,
+    /// Exchange-loop inactivity limit: no frame for this long and the
+    /// session is torn down as dead.
+    pub idle_timeout: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            handshake_timeout: Duration::from_millis(500),
+            poll_timeout: Duration::from_millis(5),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Deliver an event without deadlocking: the node core might be busy,
+/// so block in small slices and give up only on shutdown (when nobody
+/// will ever drain the channel again).
+fn emit(events: &SyncSender<SessionEvent>, shutdown: &AtomicBool, mut event: SessionEvent) -> bool {
+    loop {
+        match events.try_send(event) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(e)) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return false;
+                }
+                event = e;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+fn send_envelope(
+    conn: &mut dyn Conn,
+    counters: &NodeCounters,
+    env: &Envelope,
+) -> std::io::Result<()> {
+    let frame = wire::encode_envelope(env);
+    conn.send(&frame)?;
+    NodeCounters::add(&counters.bytes_sent, frame.len() as u64);
+    if let Envelope::Records(msg) = env {
+        NodeCounters::add(&counters.records_sent, msg.len() as u64);
+    }
+    Ok(())
+}
+
+/// Drive one connection for its whole life. Returns when the session
+/// is over; the final [`SessionEvent::Closed`] reports how it ended.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session(
+    mut conn: Box<dyn Conn>,
+    token: u64,
+    local: PeerId,
+    direction: Direction,
+    outbound: Receiver<BarterCastMessage>,
+    events: SyncSender<SessionEvent>,
+    shutdown: &AtomicBool,
+    counters: &NodeCounters,
+    config: SessionConfig,
+) {
+    let mut decoder = FrameDecoder::new();
+    let mut read_buf = [0u8; 4096];
+
+    // --- Handshake -------------------------------------------------
+    let remote = match handshake(
+        conn.as_mut(),
+        local,
+        &mut decoder,
+        &mut read_buf,
+        counters,
+        shutdown,
+        config.handshake_timeout,
+    ) {
+        Ok(remote) => remote,
+        Err(()) => {
+            NodeCounters::inc(&counters.sessions_failed);
+            emit(
+                &events,
+                shutdown,
+                SessionEvent::Closed {
+                    token,
+                    clean: false,
+                },
+            );
+            return;
+        }
+    };
+    NodeCounters::inc(&counters.sessions_opened);
+    if !emit(
+        &events,
+        shutdown,
+        SessionEvent::Established {
+            token,
+            remote,
+            direction,
+        },
+    ) {
+        NodeCounters::inc(&counters.sessions_closed);
+        return;
+    }
+
+    // --- Exchange --------------------------------------------------
+    let clean = exchange(
+        conn.as_mut(),
+        token,
+        remote,
+        &mut decoder,
+        &mut read_buf,
+        &outbound,
+        &events,
+        shutdown,
+        counters,
+        &config,
+    );
+    NodeCounters::inc(&counters.sessions_closed);
+    emit(&events, shutdown, SessionEvent::Closed { token, clean });
+}
+
+/// Send our `Hello`, then read frames until the peer's `Hello` arrives
+/// (anything else, or silence past the deadline, fails the handshake).
+fn handshake(
+    conn: &mut dyn Conn,
+    local: PeerId,
+    decoder: &mut FrameDecoder,
+    read_buf: &mut [u8],
+    counters: &NodeCounters,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+) -> Result<PeerId, ()> {
+    if send_envelope(conn, counters, &Envelope::Hello { peer: local }).is_err() {
+        return Err(());
+    }
+    let deadline = Instant::now() + timeout;
+    loop {
+        if shutdown.load(Ordering::Relaxed) || Instant::now() >= deadline {
+            return Err(());
+        }
+        match conn.recv(read_buf, Duration::from_millis(5)) {
+            Ok(Some(0)) | Err(_) => return Err(()),
+            Ok(Some(n)) => {
+                NodeCounters::add(&counters.bytes_received, n as u64);
+                decoder.feed(&read_buf[..n]);
+            }
+            Ok(None) => continue,
+        }
+        match decoder.next_frame() {
+            Ok(None) => {}
+            Ok(Some(payload)) => match wire::decode_envelope(&payload) {
+                Ok(Envelope::Hello { peer }) => return Ok(peer),
+                Ok(_) | Err(_) => {
+                    NodeCounters::inc(&counters.protocol_errors);
+                    return Err(());
+                }
+            },
+            Err(_) => {
+                NodeCounters::inc(&counters.protocol_errors);
+                return Err(());
+            }
+        }
+    }
+}
+
+/// The steady state: pump the outbound queue and the inbound stream
+/// until something ends the session. Returns whether the close was
+/// clean.
+#[allow(clippy::too_many_arguments)]
+fn exchange(
+    conn: &mut dyn Conn,
+    token: u64,
+    remote: PeerId,
+    decoder: &mut FrameDecoder,
+    read_buf: &mut [u8],
+    outbound: &Receiver<BarterCastMessage>,
+    events: &SyncSender<SessionEvent>,
+    shutdown: &AtomicBool,
+    counters: &NodeCounters,
+    config: &SessionConfig,
+) -> bool {
+    let mut last_activity = Instant::now();
+    loop {
+        // outbound first: drain whatever the node queued
+        let mut queue_closed = false;
+        loop {
+            match outbound.try_recv() {
+                Ok(msg) => {
+                    if send_envelope(conn, counters, &Envelope::Records(msg)).is_err() {
+                        return false;
+                    }
+                    last_activity = Instant::now();
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    queue_closed = true;
+                    break;
+                }
+            }
+        }
+        if queue_closed || shutdown.load(Ordering::Relaxed) {
+            // graceful teardown: the queue is already drained. The Bye
+            // is best-effort — the peer may be tearing down at the same
+            // moment, and a locally-initiated close is clean either way
+            let _ = send_envelope(conn, counters, &Envelope::Bye);
+            return true;
+        }
+        if last_activity.elapsed() > config.idle_timeout {
+            return false; // peer went silent; treat as dead
+        }
+
+        // inbound: one timed read, then drain every complete frame
+        match conn.recv(read_buf, config.poll_timeout) {
+            Ok(None) => continue,
+            Ok(Some(0)) | Err(_) => return false,
+            Ok(Some(n)) => {
+                NodeCounters::add(&counters.bytes_received, n as u64);
+                decoder.feed(&read_buf[..n]);
+                last_activity = Instant::now();
+            }
+        }
+        loop {
+            let payload = match decoder.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(_) => {
+                    NodeCounters::inc(&counters.protocol_errors);
+                    return false;
+                }
+            };
+            match wire::decode_envelope(&payload) {
+                Ok(Envelope::Records(msg)) => {
+                    NodeCounters::add(&counters.records_received, msg.len() as u64);
+                    if !emit(
+                        events,
+                        shutdown,
+                        SessionEvent::Records {
+                            token,
+                            from: remote,
+                            msg,
+                        },
+                    ) {
+                        return false;
+                    }
+                }
+                Ok(Envelope::Bye) => {
+                    // peer is done; answer in kind so both logs agree
+                    let _ = send_envelope(conn, counters, &Envelope::Bye);
+                    return true;
+                }
+                Ok(Envelope::Hello { .. }) | Err(_) => {
+                    NodeCounters::inc(&counters.protocol_errors);
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{MemConfig, MemTransport};
+    use crate::transport::Transport;
+    use bartercast_core::TransferRecord;
+    use bartercast_util::units::Bytes;
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Arc;
+
+    fn msg(sender: u32, peer: u32, up: u64) -> BarterCastMessage {
+        BarterCastMessage {
+            sender: PeerId(sender),
+            records: vec![TransferRecord {
+                peer: PeerId(peer),
+                up: Bytes(up),
+                down: Bytes::ZERO,
+            }],
+        }
+    }
+
+    /// Two sessions over an in-memory pipe: both handshake, exchange a
+    /// message each way, and tear down cleanly when the queues close.
+    #[test]
+    fn paired_sessions_exchange_and_close_cleanly() {
+        let transport = MemTransport::new(MemConfig::default());
+        let mut listener = transport.listen(PeerId(1)).unwrap();
+        let conn_a = transport.connect(PeerId(0), PeerId(1)).unwrap();
+        let conn_b = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters_a = Arc::new(NodeCounters::default());
+        let counters_b = Arc::new(NodeCounters::default());
+        let (ev_tx_a, ev_rx_a) = sync_channel(64);
+        let (ev_tx_b, ev_rx_b) = sync_channel(64);
+        let (out_tx_a, out_rx_a) = sync_channel(8);
+        let (out_tx_b, out_rx_b) = sync_channel(8);
+
+        out_tx_a.send(msg(0, 5, 100)).unwrap();
+        out_tx_b.send(msg(1, 6, 200)).unwrap();
+
+        let spawn =
+            |conn, token, local, dir, out_rx, ev_tx, sd: Arc<AtomicBool>, ct: Arc<NodeCounters>| {
+                std::thread::spawn(move || {
+                    run_session(
+                        conn,
+                        token,
+                        local,
+                        dir,
+                        out_rx,
+                        ev_tx,
+                        &sd,
+                        &ct,
+                        SessionConfig::default(),
+                    )
+                })
+            };
+        let ha = spawn(
+            conn_a,
+            10,
+            PeerId(0),
+            Direction::Initiator,
+            out_rx_a,
+            ev_tx_a,
+            Arc::clone(&shutdown),
+            Arc::clone(&counters_a),
+        );
+        let hb = spawn(
+            conn_b,
+            20,
+            PeerId(1),
+            Direction::Responder,
+            out_rx_b,
+            ev_tx_b,
+            Arc::clone(&shutdown),
+            Arc::clone(&counters_b),
+        );
+
+        // collect until each side saw Established + Records, then close
+        let mut got_a = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got_a.len() < 2 && Instant::now() < deadline {
+            if let Ok(e) = ev_rx_a.recv_timeout(Duration::from_millis(100)) {
+                got_a.push(e);
+            }
+        }
+        let mut got_b = Vec::new();
+        while got_b.len() < 2 && Instant::now() < deadline {
+            if let Ok(e) = ev_rx_b.recv_timeout(Duration::from_millis(100)) {
+                got_b.push(e);
+            }
+        }
+        assert!(matches!(
+            got_a[0],
+            SessionEvent::Established {
+                token: 10,
+                remote: PeerId(1),
+                direction: Direction::Initiator
+            }
+        ));
+        assert!(
+            matches!(&got_a[1], SessionEvent::Records { from: PeerId(1), msg, .. } if msg.sender == PeerId(1))
+        );
+        assert!(matches!(
+            got_b[0],
+            SessionEvent::Established {
+                token: 20,
+                remote: PeerId(0),
+                direction: Direction::Responder
+            }
+        ));
+        assert!(
+            matches!(&got_b[1], SessionEvent::Records { from: PeerId(0), msg, .. } if msg.sender == PeerId(0))
+        );
+
+        // dropping the senders asks both sessions to tear down with Bye
+        drop(out_tx_a);
+        drop(out_tx_b);
+        ha.join().unwrap();
+        hb.join().unwrap();
+        let closed_a = ev_rx_a
+            .recv_timeout(Duration::from_secs(1))
+            .expect("closed event");
+        assert!(matches!(closed_a, SessionEvent::Closed { clean: true, .. }));
+        let sa = counters_a.snapshot();
+        assert_eq!(sa.sessions_opened, 1);
+        assert_eq!(sa.sessions_closed, 1);
+        assert_eq!(sa.records_sent, 1);
+        assert_eq!(sa.records_received, 1);
+        assert!(sa.bytes_sent > 0 && sa.bytes_received > 0);
+    }
+
+    /// A session dialing a peer that never speaks must fail the
+    /// handshake within its timeout, not hang.
+    #[test]
+    fn silent_peer_fails_handshake() {
+        let transport = MemTransport::new(MemConfig::default());
+        let mut listener = transport.listen(PeerId(1)).unwrap();
+        let conn = transport.connect(PeerId(0), PeerId(1)).unwrap();
+        let _mute = listener.accept(Duration::from_secs(1)).unwrap().unwrap();
+
+        let shutdown = AtomicBool::new(false);
+        let counters = NodeCounters::default();
+        let (ev_tx, ev_rx) = sync_channel(8);
+        let (_out_tx, out_rx) = sync_channel::<BarterCastMessage>(1);
+        let started = Instant::now();
+        run_session(
+            conn,
+            1,
+            PeerId(0),
+            Direction::Initiator,
+            out_rx,
+            ev_tx,
+            &shutdown,
+            &counters,
+            SessionConfig {
+                handshake_timeout: Duration::from_millis(60),
+                ..SessionConfig::default()
+            },
+        );
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert!(matches!(
+            ev_rx.try_recv().unwrap(),
+            SessionEvent::Closed { clean: false, .. }
+        ));
+        assert_eq!(counters.snapshot().sessions_failed, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-node operational counters.
+//!
+//! Sessions run on their own threads, so counters are plain relaxed
+//! atomics bumped at the point of truth (the session loop) and
+//! snapshotted into an immutable [`NodeStats`] on demand. The JSON
+//! surface mirrors `CacheStats::json_fields` from `bartercast-core` so
+//! bench output stays one consistent dialect.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared between a node's threads.
+#[derive(Debug, Default)]
+pub struct NodeCounters {
+    /// Sessions fully established (handshake completed), either side.
+    pub sessions_opened: AtomicU64,
+    /// Dial or handshake attempts that never reached `Established`.
+    pub sessions_failed: AtomicU64,
+    /// Sessions that ended, cleanly or not.
+    pub sessions_closed: AtomicU64,
+    /// Dials to a peer we had already had a session with — the
+    /// reconnect path the backoff machinery exists for.
+    pub reconnects: AtomicU64,
+    /// Transfer records sent inside `Records` envelopes.
+    pub records_sent: AtomicU64,
+    /// Transfer records received (before dedup).
+    pub records_received: AtomicU64,
+    /// Received records whose max-merge changed nothing.
+    pub records_duplicate: AtomicU64,
+    /// Framed bytes handed to the transport.
+    pub bytes_sent: AtomicU64,
+    /// Stream bytes read from the transport.
+    pub bytes_received: AtomicU64,
+    /// Outbound messages shed because a bounded queue was full.
+    pub queue_shed: AtomicU64,
+    /// Envelopes rejected by the wire layer (bad kind, bad handshake,
+    /// codec failure) plus decoder poisonings.
+    pub protocol_errors: AtomicU64,
+}
+
+impl NodeCounters {
+    /// Bump a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// An immutable snapshot of every counter.
+    pub fn snapshot(&self) -> NodeStats {
+        NodeStats {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            records_sent: self.records_sent.load(Ordering::Relaxed),
+            records_received: self.records_received.load(Ordering::Relaxed),
+            records_duplicate: self.records_duplicate.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            queue_shed: self.queue_shed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of a node's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Sessions fully established.
+    pub sessions_opened: u64,
+    /// Dial/handshake attempts that failed.
+    pub sessions_failed: u64,
+    /// Sessions ended.
+    pub sessions_closed: u64,
+    /// Dials to previously-seen peers.
+    pub reconnects: u64,
+    /// Records sent.
+    pub records_sent: u64,
+    /// Records received.
+    pub records_received: u64,
+    /// Received records that changed nothing.
+    pub records_duplicate: u64,
+    /// Bytes written to the wire.
+    pub bytes_sent: u64,
+    /// Bytes read from the wire.
+    pub bytes_received: u64,
+    /// Messages shed at full queues.
+    pub queue_shed: u64,
+    /// Wire-layer rejections.
+    pub protocol_errors: u64,
+}
+
+impl NodeStats {
+    /// The stats as JSON object fields (no surrounding braces), in the
+    /// same style as `CacheStats::json_fields`.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"sessions_opened\": {}, \"sessions_failed\": {}, \"sessions_closed\": {}, \
+             \"reconnects\": {}, \"records_sent\": {}, \"records_received\": {}, \
+             \"records_duplicate\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \
+             \"queue_shed\": {}, \"protocol_errors\": {}",
+            self.sessions_opened,
+            self.sessions_failed,
+            self.sessions_closed,
+            self.reconnects,
+            self.records_sent,
+            self.records_received,
+            self.records_duplicate,
+            self.bytes_sent,
+            self.bytes_received,
+            self.queue_shed,
+            self.protocol_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = NodeCounters::default();
+        NodeCounters::inc(&c.sessions_opened);
+        NodeCounters::add(&c.records_sent, 10);
+        let s = c.snapshot();
+        assert_eq!(s.sessions_opened, 1);
+        assert_eq!(s.records_sent, 10);
+        assert_eq!(s.records_received, 0);
+    }
+
+    #[test]
+    fn json_fields_form_a_valid_object_body() {
+        let s = NodeCounters::default().snapshot();
+        let obj = format!("{{{}}}", s.json_fields());
+        assert!(obj.starts_with('{') && obj.ends_with('}'));
+        assert_eq!(obj.matches(':').count(), 11);
+        assert!(obj.contains("\"queue_shed\": 0"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The transport abstraction the node runtime speaks through, plus the
+//! real-socket implementation.
+//!
+//! A [`Transport`] hands out blocking, thread-owned connections
+//! addressed by [`PeerId`] — the runtime never sees socket addresses.
+//! Two implementations exist:
+//!
+//! * [`TcpTransport`] (here): `std::net` loopback sockets with an
+//!   internal `PeerId → SocketAddr` registry populated as nodes bind.
+//!   Every session owns its stream on a dedicated thread, so all I/O
+//!   is plain blocking reads/writes with per-call timeouts.
+//! * [`MemTransport`](crate::mem::MemTransport): deterministic
+//!   in-process duplex pipes with seeded delay/loss, so every test and
+//!   the tier-1 cluster convergence gate run socket-free.
+//!
+//! The read side is a **byte stream** — [`Conn::recv`] may return any
+//! fragment of what was sent, which is exactly what the incremental
+//! [`FrameDecoder`](bartercast_core::codec::FrameDecoder) exists to
+//! absorb. The write side is **frame-oriented**: [`Conn::send`] takes
+//! one whole frame, which is the unit of simulated loss on lossy
+//! transports (dropping a partial frame would desynchronize the
+//! stream; dropping a whole frame models a lost message).
+
+use bartercast_util::units::PeerId;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One end of an established session.
+pub trait Conn: Send {
+    /// Write one whole frame. Blocks until the bytes are handed to the
+    /// transport; an error means the connection is unusable.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+
+    /// Read up to `buf.len()` stream bytes, blocking at most
+    /// `timeout`. Returns `Ok(None)` when the timeout elapsed with no
+    /// data, `Ok(Some(0))` on clean end-of-stream, and `Ok(Some(n))`
+    /// for `n` bytes read (any fragmentation is legal).
+    fn recv(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>>;
+}
+
+/// An accept queue bound to one local peer.
+pub trait Listener: Send {
+    /// The next inbound connection, or `None` when `timeout` elapsed
+    /// without one.
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>>;
+}
+
+/// A connection factory addressed by peer id.
+pub trait Transport: Send + Sync {
+    /// Bind an accept queue for `local`. Must be called before other
+    /// peers can [`Transport::connect`] to it.
+    fn listen(&self, local: PeerId) -> io::Result<Box<dyn Listener>>;
+
+    /// Open a connection from `from` to `to`.
+    fn connect(&self, from: PeerId, to: PeerId) -> io::Result<Box<dyn Conn>>;
+
+    /// Forcibly sever every live connection touching `peer`, returning
+    /// how many were killed. The listener survives, so the peer can be
+    /// reconnected to — this is the harness's connection-churn
+    /// injection point. Transports that cannot target individual
+    /// connections (TCP) return `0`.
+    fn disconnect(&self, _peer: PeerId) -> usize {
+        0
+    }
+}
+
+/// Loopback TCP transport: a shared `PeerId → SocketAddr` registry and
+/// one OS socket per session.
+///
+/// ```no_run
+/// use bartercast_node::transport::{TcpTransport, Transport};
+/// use bartercast_util::units::PeerId;
+/// use std::time::Duration;
+///
+/// let t = TcpTransport::new();
+/// let mut listener = t.listen(PeerId(1)).unwrap();
+/// let mut conn = t.connect(PeerId(0), PeerId(1)).unwrap();
+/// conn.send(b"\x02\x00\x00\x00hi").unwrap();
+/// let _inbound = listener.accept(Duration::from_secs(1)).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TcpTransport {
+    registry: Arc<Mutex<HashMap<PeerId, SocketAddr>>>,
+}
+
+impl TcpTransport {
+    /// A transport with an empty peer registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether this host can bind a loopback socket at all — lets
+    /// callers (benches, tests) skip the TCP path gracefully inside
+    /// sandboxes without network namespaces.
+    pub fn loopback_available() -> bool {
+        TcpListener::bind("127.0.0.1:0").is_ok()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn listen(&self, local: PeerId) -> io::Result<Box<dyn Listener>> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .insert(local, addr);
+        Ok(Box::new(TcpAccept { listener }))
+    }
+
+    fn connect(&self, _from: PeerId, to: PeerId) -> io::Result<Box<dyn Conn>> {
+        let addr = self
+            .registry
+            .lock()
+            .expect("registry lock")
+            .get(&to)
+            .copied()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("peer {to} is not listening"),
+                )
+            })?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        Ok(Box::new(TcpConn { stream }))
+    }
+}
+
+struct TcpAccept {
+    listener: TcpListener,
+}
+
+impl Listener for TcpAccept {
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(Some(Box::new(TcpConn { stream })));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+struct TcpConn {
+    stream: TcpStream,
+}
+
+impl Conn for TcpConn {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        // sessions own their stream, so a blocking write with the OS
+        // default buffer is the backpressure: a peer that stops
+        // reading eventually stalls this session thread, and the
+        // node-side bounded queue sheds further traffic
+        self.stream
+            .set_write_timeout(Some(Duration::from_secs(10)))?;
+        self.stream.write_all(frame)?;
+        self.stream.flush()
+    }
+
+    fn recv(&mut self, buf: &mut [u8], timeout: Duration) -> io::Result<Option<usize>> {
+        // std rejects a zero read timeout; clamp to 1 ms
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        match self.stream.read(buf) {
+            Ok(n) => Ok(Some(n)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn connect_to_unknown_peer_is_refused() {
+        if !TcpTransport::loopback_available() {
+            eprintln!("skipping: no loopback in this sandbox");
+            return;
+        }
+        let t = TcpTransport::new();
+        assert!(t.connect(p(0), p(9)).is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_fragmented_reads() {
+        if !TcpTransport::loopback_available() {
+            eprintln!("skipping: no loopback in this sandbox");
+            return;
+        }
+        let t = TcpTransport::new();
+        let mut listener = t.listen(p(1)).unwrap();
+        let mut a = t.connect(p(0), p(1)).unwrap();
+        a.send(b"hello frame").unwrap();
+        let mut b = listener
+            .accept(Duration::from_secs(2))
+            .unwrap()
+            .expect("inbound conn");
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < 11 && Instant::now() < deadline {
+            let mut chunk = [0u8; 4]; // force fragmentation
+            if let Some(n) = b.recv(&mut chunk, Duration::from_millis(50)).unwrap() {
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&chunk[..n]);
+            }
+        }
+        assert_eq!(&got, b"hello frame");
+    }
+
+    #[test]
+    fn recv_times_out_without_data() {
+        if !TcpTransport::loopback_available() {
+            eprintln!("skipping: no loopback in this sandbox");
+            return;
+        }
+        let t = TcpTransport::new();
+        let mut listener = t.listen(p(1)).unwrap();
+        let _a = t.connect(p(0), p(1)).unwrap();
+        let mut b = listener
+            .accept(Duration::from_secs(2))
+            .unwrap()
+            .expect("inbound conn");
+        let mut buf = [0u8; 8];
+        let got = b.recv(&mut buf, Duration::from_millis(20)).unwrap();
+        assert_eq!(got, None, "no data was sent");
+    }
+}

@@ -1,0 +1,211 @@
+//! Session-layer envelopes: what actually travels inside each frame.
+//!
+//! Every frame on a node-to-node connection carries one [`Envelope`]:
+//! a one-byte kind tag followed by a kind-specific body. The protocol
+//! is deliberately tiny — three message kinds are enough for a
+//! BarterCast session:
+//!
+//! * [`Envelope::Hello`] — versioned handshake, sent once by each side
+//!   immediately after connect/accept. Carries the sender's peer id so
+//!   the acceptor learns who dialed it (transports don't expose that).
+//! * [`Envelope::Records`] — one BarterCast exchange: the sender's
+//!   top-`Nh`/`Nr` slice of its private history, re-using the
+//!   `bartercast-core` wire codec verbatim as the body.
+//! * [`Envelope::Bye`] — explicit teardown, so the peer can distinguish
+//!   a graceful close from a severed connection.
+
+use bartercast_core::codec::{self, DecodeError};
+use bartercast_core::BarterCastMessage;
+use bartercast_util::units::PeerId;
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Version of the session protocol (handshake + envelope layout).
+/// Distinct from the record-codec version inside `Records` bodies.
+pub const NODE_PROTOCOL_VERSION: u8 = 1;
+
+const KIND_HELLO: u8 = 1;
+const KIND_RECORDS: u8 = 2;
+const KIND_BYE: u8 = 3;
+
+/// Magic byte opening a `Hello` body (same value as the record codec's
+/// magic — one constant to grep for on the wire).
+const HELLO_MAGIC: u8 = 0xBC;
+
+/// One session-layer message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// Handshake: "I speak protocol `version`, and I am `peer`."
+    Hello {
+        /// The sender's identity.
+        peer: PeerId,
+    },
+    /// One BarterCast record exchange.
+    Records(BarterCastMessage),
+    /// Graceful teardown; no more envelopes follow from the sender.
+    Bye,
+}
+
+/// Why an inbound envelope was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Empty payload or a kind byte this version doesn't know.
+    BadKind(u8),
+    /// `Hello` body malformed or wrong protocol version.
+    BadHandshake,
+    /// `Hello` advertised a protocol version we don't speak.
+    VersionMismatch(u8),
+    /// `Records` body failed the record codec.
+    Codec(DecodeError),
+    /// Body shorter than its kind requires.
+    Truncated,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadKind(k) => write!(f, "unknown envelope kind {k:#04x}"),
+            WireError::BadHandshake => write!(f, "malformed handshake"),
+            WireError::VersionMismatch(v) => {
+                write!(
+                    f,
+                    "peer speaks protocol v{v}, we speak v{NODE_PROTOCOL_VERSION}"
+                )
+            }
+            WireError::Codec(e) => write!(f, "records body rejected: {e}"),
+            WireError::Truncated => write!(f, "envelope body truncated"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode an envelope into a length-prefixed frame ready for
+/// [`Conn::send`](crate::transport::Conn::send).
+pub fn encode_envelope(envelope: &Envelope) -> BytesMut {
+    let mut payload = BytesMut::new();
+    match envelope {
+        Envelope::Hello { peer } => {
+            payload.put_u8(KIND_HELLO);
+            payload.put_u8(HELLO_MAGIC);
+            payload.put_u8(NODE_PROTOCOL_VERSION);
+            payload.put_u32_le(peer.0);
+        }
+        Envelope::Records(msg) => {
+            payload.put_u8(KIND_RECORDS);
+            payload.put_slice(&codec::encode(msg));
+        }
+        Envelope::Bye => payload.put_u8(KIND_BYE),
+    }
+    codec::frame(&payload)
+}
+
+/// Decode one frame payload (as yielded by
+/// [`FrameDecoder::next_frame`](bartercast_core::codec::FrameDecoder::next_frame))
+/// into an [`Envelope`].
+pub fn decode_envelope(payload: &[u8]) -> Result<Envelope, WireError> {
+    let Some((&kind, mut body)) = payload.split_first() else {
+        return Err(WireError::BadKind(0));
+    };
+    match kind {
+        KIND_HELLO => {
+            if body.remaining() < 6 {
+                return Err(WireError::Truncated);
+            }
+            if body.get_u8() != HELLO_MAGIC {
+                return Err(WireError::BadHandshake);
+            }
+            let version = body.get_u8();
+            if version != NODE_PROTOCOL_VERSION {
+                return Err(WireError::VersionMismatch(version));
+            }
+            let peer = PeerId(body.get_u32_le());
+            if body.remaining() != 0 {
+                return Err(WireError::BadHandshake);
+            }
+            Ok(Envelope::Hello { peer })
+        }
+        KIND_RECORDS => codec::decode(body)
+            .map(Envelope::Records)
+            .map_err(WireError::Codec),
+        KIND_BYE => {
+            if body.is_empty() {
+                Ok(Envelope::Bye)
+            } else {
+                Err(WireError::Truncated)
+            }
+        }
+        other => Err(WireError::BadKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bartercast_core::codec::FrameDecoder;
+    use bartercast_core::TransferRecord;
+    use bartercast_util::units::Bytes;
+
+    fn sample_msg() -> BarterCastMessage {
+        BarterCastMessage {
+            sender: PeerId(7),
+            records: vec![TransferRecord {
+                peer: PeerId(9),
+                up: Bytes(1024),
+                down: Bytes(0),
+            }],
+        }
+    }
+
+    #[test]
+    fn all_kinds_roundtrip_through_the_frame_decoder() {
+        let envs = [
+            Envelope::Hello { peer: PeerId(42) },
+            Envelope::Records(sample_msg()),
+            Envelope::Bye,
+        ];
+        let mut dec = FrameDecoder::new();
+        for env in &envs {
+            dec.feed(&encode_envelope(env));
+        }
+        for env in &envs {
+            let payload = dec.next_frame().unwrap().expect("one frame per envelope");
+            assert_eq!(&decode_envelope(&payload).unwrap(), env);
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_loudly() {
+        let mut frame = encode_envelope(&Envelope::Hello { peer: PeerId(1) });
+        // payload layout after the 4-byte length prefix: kind, magic, version
+        frame[6] = NODE_PROTOCOL_VERSION + 1;
+        assert_eq!(
+            decode_envelope(&frame[4..]),
+            Err(WireError::VersionMismatch(NODE_PROTOCOL_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn hostile_payloads_error_not_panic() {
+        assert_eq!(decode_envelope(&[]), Err(WireError::BadKind(0)));
+        assert_eq!(decode_envelope(&[99]), Err(WireError::BadKind(99)));
+        assert_eq!(
+            decode_envelope(&[KIND_HELLO, 0xBC]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            decode_envelope(&[KIND_HELLO, 0x00, 1, 0, 0, 0, 0]),
+            Err(WireError::BadHandshake)
+        );
+        assert_eq!(
+            decode_envelope(&[KIND_HELLO, 0xBC, 1, 0, 0, 0, 0, 0xFF]),
+            Err(WireError::BadHandshake)
+        );
+        assert_eq!(decode_envelope(&[KIND_BYE, 1]), Err(WireError::Truncated));
+        assert!(matches!(
+            decode_envelope(&[KIND_RECORDS, 1, 2, 3]),
+            Err(WireError::Codec(_))
+        ));
+    }
+}

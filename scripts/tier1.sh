@@ -12,6 +12,13 @@ cargo test -q
 # so these runs are reproducible byte-for-byte.
 cargo test -q -p bartercast-graph --test differential
 cargo test -q -p bartercast-core --test invalidation --test codec_fuzz
+cargo test -q -p bartercast-core --test reputation_bound
+# Node runtime convergence gate: 8 peers over the deterministic
+# in-process transport, 5% frame loss, one forced disconnect per node;
+# every subjective graph must converge to the gossip-reachable record
+# set, bit-identically across two seeded runs. MemTransport only — no
+# sockets — so it runs anywhere tier-1 runs.
+cargo test -q -p bartercast-node --test cluster
 # The vendored proptest never writes regression files; any
 # proptest-regressions entry appearing in the tree means a test pulled
 # in the real crate or something is scribbling where it shouldn't.
@@ -21,8 +28,13 @@ if [ -n "$(git status --porcelain | grep proptest-regressions || true)" ] \
     exit 1
 fi
 cargo clippy --all-targets -- -D warnings
+# Public API docs must build warning-free (broken intra-doc links,
+# missing docs on public items under #![warn(missing_docs)] crates).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 # The bench crate (binaries + criterion benches) is not exercised by
 # `cargo test`, so gate its hygiene explicitly: formatting and a
-# warnings-as-errors lint pass across all its targets.
-cargo fmt -p bench --check
-cargo clippy -p bench --all-targets -- -D warnings
+# warnings-as-errors lint pass across all its targets. The node crate
+# gets the same treatment — its cluster tests run above, but fmt is
+# not otherwise enforced.
+cargo fmt -p bench -p bartercast-node --check
+cargo clippy -p bench -p bartercast-node --all-targets -- -D warnings
