@@ -1,0 +1,144 @@
+//! Standalone measurement of the layered-DAG bounded-k kernel:
+//! per-pair depth-bounded maxflow versus [`BoundedKKernel`] sweeps, at
+//! n ∈ {64, 256, 1024} and k ∈ {3, 4}.
+//!
+//! Emits `BENCH_boundedk.json` in the current directory (override with
+//! a path argument). The comparison mirrors `bench_reputation`: the
+//! per-pair side evaluates one evaluator's full target set with
+//! `maxflow::compute_on` (sampling evaluators at large n — evaluators
+//! are independent, so the per-evaluator cost is exact), the kernel
+//! side sweeps every evaluator through `flows_into`/`flows_from`, and
+//! both sides are reported per evaluator so the ratio is the sweep
+//! speedup. A correctness gate asserts bit-identical flows before
+//! anything is timed.
+
+use bartercast_graph::boundedk::BoundedKKernel;
+use bartercast_graph::maxflow::{self, Method};
+use bartercast_graph::{ContributionGraph, FlowNetwork};
+use bartercast_util::units::{Bytes, PeerId};
+use bench::{small_world_graph, write_bench_json};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Both directed bounded flows between one evaluator and every other
+/// peer, per-pair: 2(n−1) independent depth-bounded evaluations.
+fn per_pair_evaluator(net: &mut FlowNetwork, evaluator: PeerId, n: u32, k: usize) -> u64 {
+    let mut acc = 0u64;
+    for t in 0..n {
+        let target = PeerId(t);
+        if target == evaluator {
+            continue;
+        }
+        acc = acc
+            .wrapping_add(maxflow::compute_on(net, target, evaluator, Method::Bounded(k)).0)
+            .wrapping_add(maxflow::compute_on(net, evaluator, target, Method::Bounded(k)).0);
+    }
+    acc
+}
+
+/// The same flows through the shared-traversal kernel: one layered DAG
+/// per source, each target answered from the pruned subnetwork.
+fn kernel_evaluator(kernel: &mut BoundedKKernel, g: &ContributionGraph, evaluator: PeerId) -> u64 {
+    let toward = kernel.flows_into(g, evaluator);
+    let away = kernel.flows_from(g, evaluator);
+    let mut acc = 0u64;
+    for v in toward.values().chain(away.values()) {
+        acc = acc.wrapping_add(v.0);
+    }
+    acc
+}
+
+struct Row {
+    n: u32,
+    k: usize,
+    per_pair_evaluator_us: f64,
+    kernel_evaluator_us: f64,
+    speedup: f64,
+}
+
+fn measure(n: u32, k: usize) -> Row {
+    let g = small_world_graph(n, n as usize * 3, 42);
+    let mut net = FlowNetwork::from_graph(&g);
+    let mut kernel = BoundedKKernel::new(k);
+
+    // correctness gate: the kernel must be bit-identical to per-pair
+    // evaluation on every pair of the first evaluators we time
+    for e in 0..n.min(8) {
+        let evaluator = PeerId(e);
+        let toward = kernel.flows_into(&g, evaluator);
+        let away = kernel.flows_from(&g, evaluator);
+        for t in 0..n {
+            let target = PeerId(t);
+            if target == evaluator {
+                continue;
+            }
+            let tw = maxflow::compute_on(&mut net, target, evaluator, Method::Bounded(k));
+            let aw = maxflow::compute_on(&mut net, evaluator, target, Method::Bounded(k));
+            assert_eq!(
+                toward.get(&target).copied().unwrap_or(Bytes::ZERO),
+                tw,
+                "toward mismatch at n={n}, k={k}, pair ({t}, {e})"
+            );
+            assert_eq!(
+                away.get(&target).copied().unwrap_or(Bytes::ZERO),
+                aw,
+                "away mismatch at n={n}, k={k}, pair ({e}, {t})"
+            );
+        }
+    }
+
+    // per-pair: sample evaluators at large n (full sweep cost is
+    // exactly n times the per-evaluator cost — pairs are independent)
+    let pp_evaluators = if n > 256 { 16 } else { n };
+    let start = Instant::now();
+    for e in 0..pp_evaluators {
+        black_box(per_pair_evaluator(&mut net, PeerId(e % n), n, k));
+    }
+    let per_pair_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / pp_evaluators as f64;
+
+    // kernel: full sweep, every evaluator, on a fresh kernel so the
+    // timing includes every DAG unroll (nothing is pre-warmed by the
+    // correctness gate)
+    let mut kernel = BoundedKKernel::new(k);
+    let start = Instant::now();
+    for e in 0..n {
+        black_box(kernel_evaluator(&mut kernel, &g, PeerId(e)));
+    }
+    let kernel_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+
+    Row {
+        n,
+        k,
+        per_pair_evaluator_us,
+        kernel_evaluator_us,
+        speedup: per_pair_evaluator_us / kernel_evaluator_us,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_boundedk.json".to_string());
+    let mut rows = Vec::new();
+    for &n in &[64u32, 256, 1024] {
+        for &k in &[3usize, 4] {
+            let row = measure(n, k);
+            eprintln!(
+                "n={:5} k={}  per_pair {:10.1} µs/evaluator   kernel {:8.1} µs/evaluator   speedup {:6.1}x",
+                row.n, row.k, row.per_pair_evaluator_us, row.kernel_evaluator_us, row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"k\": {}, \"per_pair_evaluator_us\": {:.3}, \
+                 \"kernel_evaluator_us\": {:.3}, \"speedup\": {:.3}}}",
+                r.n, r.k, r.per_pair_evaluator_us, r.kernel_evaluator_us, r.speedup
+            )
+        })
+        .collect();
+    write_bench_json(&out_path, "boundedk_sweep", "us_per_evaluator_sweep", &body);
+}

@@ -24,6 +24,7 @@ use bartercast_node::node::{Node, NodeConfig};
 use bartercast_node::stats::NodeStats;
 use bartercast_node::transport::{TcpTransport, Transport};
 use bartercast_util::units::PeerId;
+use bench::write_bench_json;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -216,13 +217,5 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"node_runtime\",\n  \"unit\": \"ms_to_convergence\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
-    );
-    if let Err(e) = std::fs::write(&out_path, json) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("wrote {out_path}");
+    write_bench_json(&out_path, "node_runtime", "ms_to_convergence", &body);
 }

@@ -12,7 +12,7 @@ use bartercast_core::{CacheStats, ReputationEngine};
 use bartercast_graph::maxflow::{self, Method};
 use bartercast_graph::{ssat, ContributionGraph, FlowNetwork};
 use bartercast_util::units::{Bytes, PeerId};
-use bench::small_world_graph;
+use bench::{small_world_graph, write_bench_json};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -144,13 +144,10 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"reputation_sweep\",\n  \"unit\": \"us_per_evaluator_sweep\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
+    write_bench_json(
+        &out_path,
+        "reputation_sweep",
+        "us_per_evaluator_sweep",
+        &body,
     );
-    if let Err(e) = std::fs::write(&out_path, json) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("wrote {out_path}");
 }

@@ -79,6 +79,26 @@ pub fn symmetric_small_world_graph(nodes: u32, chords: usize, seed: u64) -> Cont
     g
 }
 
+/// Assemble and write one `BENCH_*.json` document: a `bench` name, a
+/// `unit` label and pre-formatted row objects (each already indented
+/// four spaces, as the bench binaries emit them). Shared by
+/// `bench_reputation`, `bench_node` and `bench_boundedk` so the
+/// document shape stays identical across suites. Exits the process on
+/// write failure, mirroring the binaries' previous inline behaviour.
+pub fn write_bench_json(out_path: &str, bench: &str, unit: &str, rows: &[String]) {
+    let json = format!(
+        "{{\n  \"bench\": \"{}\",\n  \"unit\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        bench,
+        unit,
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +110,23 @@ mod tests {
         assert_eq!(a.edge_count(), b.edge_count());
         let sw = small_world_graph(20, 10, 2);
         assert!(sw.edge_count() >= 40);
+    }
+
+    #[test]
+    fn bench_json_document_shape() {
+        let path = std::env::temp_dir().join("bench_json_shape_test.json");
+        let path = path.to_str().unwrap().to_string();
+        write_bench_json(
+            &path,
+            "unit_test",
+            "widgets",
+            &["    {\"n\": 1}".to_string(), "    {\"n\": 2}".to_string()],
+        );
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(doc.starts_with("{\n  \"bench\": \"unit_test\",\n  \"unit\": \"widgets\","));
+        assert!(doc.contains("{\"n\": 1},\n    {\"n\": 2}"));
+        assert!(doc.ends_with("  ]\n}\n"));
     }
 
     #[test]

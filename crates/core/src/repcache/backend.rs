@@ -14,8 +14,9 @@ use bartercast_graph::FlowBackend;
 
 /// The engine's flow kernels, consulted in priority order:
 ///
-/// 1. [`Ssat`] — single-source all-targets sweeps for the deployed
-///    bounded methods (`k ≤ 2`); exact.
+/// 1. [`Ssat`] — single-source all-targets sweeps for **every**
+///    finite bound `Bounded(k)` (closed form for the deployed
+///    `k ≤ 2`, the layered-DAG kernel for `k ≥ 3`); exact.
 /// 2. [`GomoryHu`] — `O(n)` tree sweeps for unbounded methods while
 ///    the graph's directed asymmetry stays within the tolerance.
 /// 3. [`PairwiseDinic`] — exact per-pair evaluation; supports
@@ -93,7 +94,8 @@ pub struct CacheStats {
     /// Entries dropped by the LRU budget since construction.
     pub evictions: u64,
     /// Entries dropped because a graph change dirtied one of their
-    /// endpoints (or, for unbounded methods, any edge).
+    /// endpoints (for `k ≥ 3`, their k-hop neighbourhood; for
+    /// unbounded methods, any edge).
     pub invalidated: u64,
     /// Unbounded batch queries served by the Gomory–Hu tree.
     pub tree_sweeps: u64,
@@ -130,7 +132,25 @@ mod tests {
         assert_eq!(set.select(Method::DEPLOYED, 1.0).name(), "ssat");
         assert_eq!(set.select(Method::Dinic, 0.0).name(), "gomory-hu");
         assert_eq!(set.select(Method::Dinic, 0.5).name(), "pairwise");
-        assert_eq!(set.select(Method::Bounded(7), 0.0).name(), "pairwise");
+    }
+
+    #[test]
+    fn finite_bounds_no_longer_fall_back_to_pairwise() {
+        // regression: before the layered-DAG kernel, Bounded(k) with
+        // k ≥ 3 selected "pairwise" here — a silent degradation to
+        // per-pair evaluation with no sweep and no incremental
+        // eviction. Every finite bound now selects the SSAT kernel,
+        // for batch and point queries alike.
+        for k in [3usize, 4, 7, 100] {
+            let method = Method::Bounded(k);
+            let mut set = BackendSet::new(method, 0.0);
+            assert_eq!(set.select(method, 0.0).name(), "ssat", "batch k = {k}");
+            assert_eq!(set.select(method, 1.0).name(), "ssat", "asymmetry-blind");
+            assert_eq!(set.select_point(method).name(), "ssat", "point k = {k}");
+        }
+        // unbounded methods are untouched by the widening
+        let mut set = BackendSet::new(Method::Dinic, 0.0);
+        assert_eq!(set.select_point(Method::Dinic).name(), "pairwise");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! The engine's memo cache is evicted incrementally: for path-length
 //! bounds ≤ 2, a changed edge `(a, b)` can only alter the entry
 //! `(i, j)` when `i` or `j` is an endpoint of the change, so eviction
-//! needs exactly the set of *dirty nodes* since the last sync. The
+//! needs exactly the set of *dirty nodes* since the last sync (for
+//! finite bounds `k ≥ 3` the engine widens that seed set to the k-hop
+//! dirty neighbourhood via [`ChangeJournal::dirty_nodes`]). The
 //! first version of this machinery read that set from a flat change
 //! log capped at 4096 entries, and a reader that fell further behind
 //! had to clear its whole cache. The journal replaces that: it pulls
@@ -105,6 +107,16 @@ impl ChangeJournal {
         self.dirty
     }
 
+    /// Iterate the nodes currently marked dirty (the seed set for the
+    /// k-hop neighbourhood eviction used by finite bounds `k ≥ 3`).
+    pub fn dirty_nodes(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.slots.iter().filter_map(|(&node, &slot)| {
+            let slot = slot as usize;
+            let set = self.words[slot / JOURNAL_WORD_BITS] & (1 << (slot % JOURNAL_WORD_BITS));
+            (set != 0).then_some(node)
+        })
+    }
+
     /// Node slots the bitmap currently covers without reallocating.
     pub fn capacity(&self) -> usize {
         self.words.len() * JOURNAL_WORD_BITS
@@ -165,7 +177,27 @@ mod tests {
         let mut j = ChangeJournal::new();
         j.absorb(&g, since);
         assert!(j.is_dirty(p(1)) && j.is_dirty(p(2)));
-        assert!(!j.is_dirty(p(5)) && !j.is_dirty(p(6)), "clean nodes stay clean");
+        assert!(
+            !j.is_dirty(p(5)) && !j.is_dirty(p(6)),
+            "clean nodes stay clean"
+        );
         assert_eq!(j.dirty_count(), 2);
+    }
+
+    #[test]
+    fn dirty_nodes_iterates_exactly_the_marked_set() {
+        let mut j = ChangeJournal::with_capacity(0);
+        assert_eq!(j.dirty_nodes().count(), 0);
+        j.mark(p(3));
+        j.mark(p(9));
+        j.mark(p(3));
+        let mut dirty: Vec<u32> = j.dirty_nodes().map(|n| n.0).collect();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![3, 9]);
+        j.clear();
+        assert_eq!(j.dirty_nodes().count(), 0, "clear empties the view");
+        // slots persist across clear but stay invisible until re-marked
+        j.mark(p(9));
+        assert_eq!(j.dirty_nodes().collect::<Vec<_>>(), vec![p(9)]);
     }
 }

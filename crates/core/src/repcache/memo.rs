@@ -11,8 +11,10 @@
 //!
 //! Eviction is purely a memory/perf decision and can never produce a
 //! stale value: entries are only ever valid at the engine's current
-//! graph version (the journal evicts dirty ones on `sync`), so
-//! dropping one merely forces a recompute of the identical value.
+//! graph version (on `sync` the journal evicts entries whose pair
+//! touches a dirty endpoint for `k ≤ 2`, or the k-hop dirty
+//! neighbourhood for finite `k ≥ 3`), so dropping one merely forces a
+//! recompute of the identical value.
 
 use bartercast_util::units::PeerId;
 use bartercast_util::FxHashMap;

@@ -42,6 +42,31 @@ fn is_unbounded(method: Method) -> bool {
     )
 }
 
+/// The k-hop dirty neighbourhood: every node that reaches a dirty
+/// node within `k` hops (multi-source reverse BFS over the in-
+/// adjacency, dirty nodes included at depth 0). Exactly the sources
+/// whose `Bounded(k)` flow values a change since the last sync could
+/// have altered — see [`ReputationEngine::sync`].
+fn dirty_ball(graph: &ContributionGraph, journal: &ChangeJournal, k: usize) -> FxHashSet<PeerId> {
+    let mut ball: FxHashSet<PeerId> = journal.dirty_nodes().collect();
+    let mut frontier: Vec<PeerId> = ball.iter().copied().collect();
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for node in frontier {
+            for (pred, _) in graph.in_edges(node) {
+                if ball.insert(pred) {
+                    next.push(pred);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    ball
+}
+
 /// Subjective reputation evaluation with memoization.
 #[derive(Debug, Clone)]
 pub struct ReputationEngine {
@@ -184,25 +209,48 @@ impl ReputationEngine {
     /// graph's per-node change versions (which never truncate) into a
     /// dirty bitmap, so entries whose pairs avoid every dirty endpoint
     /// are provably unchanged and survive — across arbitrarily long
-    /// gaps between syncs. Unbounded methods, where a distant edge can
-    /// reroute flow anywhere, must still clear everything; that is a
-    /// semantic requirement of the method, not a capacity fallback.
+    /// gaps between syncs.
+    ///
+    /// For finite bounds `k ≥ 3` the endpoint rule generalizes to the
+    /// **k-hop dirty neighbourhood**: `flow(s, t)` under `Bounded(k)`
+    /// depends only on arcs whose tail lies within `k − 1` hops of
+    /// `s`, so a changed edge `(a, b)` can only affect sources that
+    /// reach a dirty node within `k` hops (edge weights only grow, so
+    /// distances only shrink — a source outside the ball in the *new*
+    /// graph was outside it before the change too). The eviction set
+    /// is a multi-source reverse BFS of depth `k` from the dirty
+    /// nodes; entries whose pairs avoid it are provably unchanged.
+    /// Unbounded methods, where a distant edge can reroute flow
+    /// anywhere, must still clear everything; that is a semantic
+    /// requirement of the method, not a capacity fallback.
     fn sync(&mut self) {
         let version = self.graph.version();
         if version == self.cached_version {
             return;
         }
-        if matches!(self.method, Method::Bounded(k) if k <= 2) {
-            self.journal.absorb(&self.graph, self.cached_version);
-            let journal = &self.journal;
-            let removed = self
-                .memo
-                .retain(|&(i, j)| !journal.is_dirty(i) && !journal.is_dirty(j));
-            self.invalidated += removed as u64;
-            self.journal.clear();
-        } else {
-            self.invalidated += self.memo.len() as u64;
-            self.memo.clear();
+        match self.method {
+            Method::Bounded(k) if k <= 2 => {
+                self.journal.absorb(&self.graph, self.cached_version);
+                let journal = &self.journal;
+                let removed = self
+                    .memo
+                    .retain(|&(i, j)| !journal.is_dirty(i) && !journal.is_dirty(j));
+                self.invalidated += removed as u64;
+                self.journal.clear();
+            }
+            Method::Bounded(k) => {
+                self.journal.absorb(&self.graph, self.cached_version);
+                let ball = dirty_ball(&self.graph, &self.journal, k);
+                let removed = self
+                    .memo
+                    .retain(|&(i, j)| !ball.contains(&i) && !ball.contains(&j));
+                self.invalidated += removed as u64;
+                self.journal.clear();
+            }
+            _ => {
+                self.invalidated += self.memo.len() as u64;
+                self.memo.clear();
+            }
         }
         self.cached_version = version;
     }
@@ -235,6 +283,13 @@ impl ReputationEngine {
     /// the number of changed edges.
     pub fn absorb_message(&mut self, msg: &BarterCastMessage) -> usize {
         msg.apply(&mut self.graph)
+    }
+
+    /// The maxflow method this engine evaluates Equation 1 with
+    /// (schedulers use it to cost sweeps by the method's actual
+    /// traversal, e.g. layered-DAG size for bounded methods).
+    pub fn method(&self) -> Method {
+        self.method
     }
 
     /// Direct read-only access to the subjective graph.
@@ -452,7 +507,10 @@ mod tests {
         // Liar (peer 9) claims it uploaded 100 GB to peer 1.
         e.graph_mut().merge_record(p(9), p(1), Bytes::from_gb(100));
         let (toward, _) = e.flows(p(0), p(9));
-        assert!(toward <= Bytes::from_mb(10), "lie must be capped at {toward:?}");
+        assert!(
+            toward <= Bytes::from_mb(10),
+            "lie must be capped at {toward:?}"
+        );
         let r = e.reputation(p(0), p(9));
         assert!(r < 0.02, "liar reputation barely moves: {r}");
     }
@@ -498,10 +556,18 @@ mod tests {
     #[test]
     fn batch_matches_per_pair_bitwise() {
         let mut batch = ReputationEngine::new();
-        batch.graph_mut().add_transfer(p(2), p(1), Bytes::from_mb(300));
-        batch.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(200));
-        batch.graph_mut().add_transfer(p(0), p(3), Bytes::from_gb(1));
-        batch.graph_mut().add_transfer(p(3), p(2), Bytes::from_mb(50));
+        batch
+            .graph_mut()
+            .add_transfer(p(2), p(1), Bytes::from_mb(300));
+        batch
+            .graph_mut()
+            .add_transfer(p(1), p(0), Bytes::from_mb(200));
+        batch
+            .graph_mut()
+            .add_transfer(p(0), p(3), Bytes::from_gb(1));
+        batch
+            .graph_mut()
+            .add_transfer(p(3), p(2), Bytes::from_mb(50));
         let mut per_pair = batch.clone();
 
         let targets = [p(0), p(1), p(2), p(3), p(77)];
@@ -570,10 +636,18 @@ mod tests {
         e.graph_mut().add_transfer(p(1), p(0), Bytes::from_gb(1));
         let after = e.reputation(p(0), p(2));
         let mut fresh = ReputationEngine::new();
-        fresh.graph_mut().add_transfer(p(2), p(1), Bytes::from_mb(300));
-        fresh.graph_mut().add_transfer(p(1), p(0), Bytes::from_mb(200));
-        fresh.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
-        fresh.graph_mut().add_transfer(p(1), p(0), Bytes::from_gb(1));
+        fresh
+            .graph_mut()
+            .add_transfer(p(2), p(1), Bytes::from_mb(300));
+        fresh
+            .graph_mut()
+            .add_transfer(p(1), p(0), Bytes::from_mb(200));
+        fresh
+            .graph_mut()
+            .add_transfer(p(2), p(1), Bytes::from_gb(1));
+        fresh
+            .graph_mut()
+            .add_transfer(p(1), p(0), Bytes::from_gb(1));
         assert_eq!(after.to_bits(), fresh.reputation(p(0), p(2)).to_bits());
         assert!(after > before);
     }
@@ -592,6 +666,64 @@ mod tests {
         }
         e.reputation(p(0), p(1));
         assert_eq!(hit_miss(&e), (1, 1), "(0,1) must survive the distant churn");
+    }
+
+    #[test]
+    fn k_hop_invalidation_is_scoped_to_the_ball() {
+        // chain 5 -> 4 -> 3 -> 2 -> 1 -> 0 plus a disjoint pair 9 -> 8
+        let mut e = ReputationEngine::new().with_method(Method::Bounded(3));
+        for i in (1..=5).rev() {
+            e.graph_mut()
+                .add_transfer(p(i), p(i - 1), Bytes::from_mb(100));
+        }
+        e.graph_mut().add_transfer(p(9), p(8), Bytes::from_mb(100));
+        e.reputation(p(0), p(3)); // within 3 hops: nonzero flow toward 0
+        e.reputation(p(8), p(9));
+        e.reputation(p(0), p(1));
+        assert_eq!(e.stats().misses, 3);
+        // touch the far end of the chain: dirty {4, 5}. The eviction
+        // ball is every node *reaching* a dirty node within 3 hops —
+        // along the chain's edge direction only 5 reaches 4, so the
+        // ball is just {4, 5} and all three cached entries survive.
+        e.graph_mut().add_transfer(p(5), p(4), Bytes::from_gb(1));
+        e.reputation(p(8), p(9));
+        e.reputation(p(0), p(1));
+        assert_eq!(e.stats().hits, 2, "entries outside the ball survive");
+        // neither 0 nor 3 reaches {4, 5}: the changed 5 -> 4 edge
+        // cannot alter any flow from 0 or 3, and (0,3) survives
+        e.reputation(p(0), p(3));
+        assert_eq!(e.stats().hits, 3, "(0,3) outside the ball survives");
+        assert_eq!(e.stats().invalidated, 0);
+        // now touch 2 -> 1: dirty {1, 2}, ball = {1, 2, 3, 4, 5};
+        // (0,3) must be evicted (3 in ball), (8,9) survives
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
+        e.reputation(p(0), p(3));
+        assert_eq!(e.stats().misses, 4, "(0,3) recomputed");
+        e.reputation(p(8), p(9));
+        assert_eq!(e.stats().hits, 4, "(8,9) still untouched");
+        assert!(e.stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn k_hop_invalidation_never_serves_stale_values() {
+        // deep chain where a distant-but-reachable change matters at
+        // k = 4: 4 -> 3 -> 2 -> 1 -> 0 evaluated end to end
+        let mut e = ReputationEngine::new().with_method(Method::Bounded(4));
+        for i in (1..=4).rev() {
+            e.graph_mut()
+                .add_transfer(p(i), p(i - 1), Bytes::from_mb(50));
+        }
+        let before = e.reputation(p(0), p(4));
+        // widen the bottleneck at the far end of the path
+        e.graph_mut().add_transfer(p(4), p(3), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(3), p(2), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(1));
+        e.graph_mut().add_transfer(p(1), p(0), Bytes::from_gb(1));
+        let after = e.reputation(p(0), p(4));
+        let mut fresh = ReputationEngine::new().with_method(Method::Bounded(4));
+        *fresh.graph_mut() = e.graph().clone();
+        assert_eq!(after.to_bits(), fresh.reputation(p(0), p(4)).to_bits());
+        assert!(after > before);
     }
 
     #[test]
@@ -674,7 +806,11 @@ mod tests {
         e.reputations_from(p(0), &[p(1)]);
         assert_eq!(hit_miss(&e), (0, 1));
         e.reputations_from(p(0), &[p(2)]);
-        assert_eq!(hit_miss(&e), (1, 1), "peer 2 was memoized by the first sweep");
+        assert_eq!(
+            hit_miss(&e),
+            (1, 1),
+            "peer 2 was memoized by the first sweep"
+        );
         assert_eq!(
             e.reputation(p(0), p(2)).to_bits(),
             engine_with_chain().reputation(p(0), p(2)).to_bits()
@@ -696,7 +832,10 @@ mod tests {
         let misses_before = e.stats().misses;
         let r = e.reputation(p(0), p(2));
         assert_eq!(e.stats().misses, misses_before + 1, "entry was evicted");
-        assert_eq!(r.to_bits(), engine_with_chain().reputation(p(0), p(2)).to_bits());
+        assert_eq!(
+            r.to_bits(),
+            engine_with_chain().reputation(p(0), p(2)).to_bits()
+        );
     }
 
     #[test]
@@ -711,7 +850,11 @@ mod tests {
         e.reputations_from(p(1), &[p(0)]); // fills (1,*): one eviction
         assert_eq!(e.stats().evictions, 1);
         e.reputation(p(0), p(2));
-        assert_eq!(e.stats().hits, hits_before + 1, "hot entry survived the churn");
+        assert_eq!(
+            e.stats().hits,
+            hits_before + 1,
+            "hot entry survived the churn"
+        );
     }
 
     #[test]

@@ -200,6 +200,98 @@ proptest! {
     }
 
     #[test]
+    fn k_hop_eviction_never_stale_across_sync_gaps(
+        ops in ops_strategy(),
+        k in 3usize..6,
+        gap in 1usize..3,
+        qs in 0u32..6,
+        qt in 0u32..6,
+    ) {
+        // finite bounds k ≥ 3 evict the k-hop dirty neighbourhood
+        // instead of bare endpoints; like `journal_survives_long_sync_gaps`
+        // this interleaves mutation bursts far past the old change-log
+        // cap with queries, and demands bitwise agreement with a cold
+        // engine at every step — the widened rule may never under-evict
+        let mut warm = ReputationEngine::new().with_method(Method::Bounded(k));
+        let churn = gap * bartercast_core::repcache::DEFAULT_JOURNAL_CAPACITY;
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            for m in 0..churn as u64 {
+                warm.graph_mut().add_transfer(
+                    PeerId((m % 6) as u32),
+                    PeerId(((m + 1) % 6) as u32),
+                    Bytes(1 + m % 97),
+                );
+            }
+            let got = warm.reputation(PeerId(qs), PeerId(qt));
+            let mut cold = ReputationEngine::new().with_method(Method::Bounded(k));
+            *cold.graph_mut() = warm.graph().clone();
+            let want = cold.reputation(PeerId(qs), PeerId(qt));
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "stale at k={} after {}-mutation gap", k, churn
+            );
+        }
+    }
+
+    #[test]
+    fn k_hop_eviction_spares_entries_outside_the_ball(
+        ops in ops_strategy(),
+        k in 3usize..6,
+    ) {
+        // exactness of the k-hop rule: after a mutation, entries whose
+        // endpoints both lie outside the reverse-BFS k-ball of the
+        // dirty nodes must still be served from the memo cache. The
+        // expected ball is recomputed independently here with a plain
+        // reverse BFS over `in_edges`.
+        let mut warm = ReputationEngine::new().with_method(Method::Bounded(k));
+        // two far-apart cliques: mutations from ops land in 0..6, the
+        // sentinel pair lives in 100..102 and is never within k hops
+        warm.graph_mut().add_transfer(PeerId(100), PeerId(101), Bytes(7));
+        warm.graph_mut().add_transfer(PeerId(101), PeerId(102), Bytes(7));
+        for &(f, t, c, merge) in &ops {
+            if merge {
+                warm.graph_mut().merge_record(PeerId(f), PeerId(t), Bytes(c));
+            } else {
+                warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            }
+            // warm the sentinel entry, then mutate inside the far
+            // clique and re-query: the second query must be a hit
+            let first = warm.reputation(PeerId(100), PeerId(102));
+            warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            // independent ball recomputation: reverse BFS depth k from
+            // the dirty endpoints
+            let mut ball: std::collections::BTreeSet<u32> = [f, t].into_iter().collect();
+            let mut frontier: Vec<u32> = ball.iter().copied().collect();
+            for _ in 0..k {
+                let mut next = Vec::new();
+                for node in frontier {
+                    for (pred, _) in warm.graph().in_edges(PeerId(node)) {
+                        if ball.insert(pred.0) {
+                            next.push(pred.0);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            prop_assert!(!ball.contains(&100) && !ball.contains(&102), "cliques stayed disjoint");
+            let hits_before = warm.stats().hits;
+            let second = warm.reputation(PeerId(100), PeerId(102));
+            prop_assert_eq!(first.to_bits(), second.to_bits());
+            prop_assert_eq!(
+                warm.stats().hits,
+                hits_before + 1,
+                "out-of-ball entry (100, 102) was evicted at k={}", k
+            );
+        }
+    }
+
+    #[test]
     fn bounded_one_eviction_is_safe(ops in ops_strategy(), qs in 0u32..6, qt in 0u32..6) {
         // Bounded(1) uses the same incremental eviction rule as
         // Bounded(2); the dirty set is a superset of what it needs.

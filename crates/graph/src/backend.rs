@@ -5,9 +5,11 @@
 //! `match`es — one arm per kernel, each with its own lazily rebuilt
 //! per-version state. Backends now present one surface:
 //!
-//! * [`Ssat`] — the single-source all-targets kernel for the deployed
-//!   path-length bound (`Bounded(k)`, `k ≤ 2`). Exact and
-//!   bit-identical to per-pair bounded evaluation.
+//! * [`Ssat`] — the single-source all-targets kernel for **every**
+//!   finite path-length bound: the two-hop closed form for the
+//!   deployed `k ≤ 2`, the layered-DAG kernel
+//!   ([`crate::boundedk::BoundedKKernel`]) for `k ≥ 3`. Exact and
+//!   bit-identical to per-pair bounded evaluation at every `k`.
 //! * [`GomoryHu`] — the Gusfield Gomory–Hu tree over the
 //!   min-symmetrized graph for unbounded methods, admissible while the
 //!   graph's directed asymmetry stays within the backend's tolerance.
@@ -22,6 +24,7 @@
 //! construction and a graph mutation invalidates lazily — no explicit
 //! reset calls.
 
+use crate::boundedk::BoundedKKernel;
 use crate::contribution::ContributionGraph;
 use crate::gomoryhu::GomoryHuTree;
 use crate::maxflow::{self, Method};
@@ -132,15 +135,24 @@ impl FlowBackend for PairwiseDinic {
     }
 }
 
-/// The single-source all-targets kernel for bounded path lengths
-/// `k ≤ 2`: one traversal of the evaluator's two-hop neighbourhood
-/// yields its bounded flows to and from every peer at once,
-/// bit-identical to per-pair bounded evaluation (`k = 1` degenerates
-/// to reading the direct edges).
+/// The single-source all-targets kernel for **every** finite path
+/// bound `Bounded(k)`: one traversal of the evaluator's bounded
+/// neighbourhood yields its flows to and from every peer at once,
+/// bit-identical to per-pair bounded evaluation. `k = 1` degenerates
+/// to reading the direct edges, `k = 2` uses the disjoint-paths closed
+/// form ([`crate::ssat`]), and `k ≥ 3` — where the closed form breaks
+/// down — routes through the layered-DAG kernel
+/// ([`crate::boundedk`]), which shares per-source DAGs and memoized
+/// pair values across sweeps. Until that kernel existed, `k ≥ 3`
+/// silently fell through to per-pair evaluation with no sweep and no
+/// incremental eviction.
 #[derive(Debug, Clone)]
 pub struct Ssat {
     method: Method,
     net: VersionedNet,
+    /// The layered-DAG kernel, present exactly when `method` is
+    /// `Bounded(k)` with `k ≥ 3`.
+    kernel: Option<BoundedKKernel>,
 }
 
 impl Ssat {
@@ -148,9 +160,14 @@ impl Ssat {
     /// must be the same bounded method `supports` admits, or point and
     /// batch answers would diverge).
     pub fn new(method: Method) -> Self {
+        let kernel = match method {
+            Method::Bounded(k) if k >= 3 => Some(BoundedKKernel::new(k)),
+            _ => None,
+        };
         Ssat {
             method,
             net: VersionedNet::default(),
+            kernel,
         }
     }
 }
@@ -161,11 +178,16 @@ impl FlowBackend for Ssat {
     }
 
     fn supports(&self, method: Method, _asymmetry: f64) -> bool {
-        matches!(method, Method::Bounded(k) if (1..=2).contains(&k))
+        matches!(method, Method::Bounded(_))
     }
 
     fn flow(&mut self, graph: &ContributionGraph, s: PeerId, t: PeerId) -> Bytes {
-        maxflow::compute_on(self.net.at(graph), s, t, self.method)
+        match self.kernel.as_mut() {
+            // k ≥ 3: the kernel is bit-identical to per-pair bounded
+            // evaluation and shares its DAG/value caches with sweeps
+            Some(kernel) => kernel.flow(graph, s, t),
+            None => maxflow::compute_on(self.net.at(graph), s, t, self.method),
+        }
     }
 
     fn all_flows_from(
@@ -174,11 +196,19 @@ impl FlowBackend for Ssat {
         i: PeerId,
     ) -> Option<FxHashMap<PeerId, FlowPair>> {
         let (toward, away) = match self.method {
+            Method::Bounded(0) => (FxHashMap::default(), FxHashMap::default()),
             Method::Bounded(1) => (
                 graph.in_edges(i).collect::<FxHashMap<_, _>>(),
                 graph.out_edges(i).collect::<FxHashMap<_, _>>(),
             ),
-            _ => (ssat::flows_into(graph, i), ssat::flows_from(graph, i)),
+            Method::Bounded(2) => (ssat::flows_into(graph, i), ssat::flows_from(graph, i)),
+            Method::Bounded(_) => {
+                let kernel = self.kernel.as_mut().expect("kernel built for k >= 3");
+                (kernel.flows_into(graph, i), kernel.flows_from(graph, i))
+            }
+            // unbounded methods are never admitted by `supports`; be
+            // explicit rather than returning a wrong-method sweep
+            _ => return None,
         };
         let mut flows: FxHashMap<PeerId, FlowPair> = FxHashMap::default();
         for (&j, &t) in &toward {
@@ -300,6 +330,32 @@ mod tests {
         assert_eq!(flows.get(&p(1)).unwrap().toward, Bytes::from_mb(200));
         assert!(!flows.contains_key(&p(2)));
         assert_eq!(b.flow(&g, p(2), p(0)), Bytes::ZERO);
+    }
+
+    #[test]
+    fn ssat_serves_all_finite_bounds() {
+        // regression: `supports` used to hard-reject k ≥ 3, silently
+        // degrading those methods to per-pair evaluation with no sweep
+        let mut g = ContributionGraph::new();
+        // 3 -> 2 -> 1 -> 0 plus a shortcut 3 -> 1
+        g.add_transfer(p(3), p(2), Bytes::from_mb(100));
+        g.add_transfer(p(2), p(1), Bytes::from_mb(80));
+        g.add_transfer(p(1), p(0), Bytes::from_mb(60));
+        g.add_transfer(p(3), p(1), Bytes::from_mb(10));
+        for k in [3usize, 4, 7] {
+            let method = Method::Bounded(k);
+            let mut b = Ssat::new(method);
+            assert!(b.supports(method, 1.0), "k = {k} must be admitted");
+            let flows = b.all_flows_from(&g, p(0)).expect("k >= 3 has a sweep");
+            for j in [p(1), p(2), p(3)] {
+                let pair = flows.get(&j).copied().unwrap_or_default();
+                assert_eq!(pair.toward, maxflow::compute(&g, j, p(0), method));
+                assert_eq!(pair.away, maxflow::compute(&g, p(0), j, method));
+                assert_eq!(pair.toward, b.flow(&g, j, p(0)));
+            }
+        }
+        assert!(Ssat::new(Method::Bounded(0)).supports(Method::Bounded(0), 0.0));
+        assert!(!Ssat::new(Method::Dinic).supports(Method::Dinic, 0.0));
     }
 
     #[test]

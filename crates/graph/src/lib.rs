@@ -20,6 +20,10 @@
 //! * [`ssat`] — the single-source all-targets kernel for the deployed
 //!   two-hop bound: one traversal of a node's two-hop neighbourhood
 //!   yields its bounded maxflow to (or from) every other peer at once.
+//! * [`boundedk`] — the same sharing for **any** finite hop bound: a
+//!   layered DAG unrolled per source (one BFS + level assignment)
+//!   carries all-targets path-bounded flows, bit-identical to per-pair
+//!   depth-bounded evaluation, with per-version DAG and value caching.
 //! * [`gomoryhu`] — the all-pairs analogue for **unbounded** flow: a
 //!   Gusfield-simplified Gomory–Hu cut tree over the min-symmetrized
 //!   graph (n − 1 Dinic runs), answering any pair in `O(log n)` and a
@@ -38,6 +42,7 @@
 
 pub mod analysis;
 pub mod backend;
+pub mod boundedk;
 pub mod contribution;
 pub mod gomoryhu;
 pub mod maxflow;

@@ -44,14 +44,15 @@ impl FlowNetwork {
     /// Build the network restricted to edges whose both endpoints
     /// satisfy `keep`.
     pub fn from_subgraph<F: Fn(PeerId) -> bool>(graph: &ContributionGraph, keep: F) -> Self {
-        Self::build(
-            graph
-                .edges()
-                .filter(|&(f, t, _)| keep(f) && keep(t)),
-        )
+        Self::build(graph.edges().filter(|&(f, t, _)| keep(f) && keep(t)))
     }
 
-    fn build<I: Iterator<Item = (PeerId, PeerId, Bytes)>>(edges: I) -> Self {
+    /// Build a network from an explicit edge list. Node indices are
+    /// interned in first-appearance order and each edge's arc pair is
+    /// appended in iteration order, so callers that need a specific
+    /// relative arc order (the bounded-k kernel's pruned subnetworks)
+    /// control it through the iterator.
+    pub(crate) fn build<I: Iterator<Item = (PeerId, PeerId, Bytes)>>(edges: I) -> Self {
         let mut net = FlowNetwork {
             arcs: Vec::new(),
             original_caps: Vec::new(),
@@ -108,6 +109,13 @@ impl FlowNetwork {
     /// Peer id of a dense index.
     pub fn peer(&self, node: u32) -> PeerId {
         self.ids[node as usize]
+    }
+
+    /// Original (pre-flow) capacity of arc `ai` — forward arcs carry
+    /// the edge weight, residual twins zero — regardless of any flow
+    /// currently pushed through the network.
+    pub(crate) fn original_cap(&self, ai: u32) -> u64 {
+        self.original_caps[ai as usize]
     }
 
     /// Restore all arcs to their original capacities (undo any flow).

@@ -11,9 +11,11 @@
 //!   seeder's subjective graph dwarfs a leecher's), so static chunking
 //!   leaves threads idle behind the chunk that drew the heavy
 //!   evaluators. The [`SweepSchedule::WorkStealing`] scheduler fixes
-//!   that: a degree-ordered task list (heaviest subjective graph
-//!   first) claimed by an atomic counter, so threads that finish early
-//!   pull the next pending evaluator instead of waiting.
+//!   that: a cost-ordered task list — layered-DAG size for bounded
+//!   methods (the arcs the bounded kernel actually traverses), raw
+//!   edge count for unbounded ones — claimed by an atomic counter, so
+//!   threads that finish early pull the next pending evaluator
+//!   instead of waiting.
 //!
 //! Every schedule is bit-identical by construction: threads only
 //! *gather* each evaluator's value vector, and the floating-point
@@ -26,6 +28,8 @@ use crate::metrics::SimReport;
 use crate::peer::SimPeer;
 use bartercast_bt::choke::Candidate;
 use bartercast_core::policy::ReputationPolicy;
+use bartercast_graph::boundedk::layered_dag_cost;
+use bartercast_graph::maxflow::Method;
 use bartercast_trace::model::Trace;
 use bartercast_util::units::PeerId;
 use bartercast_util::FxHashMap;
@@ -42,7 +46,10 @@ pub fn run_configs(trace: &Trace, configs: Vec<SimConfig>) -> Vec<SimReport> {
         let mut handles = Vec::with_capacity(n);
         for (idx, config) in configs.into_iter().enumerate() {
             let trace = trace.clone();
-            handles.push((idx, scope.spawn(move || Simulation::new(trace, config).run())));
+            handles.push((
+                idx,
+                scope.spawn(move || Simulation::new(trace, config).run()),
+            ));
         }
         for (idx, h) in handles {
             slots[idx] = Some(h.join().expect("simulation thread panicked"));
@@ -86,8 +93,9 @@ pub enum SweepSchedule {
     /// (the scheme this module's work stealing replaced; kept for
     /// benchmarking the difference).
     StaticChunks,
-    /// Degree-ordered task list claimed via an atomic counter: threads
-    /// take the heaviest pending evaluator as soon as they free up.
+    /// Cost-ordered task list claimed via an atomic counter: threads
+    /// take the heaviest pending evaluator (by layered-DAG size for
+    /// bounded methods) as soon as they free up.
     WorkStealing,
 }
 
@@ -155,11 +163,7 @@ pub fn score_candidates(
     candidate_ids.into_iter().zip(values).collect()
 }
 
-fn gather_serial(
-    peers: &mut [SimPeer],
-    indices: &[usize],
-    target_ids: &[PeerId],
-) -> Vec<Vec<f64>> {
+fn gather_serial(peers: &mut [SimPeer], indices: &[usize], target_ids: &[PeerId]) -> Vec<Vec<f64>> {
     indices
         .iter()
         .map(|&i| {
@@ -172,14 +176,14 @@ fn gather_serial(
 /// Position in `indices` per peer index, for threads that walk the
 /// peer slice directly.
 fn positions(indices: &[usize]) -> FxHashMap<usize, usize> {
-    indices.iter().enumerate().map(|(pos, &i)| (i, pos)).collect()
+    indices
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| (i, pos))
+        .collect()
 }
 
-fn gather_static(
-    peers: &mut [SimPeer],
-    indices: &[usize],
-    target_ids: &[PeerId],
-) -> Vec<Vec<f64>> {
+fn gather_static(peers: &mut [SimPeer], indices: &[usize], target_ids: &[PeerId]) -> Vec<Vec<f64>> {
     let pos_of = positions(indices);
     let chunk = peers.len().div_ceil(max_threads());
     let mut gathered: Vec<Option<Vec<f64>>> = Vec::new();
@@ -218,18 +222,32 @@ fn gather_static(
         .collect()
 }
 
+/// Scheduling cost of one evaluator's sweep. Bounded methods only
+/// traverse the evaluator's layered DAG (its k-hop forward and
+/// reverse balls), so the raw edge count of the whole subjective
+/// graph — the old cost — badly overestimates peers whose graphs are
+/// large but whose neighbourhoods are thin, inverting the LPT order.
+/// Unbounded sweeps really do touch the whole graph and keep the edge
+/// count.
+fn sweep_cost(peer: &SimPeer) -> usize {
+    match peer.engine.method() {
+        Method::Bounded(k) => layered_dag_cost(peer.engine.graph(), peer.id, k),
+        _ => peer.engine.graph().edge_count(),
+    }
+}
+
 fn gather_stealing(
     peers: &mut [SimPeer],
     indices: &[usize],
     target_ids: &[PeerId],
 ) -> Vec<Vec<f64>> {
     let pos_of = positions(indices);
-    // one claimable task per evaluator, heaviest subjective graph
-    // first so the long poles start immediately (classic LPT ordering)
+    // one claimable task per evaluator, heaviest layered DAG first so
+    // the long poles start immediately (classic LPT ordering)
     let mut slots: Vec<(usize, usize, &mut SimPeer)> = Vec::with_capacity(indices.len());
     for (i, peer) in peers.iter_mut().enumerate() {
         if let Some(&pos) = pos_of.get(&i) {
-            let cost = peer.engine.graph().edge_count();
+            let cost = sweep_cost(peer);
             slots.push((cost, pos, peer));
         }
     }
@@ -364,7 +382,9 @@ mod tests {
         // deterministic pseudo-random transfers, heavy on low indices
         let mut state = edges_seed | 1;
         for step in 0..(n as u64 * 8) {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let hub = (state >> 33) % (1 + n as u64 / 4);
             let other = (state >> 17) % n as u64;
             if hub == other {
@@ -376,6 +396,34 @@ mod tests {
             peers[idx].engine.graph_mut().add_transfer(a, b, amount);
         }
         peers
+    }
+
+    #[test]
+    fn cost_uses_layered_dag_size_for_bounded_methods() {
+        let mut peers = skewed_population(2, 7);
+        // evaluator 0: a two-edge local neighbourhood plus a distant
+        // 6-node clique it can never reach within the deployed bound
+        let g = peers[0].engine.graph_mut();
+        *g = Default::default();
+        g.add_transfer(PeerId(0), PeerId(1), Bytes(10));
+        g.add_transfer(PeerId(1), PeerId(0), Bytes(10));
+        for f in 10..16u32 {
+            for t in 10..16u32 {
+                if f != t {
+                    g.add_transfer(PeerId(f), PeerId(t), Bytes(1));
+                }
+            }
+        }
+        let edges = peers[0].engine.graph().edge_count();
+        let bounded_cost = sweep_cost(&peers[0]);
+        assert!(
+            bounded_cost < edges,
+            "bounded cost {bounded_cost} must ignore the distant clique ({edges} edges)"
+        );
+        // an unbounded engine really does touch everything
+        let engine = peers[0].engine.clone().with_method(Method::Dinic);
+        peers[0].engine = engine;
+        assert_eq!(sweep_cost(&peers[0]), edges);
     }
 
     #[test]

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Measure the layered-DAG bounded-k kernel (per-pair depth-bounded
+# maxflow vs shared-traversal sweeps at k ∈ {3, 4}) and emit
+# BENCH_boundedk.json at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bench --bin bench_boundedk -- BENCH_boundedk.json

@@ -11,6 +11,10 @@ cargo test -q
 # derives every case seed deterministically (no time/entropy input),
 # so these runs are reproducible byte-for-byte.
 cargo test -q -p bartercast-graph --test differential
+# Layered-DAG bounded-k kernel vs per-pair depth-bounded evaluation
+# (bit-identity for k ∈ {1..6}), plus the k ≥ 3 k-hop journal
+# eviction properties inside the invalidation suite.
+cargo test -q -p bartercast-graph --test boundedk_differential
 cargo test -q -p bartercast-core --test invalidation --test codec_fuzz
 cargo test -q -p bartercast-core --test reputation_bound
 # Node runtime convergence gate: 8 peers over the deterministic
