@@ -10,13 +10,24 @@
 //! `all_flows_from` sweep. The per-pair side runs the two directed
 //! Dinic flows Equation 1 needs for every target, sampling evaluators
 //! at large n (evaluators are independent, so the mean is unbiased).
+//!
+//! Three paths beyond the cold sweep are measured per row:
+//!
+//! * **warm** — a second engine pass over the same graph version, so
+//!   the `MemoCache` hit path actually shows up in the counters
+//!   (historically every row reported `hits: 0`);
+//! * **incremental** — mutate `m` edges symmetrically, re-sync, and
+//!   time `GomoryHuTree::patch` against a from-scratch rebuild on the
+//!   same mutated graph (verified equal before timing is reported);
+//! * the engine's own re-sync after the same mutations, so the
+//!   `tree_patches` / `tree_rebuilds` counters land in the JSON.
 
 use bartercast_core::{CacheStats, ReputationEngine};
 use bartercast_graph::gomoryhu::GomoryHuTree;
 use bartercast_graph::maxflow::{self, Method};
 use bartercast_graph::{ContributionGraph, FlowNetwork};
 use bartercast_util::units::{Bytes, PeerId};
-use bench::symmetric_small_world_graph;
+use bench::{symmetric_small_world_graph, write_bench_json};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -48,6 +59,16 @@ struct Row {
     tree_build_us: f64,
     tree_evaluator_us: f64,
     speedup: f64,
+    /// Engine µs/evaluator on the second pass over an unchanged graph
+    /// (pure memo-cache hits).
+    warm_evaluator_us: f64,
+    /// Symmetric edge mutations applied for the incremental pass.
+    mutations: usize,
+    /// Dirty nodes those mutations produced.
+    dirty_nodes: usize,
+    patch_us: f64,
+    rebuild_us: f64,
+    patch_speedup: f64,
     stats: CacheStats,
 }
 
@@ -68,6 +89,17 @@ fn correctness_gate(g: &ContributionGraph, tree: &GomoryHuTree, n: u32) {
             let swept = sweep.get(&PeerId(t)).copied().unwrap_or(Bytes::ZERO);
             assert_eq!(swept, exact, "sweep mismatch at n={n}, pair ({s}, {t})");
         }
+    }
+}
+
+/// `m` disjoint symmetric mutations on existing ring pairs — every
+/// endpoint already interned, so the patch path (not a node-set
+/// rebuild) is what gets measured.
+fn mutate(g: &mut ContributionGraph, m: usize) {
+    for i in 0..m as u32 {
+        let (a, b) = (PeerId(2 * i), PeerId(2 * i + 1));
+        g.add_transfer(a, b, Bytes::from_mb(1));
+        g.add_transfer(b, a, Bytes::from_mb(1));
     }
 }
 
@@ -98,16 +130,49 @@ fn measure(n: u32) -> Row {
     let sweep_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
     let tree_evaluator_us = tree_build_us / n as f64 + sweep_us;
 
+    // incremental: mutate m edges, then time patch vs from-scratch
+    // rebuild on the identical mutated graph — after checking the two
+    // trees answer identically on sampled sweeps
+    let m = (n as usize / 64).max(2);
+    let mut mutated = g.clone();
+    mutate(&mut mutated, m);
+    let dirty_nodes = mutated.dirty_nodes_since(tree.version()).count();
+    let start = Instant::now();
+    let patched = black_box(tree.patch(&mutated)).expect("small dirty set must patch");
+    let patch_us = start.elapsed().as_secs_f64() * 1e6;
+    let start = Instant::now();
+    let rebuilt = black_box(GomoryHuTree::build(&mutated));
+    let rebuild_us = start.elapsed().as_secs_f64() * 1e6;
+    for e in (0..n).step_by((n as usize / 8).max(1)) {
+        assert_eq!(
+            patched.all_flows_from(PeerId(e)),
+            rebuilt.all_flows_from(PeerId(e)),
+            "patched tree diverged from rebuild at n={n}, evaluator {e}"
+        );
+    }
+
     // production path: the engine's unbounded batch sweep routes every
     // evaluator through its Gomory–Hu backend on this symmetric
-    // fixture; its cache counters (tree_sweeps should cover all n
-    // evaluators with one tree build) land in the JSON row
+    // fixture. Pass 1 is cold (misses fill the memo), pass 2 over the
+    // unchanged graph is pure hits, then the same m mutations re-sync
+    // through the incremental patch path — so hits, tree_sweeps,
+    // tree_patches and tree_rebuilds all land in the JSON row.
     let mut engine = ReputationEngine::new().with_method(Method::Dinic);
     *engine.graph_mut() = g.clone();
     let targets: Vec<PeerId> = (0..n).map(PeerId).collect();
     for e in 0..n {
         black_box(engine.reputations_from(PeerId(e), &targets));
     }
+    let start = Instant::now();
+    for e in 0..n {
+        black_box(engine.reputations_from(PeerId(e), &targets));
+    }
+    let warm_evaluator_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+    mutate(engine.graph_mut(), m);
+    black_box(engine.reputations_from(PeerId(0), &targets));
+    let stats = engine.stats();
+    assert!(stats.hits > 0, "warm pass must hit the memo cache");
+    assert!(stats.tree_patches > 0, "re-sync must take the patch path");
 
     Row {
         n,
@@ -115,7 +180,13 @@ fn measure(n: u32) -> Row {
         tree_build_us,
         tree_evaluator_us,
         speedup: per_pair_evaluator_us / tree_evaluator_us,
-        stats: engine.stats(),
+        warm_evaluator_us,
+        mutations: m,
+        dirty_nodes,
+        patch_us,
+        rebuild_us,
+        patch_speedup: rebuild_us / patch_us,
+        stats,
     }
 }
 
@@ -130,29 +201,39 @@ fn main() {
             "n={:5}  per_pair {:10.1} µs/evaluator   tree {:8.1} µs/evaluator (build {:8.1} µs)   speedup {:6.1}x",
             row.n, row.per_pair_evaluator_us, row.tree_evaluator_us, row.tree_build_us, row.speedup
         );
+        eprintln!(
+            "         warm {:8.1} µs/evaluator   patch({} edges, {} dirty) {:8.1} µs vs rebuild {:8.1} µs   {:6.1}x",
+            row.warm_evaluator_us,
+            row.mutations,
+            row.dirty_nodes,
+            row.patch_us,
+            row.rebuild_us,
+            row.patch_speedup
+        );
         rows.push(row);
     }
     let body: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"tree_build_us\": {:.3}, \"tree_evaluator_us\": {:.3}, \"speedup\": {:.3}, \"cache\": {{{}}}}}",
+                "    {{\"n\": {}, \"per_pair_evaluator_us\": {:.3}, \"tree_build_us\": {:.3}, \
+                 \"tree_evaluator_us\": {:.3}, \"speedup\": {:.3}, \"warm_evaluator_us\": {:.3}, \
+                 \"incremental\": {{\"mutations\": {}, \"dirty_nodes\": {}, \"patch_us\": {:.3}, \
+                 \"rebuild_us\": {:.3}, \"patch_speedup\": {:.3}}}, \"cache\": {{{}}}}}",
                 r.n,
                 r.per_pair_evaluator_us,
                 r.tree_build_us,
                 r.tree_evaluator_us,
                 r.speedup,
+                r.warm_evaluator_us,
+                r.mutations,
+                r.dirty_nodes,
+                r.patch_us,
+                r.rebuild_us,
+                r.patch_speedup,
                 r.stats.json_fields()
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"gomoryhu_sweep\",\n  \"unit\": \"us_per_evaluator_sweep\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
-    );
-    if let Err(e) = std::fs::write(&out_path, json) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("wrote {out_path}");
+    write_bench_json(&out_path, "gomoryhu_sweep", "us_per_evaluator_sweep", &body);
 }

@@ -75,6 +75,12 @@ impl BackendSet {
     pub fn tree_version(&self) -> Option<u64> {
         self.gomoryhu.tree_version()
     }
+
+    /// How the Gomory–Hu backend has kept its tree current:
+    /// `(incremental patches, full rebuilds)` since construction.
+    pub fn tree_maintenance(&self) -> (u64, u64) {
+        (self.gomoryhu.tree_patches(), self.gomoryhu.tree_rebuilds())
+    }
 }
 
 /// One snapshot of the engine's cache behaviour, consolidating what
@@ -102,6 +108,12 @@ pub struct CacheStats {
     /// Unbounded batch queries that fell back to exact per-pair flow
     /// because the graph's asymmetry exceeded the tolerance.
     pub fallback_sweeps: u64,
+    /// Gomory–Hu version bumps absorbed by an incremental tree patch
+    /// (only the Gusfield steps a dirty node's cut crosses re-run).
+    pub tree_patches: u64,
+    /// Gomory–Hu version bumps that required a from-scratch Gusfield
+    /// rebuild (first build, node-set growth, or oversized dirty set).
+    pub tree_rebuilds: u64,
 }
 
 impl CacheStats {
@@ -110,14 +122,17 @@ impl CacheStats {
     pub fn json_fields(&self) -> String {
         format!(
             "\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}, \
-             \"invalidated\": {}, \"tree_sweeps\": {}, \"fallback_sweeps\": {}",
+             \"invalidated\": {}, \"tree_sweeps\": {}, \"fallback_sweeps\": {}, \
+             \"tree_patches\": {}, \"tree_rebuilds\": {}",
             self.hits,
             self.misses,
             self.entries,
             self.evictions,
             self.invalidated,
             self.tree_sweeps,
-            self.fallback_sweeps
+            self.fallback_sweeps,
+            self.tree_patches,
+            self.tree_rebuilds
         )
     }
 }
@@ -173,9 +188,11 @@ mod tests {
             invalidated: 5,
             tree_sweeps: 6,
             fallback_sweeps: 7,
+            tree_patches: 8,
+            tree_rebuilds: 9,
         };
         let json = format!("{{{}}}", s.json_fields());
         assert!(json.starts_with("{\"hits\": 1,"));
-        assert!(json.ends_with("\"fallback_sweeps\": 7}"));
+        assert!(json.ends_with("\"tree_patches\": 8, \"tree_rebuilds\": 9}"));
     }
 }

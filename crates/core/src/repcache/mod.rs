@@ -292,6 +292,16 @@ impl ReputationEngine {
         self.method
     }
 
+    /// The directed-asymmetry tolerance under which unbounded batch
+    /// sweeps are served by the incrementally maintained Gomory–Hu
+    /// tree (see [`ReputationEngine::with_flow_tolerance`]).
+    /// Schedulers use it to predict whether an unbounded sweep will be
+    /// tree-served (`O(n)` with patch maintenance) or fall back to
+    /// per-pair evaluation (`O(edges)` per target).
+    pub fn flow_tolerance(&self) -> f64 {
+        self.flow_tolerance
+    }
+
     /// Direct read-only access to the subjective graph.
     pub fn graph(&self) -> &ContributionGraph {
         &self.graph
@@ -436,6 +446,7 @@ impl ReputationEngine {
     /// LRU evictions, change invalidations, and the unbounded batch
     /// dispatch split (tree vs. per-pair fallback).
     pub fn stats(&self) -> CacheStats {
+        let (tree_patches, tree_rebuilds) = self.backends.tree_maintenance();
         CacheStats {
             hits: self.hits,
             misses: self.misses,
@@ -444,6 +455,8 @@ impl ReputationEngine {
             invalidated: self.invalidated,
             tree_sweeps: self.tree_sweeps,
             fallback_sweeps: self.fallback_sweeps,
+            tree_patches,
+            tree_rebuilds,
         }
     }
 

@@ -128,6 +128,47 @@ proptest! {
     }
 
     #[test]
+    fn patched_tree_reputations_match_cold_engine(ops in ops_strategy(), source in 0u32..6) {
+        // the unbounded sweep path keeps its Gomory–Hu tree current by
+        // incremental patching (small dirty sets never trigger a full
+        // rebuild); reputation brackets served off a patched tree must
+        // agree bitwise with a cold engine whose tree is built from
+        // scratch, at every version
+        let targets: Vec<PeerId> = (0..6).map(PeerId).collect();
+        let mut warm = ReputationEngine::new().with_method(Method::Dinic);
+        // symmetric base so the tree backend is admissible throughout
+        for i in 0..6u32 {
+            warm.graph_mut().add_transfer(PeerId(i), PeerId((i + 1) % 6), Bytes(10));
+            warm.graph_mut().add_transfer(PeerId((i + 1) % 6), PeerId(i), Bytes(10));
+        }
+        warm.reputations_from(PeerId(source), &targets);
+        let rebuilds_after_base = warm.stats().tree_rebuilds;
+        for &(f, t, c, _) in &ops {
+            if f == t {
+                continue;
+            }
+            // mirrored mutation: two dirty nodes, zero asymmetry
+            warm.graph_mut().add_transfer(PeerId(f), PeerId(t), Bytes(c));
+            warm.graph_mut().add_transfer(PeerId(t), PeerId(f), Bytes(c));
+            let got = warm.reputations_from(PeerId(source), &targets);
+            let mut cold = ReputationEngine::new().with_method(Method::Dinic);
+            *cold.graph_mut() = warm.graph().clone();
+            for (&j, &g) in targets.iter().zip(&got) {
+                let want = cold.reputation(PeerId(source), j);
+                prop_assert_eq!(g.to_bits(), want.to_bits(), "R_{source}({j})");
+            }
+        }
+        let stats = warm.stats();
+        prop_assert_eq!(
+            stats.tree_rebuilds, rebuilds_after_base,
+            "every post-base version bump must patch, not rebuild"
+        );
+        if ops.iter().any(|&(f, t, _, _)| f != t) {
+            prop_assert!(stats.tree_patches > 0, "patch path never exercised");
+        }
+    }
+
+    #[test]
     fn journal_survives_long_sync_gaps(
         ops in ops_strategy(),
         gap in 1usize..3,

@@ -232,6 +232,8 @@ impl FlowBackend for Ssat {
 pub struct GomoryHu {
     tolerance: f64,
     tree: Option<GomoryHuTree>,
+    patches: u64,
+    rebuilds: u64,
 }
 
 impl GomoryHu {
@@ -240,6 +242,8 @@ impl GomoryHu {
         GomoryHu {
             tolerance,
             tree: None,
+            patches: 0,
+            rebuilds: 0,
         }
     }
 
@@ -250,12 +254,36 @@ impl GomoryHu {
         self.tree.as_ref().map(GomoryHuTree::version)
     }
 
-    /// The tree for the graph's current version, rebuilding at most
-    /// once per version.
+    /// How many version bumps were absorbed by an incremental
+    /// [`GomoryHuTree::patch`] instead of a full rebuild.
+    pub fn tree_patches(&self) -> u64 {
+        self.patches
+    }
+
+    /// How many version bumps required a from-scratch
+    /// [`GomoryHuTree::build`] (first build included).
+    pub fn tree_rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The tree for the graph's current version: try to patch the
+    /// previous tree over the dirty node set first, fall back to a full
+    /// rebuild when the dirty set is too large or the node set changed.
+    /// At most one patch or rebuild per graph version.
     fn at(&mut self, graph: &ContributionGraph) -> &GomoryHuTree {
         let version = graph.version();
         if self.tree_version() != Some(version) {
-            self.tree = Some(GomoryHuTree::build(graph));
+            let patched = self.tree.as_ref().and_then(|t| t.patch(graph));
+            match patched {
+                Some(t) => {
+                    self.patches += 1;
+                    self.tree = Some(t);
+                }
+                None => {
+                    self.rebuilds += 1;
+                    self.tree = Some(GomoryHuTree::build(graph));
+                }
+            }
         }
         self.tree.as_ref().expect("tree built above")
     }
@@ -390,6 +418,36 @@ mod tests {
         g.add_transfer(p(0), p(2), Bytes::from_mb(1));
         b.flow(&g, p(0), p(2));
         assert!(b.tree_version().unwrap() > v1, "mutation forces rebuild");
+    }
+
+    #[test]
+    fn gomoryhu_patches_small_mutations_and_counts_them() {
+        let mut g = ContributionGraph::new();
+        for (a, b, mb) in [(0, 1, 100), (1, 2, 200), (0, 3, 50), (3, 2, 50)] {
+            g.add_transfer(p(a), p(b), Bytes::from_mb(mb));
+            g.add_transfer(p(b), p(a), Bytes::from_mb(mb));
+        }
+        let mut b = GomoryHu::new(0.0);
+        b.all_flows_from(&g, p(0)).unwrap();
+        assert_eq!((b.tree_patches(), b.tree_rebuilds()), (0, 1));
+        // touch one existing pair: two dirty nodes, patchable
+        g.add_transfer(p(0), p(1), Bytes::from_mb(1));
+        g.add_transfer(p(1), p(0), Bytes::from_mb(1));
+        b.flow(&g, p(0), p(1));
+        assert_eq!((b.tree_patches(), b.tree_rebuilds()), (1, 1));
+        assert_eq!(b.tree_version(), Some(g.version()));
+        // a brand-new node is not patchable: full rebuild
+        g.add_transfer(p(9), p(0), Bytes::from_mb(5));
+        g.add_transfer(p(0), p(9), Bytes::from_mb(5));
+        b.flow(&g, p(0), p(9));
+        assert_eq!((b.tree_patches(), b.tree_rebuilds()), (1, 2));
+        // patched trees answer like rebuilt ones
+        let fresh = GomoryHuTree::build(&g);
+        for s in [0u32, 1, 2, 3, 9] {
+            for t in [0u32, 1, 2, 3, 9] {
+                assert_eq!(b.flow(&g, p(s), p(t)), fresh.flow(p(s), p(t)));
+            }
+        }
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl LayeredDag {
                     if dist[u as usize] as usize >= radius {
                         continue;
                     }
-                    for &ai in &full.adj[u as usize] {
+                    for &ai in full.arcs_of(u) {
                         if ai % 2 != 0 {
                             continue; // residual twin: not a graph edge
                         }
@@ -306,7 +306,7 @@ impl BoundedKKernel {
             if dist[u as usize] as usize >= radius {
                 continue;
             }
-            for &ai in &full.adj[u as usize] {
+            for &ai in full.arcs_of(u) {
                 if ai % 2 == 0 {
                     continue; // forward arc: wrong direction
                 }

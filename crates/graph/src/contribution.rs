@@ -5,7 +5,15 @@
 //! the real protocol, so merging a gossiped record about a pair takes
 //! the **maximum** of the stored and received totals — a stale record
 //! can never lower what we already know.
+//!
+//! Adjacency lives in two arena-backed CSR stores ([`crate::csr`]):
+//! one forward (out-edges), one reverse (in-edges). Every flow kernel
+//! that walks `out_edges`/`in_edges` — the SSAT closed form, the
+//! layered-DAG unroll, network construction — therefore scans
+//! contiguous slots instead of chasing hash buckets; the hash map here
+//! only interns peer ids to dense indices once per node.
 
+use crate::csr::AdjArena;
 use bartercast_util::units::{Bytes, PeerId};
 use bartercast_util::{FxHashMap, FxHashSet};
 
@@ -30,17 +38,23 @@ use bartercast_util::{FxHashMap, FxHashSet};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ContributionGraph {
-    out: FxHashMap<PeerId, FxHashMap<PeerId, Bytes>>,
-    incoming: FxHashMap<PeerId, FxHashMap<PeerId, Bytes>>,
+    /// Peer id → dense node index, assigned on first sighting.
+    index: FxHashMap<PeerId, u32>,
+    /// Dense node index → peer id.
+    ids: Vec<PeerId>,
+    /// Out-adjacency: `fwd.slice(u)` holds `(target, weight)` slots.
+    fwd: AdjArena,
+    /// In-adjacency mirror: `rev.slice(u)` holds `(source, weight)`.
+    rev: AdjArena,
     edge_count: usize,
     version: u64,
     /// Per-node change tracking: the version at which each node last
-    /// had an incident edge change. Unlike the bounded change-log
-    /// deque this replaced, the map never truncates (it is bounded by
-    /// the node count, not the mutation count), so a reader can fall
-    /// arbitrarily far behind and still get an exact dirty set from
+    /// had an incident edge change. Indexed densely and never
+    /// truncated (it is bounded by the node count, not the mutation
+    /// count), so a reader can fall arbitrarily far behind and still
+    /// get an exact dirty set from
     /// [`ContributionGraph::dirty_nodes_since`].
-    node_changed_at: FxHashMap<PeerId, u64>,
+    changed_at: Vec<u64>,
 }
 
 impl ContributionGraph {
@@ -55,25 +69,41 @@ impl ContributionGraph {
         self.version
     }
 
+    /// Dense index of `id`, interning it on first sighting.
+    fn intern(&mut self, id: PeerId) -> u32 {
+        if let Some(&i) = self.index.get(&id) {
+            return i;
+        }
+        let i = self.fwd.add_node();
+        let r = self.rev.add_node();
+        debug_assert_eq!(i, r);
+        self.ids.push(id);
+        self.changed_at.push(0);
+        self.index.insert(id, i);
+        i
+    }
+
     /// Add `amount` to the `from → to` edge (the normal accounting path
     /// for a peer's own transfers). Self-edges are ignored.
     pub fn add_transfer(&mut self, from: PeerId, to: PeerId, amount: Bytes) {
         if from == to || amount.is_zero() {
             return;
         }
-        let slot = self.out.entry(from).or_default().entry(to).or_insert(Bytes::ZERO);
-        if slot.is_zero() {
-            self.edge_count += 1;
+        let f = self.intern(from);
+        let t = self.intern(to);
+        match self.fwd.weight_mut(f, t) {
+            Some(w) => {
+                *w += amount.0;
+                *self.rev.weight_mut(t, f).expect("in-adjacency mirrors out") += amount.0;
+            }
+            None => {
+                self.fwd.push(f, t, amount.0);
+                self.rev.push(t, f, amount.0);
+                self.edge_count += 1;
+            }
         }
-        *slot += amount;
-        *self
-            .incoming
-            .entry(to)
-            .or_default()
-            .entry(from)
-            .or_insert(Bytes::ZERO) += amount;
         self.version += 1;
-        self.log_change(from, to);
+        self.log_change(f, t);
     }
 
     /// Merge a gossiped record about the pair `(from, to)`: the stored
@@ -83,67 +113,75 @@ impl ContributionGraph {
         if from == to || total.is_zero() {
             return false;
         }
-        let slot = self.out.entry(from).or_default().entry(to).or_insert(Bytes::ZERO);
-        if total.0 <= slot.0 {
-            return false;
+        let f = self.intern(from);
+        let t = self.intern(to);
+        match self.fwd.weight_mut(f, t) {
+            Some(w) if total.0 <= *w => return false,
+            Some(w) => {
+                *w = total.0;
+                *self.rev.weight_mut(t, f).expect("in-adjacency mirrors out") = total.0;
+            }
+            None => {
+                self.fwd.push(f, t, total.0);
+                self.rev.push(t, f, total.0);
+                self.edge_count += 1;
+            }
         }
-        if slot.is_zero() {
-            self.edge_count += 1;
-        }
-        *slot = total;
-        self.incoming
-            .entry(to)
-            .or_default()
-            .insert(from, total);
         self.version += 1;
-        self.log_change(from, to);
+        self.log_change(f, t);
         true
     }
 
     /// Record a changed edge: both endpoints become dirty at the
     /// current version.
-    fn log_change(&mut self, from: PeerId, to: PeerId) {
-        self.node_changed_at.insert(from, self.version);
-        self.node_changed_at.insert(to, self.version);
+    fn log_change(&mut self, from: u32, to: u32) {
+        self.changed_at[from as usize] = self.version;
+        self.changed_at[to as usize] = self.version;
     }
 
     /// Every node that has been an endpoint of an edge changed after
     /// version `since` (arbitrary order, no duplicates).
     ///
-    /// Always answerable: the per-node map never truncates, so a
+    /// Always answerable: the per-node versions never truncate, so a
     /// reader may fall arbitrarily far behind between reads without
-    /// losing precision — the cost is one scan over the nodes that
-    /// ever changed, not over the mutation history.
+    /// losing precision — the cost is one scan over the node table,
+    /// not over the mutation history.
     pub fn dirty_nodes_since(&self, since: u64) -> impl Iterator<Item = PeerId> + '_ {
-        self.node_changed_at
+        self.changed_at
             .iter()
-            .filter(move |&(_, &v)| v > since)
-            .map(|(&p, _)| p)
+            .zip(&self.ids)
+            .filter(move |&(&v, _)| v > since)
+            .map(|(_, &p)| p)
     }
 
     /// The aggregated bytes `from` has uploaded to `to` (zero if no edge).
     pub fn edge(&self, from: PeerId, to: PeerId) -> Bytes {
-        self.out
-            .get(&from)
-            .and_then(|m| m.get(&to))
-            .copied()
-            .unwrap_or(Bytes::ZERO)
+        let (Some(&f), Some(&t)) = (self.index.get(&from), self.index.get(&to)) else {
+            return Bytes::ZERO;
+        };
+        Bytes(self.fwd.weight(f, t).unwrap_or(0))
     }
 
-    /// Outgoing edges of `node` as `(target, bytes)`.
+    /// Outgoing edges of `node` as `(target, bytes)`, in first-recorded
+    /// order (deterministic — no hash-map iteration anywhere beneath).
     pub fn out_edges(&self, node: PeerId) -> impl Iterator<Item = (PeerId, Bytes)> + '_ {
-        self.out
-            .get(&node)
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+        self.index.get(&node).into_iter().flat_map(move |&u| {
+            self.fwd
+                .slice(u)
+                .iter()
+                .map(|e| (self.ids[e.other as usize], Bytes(e.weight)))
+        })
     }
 
-    /// Incoming edges of `node` as `(source, bytes)`.
+    /// Incoming edges of `node` as `(source, bytes)`, in first-recorded
+    /// order.
     pub fn in_edges(&self, node: PeerId) -> impl Iterator<Item = (PeerId, Bytes)> + '_ {
-        self.incoming
-            .get(&node)
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+        self.index.get(&node).into_iter().flat_map(move |&u| {
+            self.rev
+                .slice(u)
+                .iter()
+                .map(|e| (self.ids[e.other as usize], Bytes(e.weight)))
+        })
     }
 
     /// Total bytes `node` has uploaded (sum of out-edge weights).
@@ -158,17 +196,12 @@ impl ContributionGraph {
 
     /// Every node that appears as an endpoint of some edge.
     pub fn nodes(&self) -> FxHashSet<PeerId> {
-        let mut set: FxHashSet<PeerId> = FxHashSet::default();
-        for (&n, targets) in &self.out {
-            set.insert(n);
-            set.extend(targets.keys().copied());
-        }
-        set
+        self.ids.iter().copied().collect()
     }
 
     /// Number of distinct nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes().len()
+        self.ids.len()
     }
 
     /// Number of directed edges with nonzero weight.
@@ -176,11 +209,18 @@ impl ContributionGraph {
         self.edge_count
     }
 
-    /// All edges as `(from, to, bytes)` triples (arbitrary order).
+    /// All edges as `(from, to, bytes)` triples, grouped by source in
+    /// dense-node order (deterministic).
     pub fn edges(&self) -> impl Iterator<Item = (PeerId, PeerId, Bytes)> + '_ {
-        self.out
-            .iter()
-            .flat_map(|(&f, m)| m.iter().map(move |(&t, &b)| (f, t, b)))
+        (0..self.ids.len() as u32).flat_map(move |u| {
+            self.fwd.slice(u).iter().map(move |e| {
+                (
+                    self.ids[u as usize],
+                    self.ids[e.other as usize],
+                    Bytes(e.weight),
+                )
+            })
+        })
     }
 
     /// The set of nodes within `hops` directed-or-reverse hops of
@@ -268,23 +308,28 @@ impl ContributionGraph {
     /// Internal consistency check: the in-adjacency mirrors the
     /// out-adjacency exactly. Used by tests and `debug_assert!`s.
     pub fn check_invariants(&self) -> Result<(), String> {
+        if self.fwd.node_count() != self.ids.len() || self.rev.node_count() != self.ids.len() {
+            return Err(format!(
+                "arena node counts {}/{} != interned {}",
+                self.fwd.node_count(),
+                self.rev.node_count(),
+                self.ids.len()
+            ));
+        }
         let mut forward = 0usize;
-        for (&f, m) in &self.out {
-            for (&t, &b) in m {
-                if b.is_zero() {
+        for u in 0..self.ids.len() as u32 {
+            let f = self.ids[u as usize];
+            for e in self.fwd.slice(u) {
+                let t = self.ids[e.other as usize];
+                if e.weight == 0 {
                     return Err(format!("zero-weight edge {f}->{t}"));
                 }
-                if f == t {
+                if u == e.other {
                     return Err(format!("self edge at {f}"));
                 }
-                let back = self
-                    .incoming
-                    .get(&t)
-                    .and_then(|m| m.get(&f))
-                    .copied()
-                    .unwrap_or(Bytes::ZERO);
-                if back != b {
-                    return Err(format!("in/out mismatch {f}->{t}: {b} vs {back}"));
+                let back = self.rev.weight(e.other, u).unwrap_or(0);
+                if back != e.weight {
+                    return Err(format!("in/out mismatch {f}->{t}: {} vs {back}", e.weight));
                 }
                 forward += 1;
             }
@@ -293,6 +338,12 @@ impl ContributionGraph {
             return Err(format!(
                 "edge_count {} != actual {}",
                 self.edge_count, forward
+            ));
+        }
+        if self.rev.len() != forward {
+            return Err(format!(
+                "reverse arena holds {} slots for {forward} edges",
+                self.rev.len()
             ));
         }
         Ok(())
@@ -326,6 +377,7 @@ mod tests {
         g.add_transfer(p(1), p(2), Bytes::ZERO);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.version(), v0);
+        assert_eq!(g.node_count(), 0, "ineffective ops intern no nodes");
     }
 
     #[test]
@@ -418,7 +470,7 @@ mod tests {
         g.add_transfer(p(5), p(6), Bytes(1));
         let v = g.version();
         // far more mutations than the old change-log cap (4096) ever
-        // held: the per-node map must stay exact, not truncate
+        // held: the per-node versions must stay exact, not truncate
         for i in 0..10_000u64 {
             g.add_transfer(p(1), p(2), Bytes(i + 1));
         }
@@ -476,5 +528,39 @@ mod tests {
         g.add_transfer(p(5), p(6), Bytes::from_mb(3));
         let ins: Vec<_> = g.in_edges(p(6)).collect();
         assert_eq!(ins, vec![(p(5), Bytes::from_mb(3))]);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        // the CSR arena guarantees deterministic first-recorded order,
+        // where the old hash-of-hash layout gave arbitrary order
+        let mut g = ContributionGraph::new();
+        g.add_transfer(p(1), p(9), Bytes(1));
+        g.add_transfer(p(1), p(3), Bytes(2));
+        g.add_transfer(p(1), p(7), Bytes(3));
+        let order: Vec<PeerId> = g.out_edges(p(1)).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![p(9), p(3), p(7)]);
+        let triples: Vec<_> = g.edges().collect();
+        assert_eq!(triples[0], (p(1), p(9), Bytes(1)));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_arena_consistent() {
+        // enough interleaved growth to force block relocation and
+        // compaction underneath, with invariants checked throughout
+        let mut g = ContributionGraph::new();
+        for round in 0..50u32 {
+            for node in 0..40u32 {
+                g.add_transfer(
+                    p(node),
+                    p((node + round + 1) % 41),
+                    Bytes(u64::from(round) + 1),
+                );
+            }
+            if round % 10 == 0 {
+                g.check_invariants().unwrap();
+            }
+        }
+        g.check_invariants().unwrap();
     }
 }

@@ -1,0 +1,215 @@
+//! Arena-backed compressed-sparse-row adjacency storage.
+//!
+//! One contiguous arena of `(neighbour, weight)` slots plus a per-node
+//! `(start, len, cap)` span — the CSR layout every flow kernel in this
+//! crate walks. Unlike a textbook CSR (frozen offset arrays built in
+//! one pass), the arena is **incrementally appendable**: a node whose
+//! span is full relocates its block to the arena tail with doubled
+//! capacity (amortized `O(1)` per append), leaving a hole behind. When
+//! holes exceed half the arena, [`AdjArena::compact`] rewrites it into
+//! dense span order, so iteration stays contiguous in the steady state
+//! while gossip keeps appending edges between compactions.
+//!
+//! Per-node slot order is insertion order and survives relocation and
+//! compaction, so every traversal over the arena is deterministic —
+//! the property the bit-identity differential suites lean on.
+
+/// One adjacency slot: a neighbour (dense node index) and the edge
+/// weight toward it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EdgeSlot {
+    /// Dense index of the neighbouring node.
+    pub other: u32,
+    /// Aggregated edge weight in bytes.
+    pub weight: u64,
+}
+
+/// Per-node span into the arena: `len` live slots starting at `start`,
+/// inside a block of `cap` reserved slots.
+#[derive(Debug, Clone, Copy, Default)]
+struct Span {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// Smallest block a node's first edge reserves.
+const MIN_BLOCK: u32 = 4;
+
+/// Arena size below which compaction is never worth the copy.
+const COMPACT_FLOOR: usize = 1024;
+
+/// An incrementally appendable CSR adjacency arena.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdjArena {
+    entries: Vec<EdgeSlot>,
+    spans: Vec<Span>,
+    /// Live slots (Σ span.len), for the edge-count invariant checks.
+    live: usize,
+    /// Slots abandoned by block relocation; drives compaction.
+    dead: usize,
+}
+
+impl AdjArena {
+    /// Register one more node; returns its dense index.
+    pub fn add_node(&mut self) -> u32 {
+        let i = self.spans.len() as u32;
+        self.spans.push(Span::default());
+        i
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total live slots across all nodes.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// The live adjacency slots of `node`, in insertion order.
+    #[inline]
+    pub fn slice(&self, node: u32) -> &[EdgeSlot] {
+        let s = &self.spans[node as usize];
+        &self.entries[s.start as usize..(s.start + s.len) as usize]
+    }
+
+    /// Mutable weight of the `node → other` slot, if present. A linear
+    /// scan of the node's span: degrees here are gossip neighbourhood
+    /// sizes, and the span is one cache-resident block.
+    pub fn weight_mut(&mut self, node: u32, other: u32) -> Option<&mut u64> {
+        let s = self.spans[node as usize];
+        self.entries[s.start as usize..(s.start + s.len) as usize]
+            .iter_mut()
+            .find(|e| e.other == other)
+            .map(|e| &mut e.weight)
+    }
+
+    /// Read-only weight of the `node → other` slot, if present.
+    pub fn weight(&self, node: u32, other: u32) -> Option<u64> {
+        self.slice(node)
+            .iter()
+            .find(|e| e.other == other)
+            .map(|e| e.weight)
+    }
+
+    /// Append a new slot to `node` (the caller has checked it is not
+    /// already present). Relocates the node's block to the arena tail
+    /// when full, and compacts the whole arena once holes dominate.
+    pub fn push(&mut self, node: u32, other: u32, weight: u64) {
+        let s = self.spans[node as usize];
+        if s.len == s.cap {
+            self.relocate(node);
+        }
+        let s = &mut self.spans[node as usize];
+        self.entries[(s.start + s.len) as usize] = EdgeSlot { other, weight };
+        s.len += 1;
+        self.live += 1;
+        if self.dead > self.entries.len() / 2 && self.entries.len() >= COMPACT_FLOOR {
+            self.compact();
+        }
+    }
+
+    /// Move `node`'s block to the arena tail with doubled capacity.
+    fn relocate(&mut self, node: u32) {
+        let s = self.spans[node as usize];
+        let new_cap = (s.cap * 2).max(MIN_BLOCK);
+        let new_start = self.entries.len() as u32;
+        self.entries.reserve(new_cap as usize);
+        for i in 0..s.len {
+            let slot = self.entries[(s.start + i) as usize];
+            self.entries.push(slot);
+        }
+        self.entries.resize(
+            new_start as usize + new_cap as usize,
+            EdgeSlot {
+                other: 0,
+                weight: 0,
+            },
+        );
+        self.dead += s.cap as usize;
+        self.spans[node as usize] = Span {
+            start: new_start,
+            len: s.len,
+            cap: new_cap,
+        };
+    }
+
+    /// Rewrite the arena in node order with no holes (each block's
+    /// capacity shrinks to its live length). Per-node slot order is
+    /// preserved.
+    pub fn compact(&mut self) {
+        let mut dense: Vec<EdgeSlot> = Vec::with_capacity(self.live);
+        for span in self.spans.iter_mut() {
+            let start = dense.len() as u32;
+            dense.extend_from_slice(
+                &self.entries[span.start as usize..(span.start + span.len) as usize],
+            );
+            span.start = start;
+            span.cap = span.len;
+        }
+        self.entries = dense;
+        self.dead = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_find_and_grow() {
+        let mut a = AdjArena::default();
+        let n0 = a.add_node();
+        let n1 = a.add_node();
+        for i in 0..20 {
+            a.push(n0, 100 + i, i as u64 + 1);
+        }
+        a.push(n1, 7, 9);
+        assert_eq!(a.len(), 21);
+        assert_eq!(a.slice(n0).len(), 20);
+        assert_eq!(a.weight(n0, 105), Some(6));
+        assert_eq!(a.weight(n0, 999), None);
+        *a.weight_mut(n1, 7).unwrap() += 1;
+        assert_eq!(a.weight(n1, 7), Some(10));
+        // insertion order survives growth
+        let others: Vec<u32> = a.slice(n0).iter().map(|e| e.other).collect();
+        assert_eq!(others, (100..120).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_reclaims_holes() {
+        let mut a = AdjArena::default();
+        let nodes: Vec<u32> = (0..8).map(|_| a.add_node()).collect();
+        // interleave pushes so every node relocates several times
+        for round in 0..40u32 {
+            for &n in &nodes {
+                a.push(n, round, u64::from(round) + 1);
+            }
+        }
+        assert!(a.dead > 0, "interleaved growth must leave holes");
+        let before: Vec<Vec<EdgeSlot>> = nodes.iter().map(|&n| a.slice(n).to_vec()).collect();
+        a.compact();
+        assert_eq!(a.dead, 0);
+        assert_eq!(a.entries.len(), a.live);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(a.slice(n), &before[i][..], "node {n} order changed");
+        }
+    }
+
+    #[test]
+    fn automatic_compaction_bounds_waste() {
+        let mut a = AdjArena::default();
+        let nodes: Vec<u32> = (0..64).map(|_| a.add_node()).collect();
+        for round in 0..200u32 {
+            for &n in &nodes {
+                a.push(n, round, 1);
+            }
+        }
+        // the arena may hold headroom, but holes stay under half + one
+        // relocation's worth of slack
+        assert!(a.dead <= a.entries.len() / 2 + a.entries.len() / 4);
+        assert_eq!(a.len(), 64 * 200);
+    }
+}

@@ -37,6 +37,19 @@
 //! `ReputationEngine` uses that measure to decide when the tree is an
 //! acceptable batch backend and when to fall back to exact per-pair
 //! flow.
+//!
+//! **Incremental maintenance.** Contributions only accumulate, so
+//! every edge weight — and therefore every min-symmetrized weight — is
+//! monotone non-decreasing across graph versions. That gives each
+//! Gusfield step a cheap validity certificate: the step's stored
+//! minimum cut stays a minimum cut of unchanged value as long as no
+//! changed edge crosses it, and every changed edge has both endpoints
+//! in the dirty set, so "all dirty nodes on one side of the stored
+//! cut" is a sound sufficient test. [`GomoryHuTree::patch`] replays
+//! the construction reusing every step that passes the test and
+//! re-running Dinic only for the handful that don't — turning an
+//! `n − 1`-maxflow rebuild into an `O(|dirty|)`-maxflow patch when
+//! gossip touched a few edges between syncs.
 
 use crate::contribution::ContributionGraph;
 use crate::maxflow;
@@ -44,6 +57,34 @@ use crate::mincut;
 use crate::network::FlowNetwork;
 use bartercast_util::units::{Bytes, PeerId};
 use bartercast_util::FxHashMap;
+
+/// 64-bit words per stored cut bitset for an `n`-node tree.
+fn cut_stride(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], j: usize) {
+    words[j / 64] |= 1 << (j % 64);
+}
+
+#[inline]
+fn get_bit(words: &[u64], j: usize) -> bool {
+    words[j / 64] & (1 << (j % 64)) != 0
+}
+
+/// Does `cut` put dirty nodes on *both* of its sides? (`dirty` must
+/// have no bits set at padding positions, which
+/// [`GomoryHuTree::patch_with_limit`] guarantees.)
+fn cut_separates_dirty(dirty: &[u64], cut: &[u64]) -> bool {
+    let mut inside = 0u64;
+    let mut outside = 0u64;
+    for (d, c) in dirty.iter().zip(cut) {
+        inside |= d & c;
+        outside |= d & !c;
+    }
+    inside != 0 && outside != 0
+}
 
 /// An all-pairs flow oracle over the min-symmetrized contribution
 /// graph: `n − 1` Dinic runs at build time, `O(log n)` per pair query,
@@ -76,6 +117,14 @@ pub struct GomoryHuTree {
     parent: Vec<u32>,
     /// Weight of the edge to the parent (`parent_w[0]` unused).
     parent_w: Vec<u64>,
+    /// Per-step cut certificates for incremental maintenance: step
+    /// `i`'s source-side min cut as a tree-indexed bitset at
+    /// `cut_words[i * stride..(i + 1) * stride]`, with bit `i` always
+    /// set (row 0 unused). `n² / 8` bytes total — 128 KiB at
+    /// n = 1024 — the price of turning rebuilds into patches.
+    cut_words: Vec<u64>,
+    /// Words per cut row ([`cut_stride`] of the node count).
+    stride: usize,
     /// Undirected tree adjacency for `all_flows_from` sweeps.
     adj: Vec<Vec<(u32, u64)>>,
     /// Binary-lifting tables: `up[k][v]` is `v`'s 2^k-th ancestor and
@@ -98,49 +147,190 @@ impl GomoryHuTree {
             .map(|(i, &id)| (id, i as u32))
             .collect();
         let n = ids.len();
+        let stride = cut_stride(n);
         let mut parent = vec![0u32; n];
         let mut parent_w = vec![0u64; n];
+        let mut cut_words = vec![0u64; n * stride];
 
         let sym = graph.symmetrized();
         let mut net = FlowNetwork::from_graph(&sym);
+        // tree index → dense network index (isolated nodes are absent
+        // from the symmetrized network)
+        let net_of: Vec<Option<u32>> = ids.iter().map(|&id| net.node(id)).collect();
+        let mut scratch = maxflow::DinicScratch::new();
 
         // Gusfield: split node i off from its current parent with one
         // min cut; nodes of i's cut side that hang off the same parent
-        // re-home under i.
+        // re-home under i. Each step's cut is recorded as a bitset so
+        // `patch` can later certify it against a dirty set.
         for i in 1..n {
             let p = parent[i] as usize;
-            let si = net.node(ids[i]);
-            let ti = net.node(ids[p]);
-            let flow = match (si, ti) {
+            let flow = match (net_of[i], net_of[p]) {
                 (Some(s), Some(t)) => {
                     net.reset();
-                    maxflow::dinic(&mut net, s, t)
+                    maxflow::dinic_with(&mut net, s, t, &mut scratch)
                 }
                 _ => 0,
             };
             parent_w[i] = flow;
-            // cut side containing i, as dense network indices; a node
-            // absent from the symmetrized network is alone on its side
-            let side = match si {
-                Some(s) => {
-                    if ti.is_none() {
-                        net.reset();
-                    }
-                    mincut::source_side(&net, s)
+            let cut = &mut cut_words[i * stride..(i + 1) * stride];
+            // cut side containing i; a node absent from the symmetrized
+            // network is alone on its side (only bit i set below)
+            if let Some(s) = net_of[i] {
+                if net_of[p].is_none() {
+                    net.reset();
                 }
-                None => Vec::new(),
-            };
-            for j in (i + 1)..n {
-                if parent[j] as usize == p {
-                    if let Some(dj) = net.node(ids[j]) {
-                        if side.get(dj as usize).copied().unwrap_or(false) {
-                            parent[j] = i as u32;
+                let side = mincut::source_side(&net, s);
+                for (j, d) in net_of.iter().enumerate() {
+                    if let Some(dj) = d {
+                        if side[*dj as usize] {
+                            set_bit(cut, j);
                         }
                     }
                 }
             }
+            set_bit(cut, i);
+            for (j, pj) in parent.iter_mut().enumerate().skip(i + 1) {
+                if *pj as usize == p && get_bit(cut, j) {
+                    *pj = i as u32;
+                }
+            }
         }
 
+        Self::assemble(
+            graph.version(),
+            ids,
+            index,
+            parent,
+            parent_w,
+            cut_words,
+            stride,
+        )
+    }
+
+    /// Rebuild only what a few changed edges require: replay the
+    /// Gusfield steps, keeping every step whose stored cut no dirty
+    /// node crosses (monotone growth keeps it a min cut of unchanged
+    /// value — see the module docs) and re-running Dinic for the rest.
+    ///
+    /// Returns `None` — meaning "do a full [`GomoryHuTree::build`]" —
+    /// when the node set changed or the dirty set exceeds an `n / 8`
+    /// threshold, past which replaying costs more than rebuilding.
+    /// The patched tree answers every [`GomoryHuTree::flow`] /
+    /// [`GomoryHuTree::all_flows_from`] query bit-identically to a
+    /// from-scratch build (pinned by `tests/incremental_gomoryhu.rs`).
+    pub fn patch(&self, graph: &ContributionGraph) -> Option<GomoryHuTree> {
+        self.patch_with_limit(graph, (self.ids.len() / 8).max(4))
+    }
+
+    /// [`GomoryHuTree::patch`] with an explicit dirty-set ceiling
+    /// (exposed so tests can force the patch path on small graphs).
+    pub fn patch_with_limit(
+        &self,
+        graph: &ContributionGraph,
+        max_dirty: usize,
+    ) -> Option<GomoryHuTree> {
+        let n = self.ids.len();
+        if graph.node_count() != n {
+            return None; // node set grew: tree shape can change arbitrarily
+        }
+        // Dirty peers → tree indices. A dirty peer this tree has never
+        // seen also means the node set changed (nodes are never
+        // removed, so with equal counts this is just belt and braces).
+        let mut dirty_words = vec![0u64; self.stride];
+        let mut dirty = 0usize;
+        for id in graph.dirty_nodes_since(self.version) {
+            let &ti = self.index.get(&id)?;
+            set_bit(&mut dirty_words, ti as usize);
+            dirty += 1;
+            if dirty > max_dirty {
+                return None;
+            }
+        }
+        if dirty == 0 {
+            // version moved with no effective edge change
+            let mut out = self.clone();
+            out.version = graph.version();
+            return Some(out);
+        }
+
+        let stride = self.stride;
+        let sym = graph.symmetrized();
+        let mut net = FlowNetwork::from_graph(&sym);
+        let net_of: Vec<Option<u32>> = self.ids.iter().map(|&id| net.node(id)).collect();
+        let mut scratch = maxflow::DinicScratch::new();
+
+        let mut parent = vec![0u32; n];
+        let mut parent_w = vec![0u64; n];
+        let mut cut_words = vec![0u64; n * stride];
+        for i in 1..n {
+            let p = parent[i] as usize;
+            let stored = &self.cut_words[i * stride..(i + 1) * stride];
+            // The stored certificate transfers iff this step still
+            // splits the same pair AND its cut is dirt-free on one
+            // side: every changed edge has both endpoints dirty, so an
+            // uncrossed cut kept its capacity, and monotone growth
+            // means no other cut shrank below it.
+            let reuse = parent[i] == self.parent[i] && !cut_separates_dirty(&dirty_words, stored);
+            let cut = &mut cut_words[i * stride..(i + 1) * stride];
+            if reuse {
+                parent_w[i] = self.parent_w[i];
+                cut.copy_from_slice(stored);
+            } else {
+                let flow = match (net_of[i], net_of[p]) {
+                    (Some(s), Some(t)) => {
+                        net.reset();
+                        maxflow::dinic_with(&mut net, s, t, &mut scratch)
+                    }
+                    _ => 0,
+                };
+                parent_w[i] = flow;
+                if let Some(s) = net_of[i] {
+                    if net_of[p].is_none() {
+                        net.reset();
+                    }
+                    let side = mincut::source_side(&net, s);
+                    for (j, d) in net_of.iter().enumerate() {
+                        if let Some(dj) = d {
+                            if side[*dj as usize] {
+                                set_bit(cut, j);
+                            }
+                        }
+                    }
+                }
+                set_bit(cut, i);
+            }
+            for (j, pj) in parent.iter_mut().enumerate().skip(i + 1) {
+                if *pj as usize == p && get_bit(cut, j) {
+                    *pj = i as u32;
+                }
+            }
+        }
+
+        Some(Self::assemble(
+            graph.version(),
+            self.ids.clone(),
+            self.index.clone(),
+            parent,
+            parent_w,
+            cut_words,
+            stride,
+        ))
+    }
+
+    /// Shared tail of [`GomoryHuTree::build`] and
+    /// [`GomoryHuTree::patch`]: turn parent pointers into the rooted
+    /// adjacency, depths, and binary-lifting tables.
+    fn assemble(
+        version: u64,
+        ids: Vec<PeerId>,
+        index: FxHashMap<PeerId, u32>,
+        parent: Vec<u32>,
+        parent_w: Vec<u64>,
+        cut_words: Vec<u64>,
+        stride: usize,
+    ) -> Self {
+        let n = ids.len();
         let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
         for i in 1..n {
             adj[i].push((parent[i], parent_w[i]));
@@ -176,11 +366,13 @@ impl GomoryHuTree {
         }
 
         GomoryHuTree {
-            version: graph.version(),
+            version,
             ids,
             index,
             parent,
             parent_w,
+            cut_words,
+            stride,
             adj,
             up,
             up_min,
@@ -411,6 +603,76 @@ mod tests {
         for s in 0..4 {
             for t in 0..4 {
                 assert_eq!(tree.flow(p(s), p(t)), tree.flow(p(t), p(s)));
+            }
+        }
+    }
+
+    /// All-pairs flow values of a tree, for patched-vs-rebuilt
+    /// comparisons.
+    fn all_pairs(tree: &GomoryHuTree, n: u32) -> Vec<u64> {
+        let mut v = Vec::new();
+        for s in 0..n {
+            for t in 0..n {
+                v.push(tree.flow(p(s), p(t)).0);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn patch_matches_rebuild_after_small_mutation() {
+        let mut g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        undirected(&mut g, 1, 3, 20); // strengthen one edge
+        let patched = tree
+            .patch_with_limit(&g, 4)
+            .expect("two dirty nodes fit the limit");
+        let rebuilt = GomoryHuTree::build(&g);
+        assert_eq!(patched.version(), g.version());
+        assert_eq!(all_pairs(&patched, 4), all_pairs(&rebuilt, 4));
+    }
+
+    #[test]
+    fn patch_refuses_new_nodes_and_big_dirty_sets() {
+        let mut g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        let mut grown = g.clone();
+        undirected(&mut grown, 0, 9, 5); // new node 9
+        assert!(tree.patch_with_limit(&grown, 64).is_none());
+        undirected(&mut g, 0, 1, 1);
+        undirected(&mut g, 2, 3, 1);
+        assert!(tree.patch_with_limit(&g, 3).is_none(), "4 dirty > limit 3");
+        assert!(tree.patch_with_limit(&g, 4).is_some());
+    }
+
+    #[test]
+    fn patch_with_no_effective_change_is_identity() {
+        let mut g = sym_diamond();
+        let tree = GomoryHuTree::build(&g);
+        // bump the version without changing any edge weight: stale merge
+        assert!(!g.merge_record(p(0), p(1), Bytes(1)));
+        let patched = tree.patch_with_limit(&g, 4).unwrap();
+        assert_eq!(all_pairs(&patched, 4), all_pairs(&tree, 4));
+    }
+
+    #[test]
+    fn chained_patches_stay_exact_on_chain_graph() {
+        // repeatedly strengthen chain edges, patching each time, and
+        // compare against per-pair Dinic ground truth
+        let mut g = ContributionGraph::new();
+        let weights = [9, 3, 7, 2, 8, 5, 6, 4];
+        for (i, &w) in weights.iter().enumerate() {
+            undirected(&mut g, i as u32, i as u32 + 1, w);
+        }
+        let mut tree = GomoryHuTree::build(&g);
+        for step in 0..weights.len() as u32 {
+            undirected(&mut g, step, step + 1, u64::from(step) + 1);
+            tree = tree
+                .patch_with_limit(&g, 4)
+                .expect("two dirty nodes per step");
+            for t in 0..=weights.len() as u32 {
+                let exact = compute(&g, p(0), p(t), Method::Dinic);
+                assert_eq!(tree.flow(p(0), p(t)), exact, "step {step} target {t}");
             }
         }
     }

@@ -44,6 +44,7 @@ pub mod analysis;
 pub mod backend;
 pub mod boundedk;
 pub mod contribution;
+mod csr;
 pub mod gomoryhu;
 pub mod maxflow;
 pub mod mincut;

@@ -77,12 +77,7 @@ pub fn compute(graph: &ContributionGraph, source: PeerId, target: PeerId, method
 
 /// Compute on a pre-built network (reset is performed first, so a
 /// network can be reused across many `(s, t)` queries).
-pub fn compute_on(
-    net: &mut FlowNetwork,
-    source: PeerId,
-    target: PeerId,
-    method: Method,
-) -> Bytes {
+pub fn compute_on(net: &mut FlowNetwork, source: PeerId, target: PeerId, method: Method) -> Bytes {
     let (Some(s), Some(t)) = (net.node(source), net.node(target)) else {
         return Bytes::ZERO;
     };
@@ -115,7 +110,7 @@ pub fn ford_fulkerson(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
         visited[s as usize] = true;
         let mut found = false;
         'dfs: while let Some(u) = stack.pop() {
-            for &ai in &net.adj[u as usize] {
+            for &ai in net.arcs_of(u) {
                 let arc = net.arcs[ai as usize];
                 if arc.cap > 0 && !visited[arc.to as usize] {
                     visited[arc.to as usize] = true;
@@ -150,7 +145,7 @@ pub fn edmonds_karp(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
         visited[s as usize] = true;
         let mut found = false;
         'bfs: while let Some(u) = q.pop_front() {
-            for &ai in &net.adj[u as usize] {
+            for &ai in net.arcs_of(u) {
                 let arc = net.arcs[ai as usize];
                 if arc.cap > 0 && !visited[arc.to as usize] {
                     visited[arc.to as usize] = true;
@@ -171,20 +166,54 @@ pub fn edmonds_karp(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
     total
 }
 
+/// Reusable scratch buffers for [`dinic_with`]: the BFS level array,
+/// the per-node DFS arc cursor, and the BFS queue. One scratch serves
+/// any number of runs over networks of any size (buffers grow to the
+/// largest network seen and are reused thereafter) — Gusfield's
+/// Gomory–Hu construction runs Dinic n − 1 times back to back and
+/// would otherwise reallocate all three per run.
+#[derive(Debug, Default)]
+pub struct DinicScratch {
+    level: Vec<i32>,
+    iter: Vec<usize>,
+    queue: VecDeque<u32>,
+}
+
+impl DinicScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size (or re-fill) the buffers for a network of `n` nodes.
+    fn prepare(&mut self, n: usize) {
+        self.level.clear();
+        self.level.resize(n, -1);
+        self.iter.clear();
+        self.iter.resize(n, 0);
+        self.queue.clear();
+    }
+}
+
 /// Dinic's algorithm: BFS level graph + DFS blocking flow.
 pub fn dinic(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
+    dinic_with(net, s, t, &mut DinicScratch::new())
+}
+
+/// [`dinic`] with caller-provided scratch buffers, for hot loops that
+/// run many flows back to back (identical results, no per-run
+/// allocation).
+pub fn dinic_with(net: &mut FlowNetwork, s: u32, t: u32, scratch: &mut DinicScratch) -> u64 {
     let n = net.node_count();
     let mut total = 0u64;
-    let mut level = vec![-1i32; n];
-    let mut iter = vec![0usize; n];
     loop {
         // build level graph
-        level.fill(-1);
+        scratch.prepare(n);
+        let (level, iter, q) = (&mut scratch.level, &mut scratch.iter, &mut scratch.queue);
         level[s as usize] = 0;
-        let mut q = VecDeque::new();
         q.push_back(s);
         while let Some(u) = q.pop_front() {
-            for &ai in &net.adj[u as usize] {
+            for &ai in net.arcs_of(u) {
                 let arc = net.arcs[ai as usize];
                 if arc.cap > 0 && level[arc.to as usize] < 0 {
                     level[arc.to as usize] = level[u as usize] + 1;
@@ -195,9 +224,8 @@ pub fn dinic(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
         if level[t as usize] < 0 {
             break;
         }
-        iter.fill(0);
         loop {
-            let f = dinic_dfs(net, s, t, u64::MAX, &level, &mut iter);
+            let f = dinic_dfs(net, s, t, u64::MAX, level, iter);
             if f == 0 {
                 break;
             }
@@ -218,8 +246,8 @@ fn dinic_dfs(
     if u == t {
         return limit;
     }
-    while iter[u as usize] < net.adj[u as usize].len() {
-        let ai = net.adj[u as usize][iter[u as usize]];
+    while iter[u as usize] < net.arcs_of(u).len() {
+        let ai = net.arcs_of(u)[iter[u as usize]];
         let arc = net.arcs[ai as usize];
         if arc.cap > 0 && level[arc.to as usize] == level[u as usize] + 1 {
             let pushed = dinic_dfs(net, arc.to, t, limit.min(arc.cap), level, iter);
@@ -249,11 +277,12 @@ pub fn push_relabel(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
     let mut height = vec![0usize; n];
     let mut excess = vec![0i128; n];
     height[s as usize] = n;
-    // saturate source arcs
-    let source_arcs: Vec<u32> = net.adj[s as usize].clone();
-    for ai in source_arcs {
+    // saturate source arcs (index loop: `arcs_of` borrows are released
+    // between iterations so arc capacities can be mutated in place)
+    for i in 0..net.arcs_of(s).len() {
+        let ai = net.arcs_of(s)[i];
         let cap = net.arcs[ai as usize].cap;
-        if cap > 0 && ai % 2 == 0 {
+        if cap > 0 && ai.is_multiple_of(2) {
             let to = net.arcs[ai as usize].to;
             net.arcs[ai as usize].cap = 0;
             net.arcs[(ai ^ 1) as usize].cap += cap;
@@ -272,8 +301,8 @@ pub fn push_relabel(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
         let ui = u as usize;
         while excess[ui] > 0 {
             let mut pushed = false;
-            let adj = net.adj[ui].clone();
-            for ai in adj {
+            for i in 0..net.arcs_of(u).len() {
+                let ai = net.arcs_of(u)[i];
                 let arc = net.arcs[ai as usize];
                 if arc.cap > 0 && height[ui] == height[arc.to as usize] + 1 {
                     let delta = (excess[ui].min(arc.cap as i128)) as u64;
@@ -298,7 +327,7 @@ pub fn push_relabel(net: &mut FlowNetwork, s: u32, t: u32) -> u64 {
             if !pushed {
                 // relabel
                 let mut min_h = usize::MAX;
-                for &ai in &net.adj[ui] {
+                for &ai in net.arcs_of(u) {
                     let arc = net.arcs[ai as usize];
                     if arc.cap > 0 {
                         min_h = min_h.min(height[arc.to as usize]);
@@ -339,7 +368,7 @@ pub fn bounded(net: &mut FlowNetwork, s: u32, t: u32, max_edges: usize) -> u64 {
             if depth[u as usize] >= max_edges {
                 continue;
             }
-            for &ai in &net.adj[u as usize] {
+            for &ai in net.arcs_of(u) {
                 let arc = net.arcs[ai as usize];
                 if arc.cap > 0 && depth[arc.to as usize] == usize::MAX {
                     depth[arc.to as usize] = depth[u as usize] + 1;

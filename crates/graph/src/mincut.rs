@@ -16,7 +16,7 @@ pub fn source_side(net: &FlowNetwork, s: u32) -> Vec<bool> {
     let mut stack = vec![s];
     reachable[s as usize] = true;
     while let Some(u) = stack.pop() {
-        for &ai in &net.adj[u as usize] {
+        for &ai in net.arcs_of(u) {
             let arc = net.arcs[ai as usize];
             if arc.cap > 0 && !reachable[arc.to as usize] {
                 reachable[arc.to as usize] = true;
@@ -46,7 +46,7 @@ pub fn sink_side_complement(net: &FlowNetwork, t: u32) -> Vec<bool> {
     let mut stack = vec![t];
     reaches_t[t as usize] = true;
     while let Some(v) = stack.pop() {
-        for &ai in &net.adj[v as usize] {
+        for &ai in net.arcs_of(v) {
             // arc ai is (v -> x); its twin ai ^ 1 is (x -> v), whose
             // remaining capacity decides whether x reaches t through v
             let x = net.arcs[ai as usize].to;

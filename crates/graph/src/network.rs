@@ -4,7 +4,9 @@
 //! arcs are stored in pairs so that arc `a` and arc `a ^ 1` are each
 //! other's residual, the classic adjacency-list flow-network layout.
 //! Node ids are remapped to dense indices so the inner loops are pure
-//! array arithmetic (no hashing).
+//! array arithmetic (no hashing), and per-node arc lists live in one
+//! flat CSR array (`adj_off`/`adj_arcs`) instead of a `Vec` per node:
+//! a whole Dinic level sweep walks two contiguous allocations.
 
 use crate::contribution::ContributionGraph;
 use bartercast_util::units::{Bytes, PeerId};
@@ -30,7 +32,11 @@ pub(crate) struct Arc {
 pub struct FlowNetwork {
     pub(crate) arcs: Vec<Arc>,
     original_caps: Vec<u64>,
-    pub(crate) adj: Vec<Vec<u32>>,
+    /// CSR offsets: node `u`'s incident arcs are
+    /// `adj_arcs[adj_off[u]..adj_off[u + 1]]`, in increasing arc-index
+    /// order (the order the old per-node `Vec`s produced).
+    adj_off: Vec<u32>,
+    adj_arcs: Vec<u32>,
     index: FxHashMap<PeerId, u32>,
     ids: Vec<PeerId>,
 }
@@ -56,14 +62,43 @@ impl FlowNetwork {
         let mut net = FlowNetwork {
             arcs: Vec::new(),
             original_caps: Vec::new(),
-            adj: Vec::new(),
+            adj_off: Vec::new(),
+            adj_arcs: Vec::new(),
             index: FxHashMap::default(),
             ids: Vec::new(),
         };
+        // First pass: intern endpoints and lay down the arc pairs; the
+        // dense tail of each arc is recoverable from its residual twin
+        // (`arcs[a ^ 1].to`), so no separate tail array is needed.
         for (f, t, b) in edges {
             let fi = net.intern(f);
             let ti = net.intern(t);
-            net.add_arc(fi, ti, b.0);
+            net.arcs.push(Arc { to: ti, cap: b.0 });
+            net.arcs.push(Arc { to: fi, cap: 0 });
+            net.original_caps.push(b.0);
+            net.original_caps.push(0);
+        }
+        // Second pass: counting sort of arc indices by tail node. Each
+        // arc `a` is incident to the tail `arcs[a ^ 1].to`; visiting
+        // arcs in index order reproduces, per node, exactly the
+        // increasing-arc-index order the old per-node `Vec` pushes
+        // produced — the property the bounded-k kernel's bit-identity
+        // rests on.
+        let n = net.ids.len();
+        let mut degree = vec![0u32; n + 1];
+        for ai in 0..net.arcs.len() {
+            degree[net.arcs[ai ^ 1].to as usize + 1] += 1;
+        }
+        for u in 0..n {
+            degree[u + 1] += degree[u];
+        }
+        net.adj_off = degree;
+        let mut cursor = net.adj_off.clone();
+        net.adj_arcs = vec![0u32; net.arcs.len()];
+        for ai in 0..net.arcs.len() {
+            let tail = net.arcs[ai ^ 1].to as usize;
+            net.adj_arcs[cursor[tail] as usize] = ai as u32;
+            cursor[tail] += 1;
         }
         net
     }
@@ -74,21 +109,16 @@ impl FlowNetwork {
         }
         let i = self.ids.len() as u32;
         self.ids.push(id);
-        self.adj.push(Vec::new());
         self.index.insert(id, i);
         i
     }
 
-    /// Add a forward arc `from → to` with capacity `cap` plus its
-    /// zero-capacity residual twin.
-    pub(crate) fn add_arc(&mut self, from: u32, to: u32, cap: u64) {
-        let a = self.arcs.len() as u32;
-        self.arcs.push(Arc { to, cap });
-        self.arcs.push(Arc { to: from, cap: 0 });
-        self.original_caps.push(cap);
-        self.original_caps.push(0);
-        self.adj[from as usize].push(a);
-        self.adj[to as usize].push(a + 1);
+    /// The arc indices incident to `node` (forward arcs and residual
+    /// twins), in increasing arc-index order.
+    #[inline]
+    pub(crate) fn arcs_of(&self, node: u32) -> &[u32] {
+        let u = node as usize;
+        &self.adj_arcs[self.adj_off[u] as usize..self.adj_off[u + 1] as usize]
     }
 
     /// Number of nodes in the network.
@@ -129,7 +159,7 @@ impl FlowNetwork {
     /// the sum over forward arcs of `original − remaining` capacity.
     pub fn outflow(&self, node: u32) -> u64 {
         let mut sum = 0;
-        for &ai in &self.adj[node as usize] {
+        for &ai in self.arcs_of(node) {
             if ai % 2 == 0 {
                 // forward arc
                 sum += self.original_caps[ai as usize] - self.arcs[ai as usize].cap;

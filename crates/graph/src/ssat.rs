@@ -30,6 +30,12 @@
 //! for `Method::Bounded(2)` (bit-identical `u64` totals; the property
 //! tests in `tests/proptests.rs` pin this), so callers may substitute
 //! them freely for per-pair computation.
+//!
+//! The traversal is expressed entirely through
+//! [`ContributionGraph::out_edges`] / [`ContributionGraph::in_edges`],
+//! so the kernel picked up the arena-backed CSR adjacency (see
+//! `crate::csr`) without code changes: the two-hop neighbourhood walk
+//! now reads contiguous edge slots instead of chasing hash buckets.
 
 use crate::contribution::ContributionGraph;
 use bartercast_util::units::{Bytes, PeerId};

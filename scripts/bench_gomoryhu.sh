@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Measure the unbounded Equation-2 sweep (per-pair Dinic vs Gomory–Hu
-# tree) and emit BENCH_gomoryhu.json at the repository root. The bench
-# gates on correctness first: on the symmetric fixture the tree must
-# reproduce per-pair Dinic exactly before anything is timed.
+# tree) and emit BENCH_gomoryhu.json at the repository root. Each row
+# also carries a warm (memo-hit) engine pass and an incremental section
+# timing GomoryHuTree::patch against a full Gusfield rebuild after m
+# symmetric edge mutations. The bench gates on correctness first: on
+# the symmetric fixture the tree must reproduce per-pair Dinic exactly,
+# and the patched tree must match the rebuild, before anything is
+# timed and reported.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p bench --bin bench_gomoryhu -- BENCH_gomoryhu.json

@@ -15,6 +15,10 @@ cargo test -q -p bartercast-graph --test differential
 # (bit-identity for k ∈ {1..6}), plus the k ≥ 3 k-hop journal
 # eviction properties inside the invalidation suite.
 cargo test -q -p bartercast-graph --test boundedk_differential
+# Incremental Gomory–Hu maintenance vs from-scratch rebuild (bit-exact
+# across random mutation chains with long sync gaps), CSR adjacency vs
+# hash-map model equivalence, and a pinned 64-node patch fixture.
+cargo test -q -p bartercast-graph --test incremental_gomoryhu
 cargo test -q -p bartercast-core --test invalidation --test codec_fuzz
 cargo test -q -p bartercast-core --test reputation_bound
 # Node runtime convergence gate: 8 peers over the deterministic
