@@ -1,0 +1,150 @@
+//! Sharded million-peer scale study: ingest a community-structured
+//! synthetic population into the sharded reputation service and sweep
+//! a strided evaluator sample shard-parallel through epoch snapshots,
+//! at shard counts {1, 2, 4, 8}.
+//!
+//! Emits `BENCH_scale.json` in the current directory (override with a
+//! path argument; `--quick` shrinks the population for smoke runs).
+//!
+//! **Correctness is gated before anything is timed**, twice:
+//! 1. a small-population pass runs with the monolith cross-check on
+//!    (`verify_evaluators > 0`), so every sharded sweep is compared
+//!    bitwise against a monolithic `ReputationEngine` built from the
+//!    same records — any drift aborts the bench;
+//! 2. at full scale the record stream is a pure function of the seed,
+//!    so the swept-value checksum must be identical at every shard
+//!    count — shards = 1 *is* the monolithic engine, making the
+//!    cross-shard checksum equality a shard-vs-monolith gate at a
+//!    scale where an explicit second engine would double the memory.
+//!
+//! Timing on this repo's single-core bench host: real worker threads
+//! on one core only contend, inflating the per-task costs the replay
+//! consumes, so the timed runs sweep with `workers = 1` (uncontended
+//! per-task measurement) and each row reports both that measured wall
+//! time and the deterministic makespan replay of the measured costs at
+//! one core per shard (`sweep::shard_makespan_ms`), labelled as such.
+//! `speedup_vs_1shard` is the makespan ratio.
+
+use bartercast_sim::scale::{run_shard_scale, ShardScaleConfig};
+use bench::write_bench_json;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn gate_config(shards: usize) -> ShardScaleConfig {
+    ShardScaleConfig {
+        peers: 4_000,
+        community_size: 200,
+        records_per_peer: 3,
+        shards,
+        evaluators: 80,
+        targets: 60,
+        workers: shards,
+        verify_evaluators: 16,
+        ..Default::default()
+    }
+}
+
+fn timed_config(peers: usize, shards: usize) -> ShardScaleConfig {
+    ShardScaleConfig {
+        peers,
+        community_size: 1_000,
+        records_per_peer: 4,
+        shards,
+        evaluators: 2_000,
+        targets: 128,
+        workers: 1,
+        verify_evaluators: 0,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let peers = if quick { 100_000 } else { 1_000_000 };
+
+    // gate 1: shard-vs-monolith bitwise comparison at small scale
+    // (run_shard_scale panics on drift before any timing happens)
+    eprintln!("correctness gate: monolith cross-check at 4k peers ...");
+    let mut gate_checksum = None;
+    for shards in SHARD_COUNTS {
+        let report = run_shard_scale(&gate_config(shards));
+        if let Some(expect) = gate_checksum {
+            if report.checksum != expect {
+                eprintln!(
+                    "FAIL: gate checksum drift at {shards} shards: {:#018x} vs {expect:#018x}",
+                    report.checksum
+                );
+                std::process::exit(1);
+            }
+        }
+        gate_checksum = Some(report.checksum);
+    }
+    eprintln!(
+        "correctness gate passed (checksum {:#018x})",
+        gate_checksum.unwrap()
+    );
+
+    // timed runs, one per shard count, plus gate 2: full-scale
+    // checksum equality across shard counts
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for shards in SHARD_COUNTS {
+        let report = run_shard_scale(&timed_config(peers, shards));
+        eprintln!(
+            "peers={} shards={}  ingest {:9.0} ms ({:9.0} rec/s)  sweep wall {:8.1} ms, \
+             makespan@{}w {:8.1} ms, stolen {}  locality {:.3}  replicas {:.2}x",
+            report.peers,
+            report.shards,
+            report.ingest_ms,
+            report.records_per_sec,
+            report.sweep_wall_ms,
+            shards,
+            report.sweep_makespan_ms,
+            report.stolen,
+            report.locality,
+            report.replica_edges as f64 / report.authoritative_edges.max(1) as f64,
+        );
+        reports.push(report);
+    }
+    let base = reports[0].checksum;
+    for report in &reports[1..] {
+        if report.checksum != base {
+            eprintln!(
+                "FAIL: full-scale checksum drift at {} shards: {:#018x} vs {base:#018x}",
+                report.shards, report.checksum
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!("full-scale bit-identity gate passed (checksum {base:#018x})");
+
+    let base_makespan = reports[0].sweep_makespan_ms;
+    for report in &reports {
+        rows.push(format!(
+            "    {{\"peers\": {}, \"shards\": {}, \"records\": {}, \"ingest_ms\": {:.1}, \
+             \"records_per_sec\": {:.0}, \"sweep_wall_ms\": {:.2}, \"sweep_makespan_ms\": {:.2}, \
+             \"speedup_vs_1shard\": {:.2}, \"stolen\": {}, \"locality\": {:.4}, \
+             \"authoritative_edges\": {}, \"replica_edges\": {}, \"checksum\": \"{:#018x}\"}}",
+            report.peers,
+            report.shards,
+            report.records,
+            report.ingest_ms,
+            report.records_per_sec,
+            report.sweep_wall_ms,
+            report.sweep_makespan_ms,
+            base_makespan / report.sweep_makespan_ms.max(1e-9),
+            report.stolen,
+            report.locality,
+            report.authoritative_edges,
+            report.replica_edges,
+            report.checksum,
+        ));
+    }
+    write_bench_json(&out_path, "shard_scale", "ms_per_sweep", &rows);
+}

@@ -35,9 +35,13 @@ pub mod message;
 pub mod metric;
 pub mod policy;
 pub mod repcache;
+pub mod shard;
 
 pub use audit::Auditor;
 pub use repcache::{CacheStats, ReputationEngine};
+pub use shard::{
+    CommunityPartitioner, EpochView, HashPartitioner, Partitioner, ShardStats, ShardedEngine,
+};
 pub use history::{PrivateHistory, TransferTotals};
 pub use message::{BarterCastConfig, BarterCastMessage, TransferRecord};
 pub use metric::{reputation_from_flows, ReputationMetric};

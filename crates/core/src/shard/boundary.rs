@@ -1,0 +1,208 @@
+//! Cross-shard boundary-edge index: subscription masks that decide
+//! which shards replicate which frontier edges.
+//!
+//! A shard's engine answers Equation-1 queries for the peers it owns.
+//! With the service restricted to `Method::Bounded(k ≤ 2)`, the flow
+//! sweep from evaluator `i` reads exactly four edge sets (see
+//! `graph::ssat`): `in(i)`, `out(i)`, `in(m)` for every in-neighbour
+//! `m` of `i`, and `out(m)` for every out-neighbour `m` of `i`. The
+//! boundary index maintains per-node **subscriber masks** so that a
+//! shard's replica graph always contains the closure of those sets for
+//! its owned peers:
+//!
+//! * `in_subs[a]`  — bitmask of shards that replicate every edge
+//!   *into* `a` (because some peer they own has `a` as an
+//!   out-neighbour, making `a` a middle node of an out-sweep).
+//! * `out_subs[b]` — bitmask of shards that replicate every edge
+//!   *out of* `b` (because some peer they own has `b` as an
+//!   in-neighbour).
+//!
+//! When edge `(f, t)` changes, the delivery mask is
+//! `owner(f) | owner(t) | out_subs[f] | in_subs[t]`: the tail's owner
+//! (authoritative, and `f`'s sweeps read `out(f)`), the head's owner
+//! (`t`'s sweeps read `in(t)`), every shard whose owned peers reach
+//! `f` as a middle, and every shard whose owned peers are reached
+//! through `t` as a middle. After delivery the edge may create *new*
+//! middle relationships — `t` becomes an out-middle for `f`'s owner,
+//! `f` an in-middle for `t`'s owner — so the owners subscribe to
+//! `in(f)` resp. `out(t)`; a subscription added after edges already
+//! exist triggers a backfill copy from the authoritative owner so the
+//! invariant "every shard in an edge's mask stores the owner's weight"
+//! is restored before the next query.
+//!
+//! Masks are `u64`, which caps the service at [`MAX_SHARDS`] = 64
+//! shards — plenty for a single machine, and it keeps mask updates a
+//! single OR.
+
+use bartercast_util::units::PeerId;
+use bartercast_util::FxHashMap;
+
+/// Maximum shard count supported by the `u64` subscription masks.
+pub const MAX_SHARDS: usize = 64;
+
+/// Per-node shard-subscription masks for boundary-edge replication.
+///
+/// Tracks, for every node, which shards replicate its in-edges and
+/// which replicate its out-edges. See the module docs for how the
+/// masks combine into a delivery mask per edge mutation.
+#[derive(Debug, Default, Clone)]
+pub struct BoundaryIndex {
+    /// Shards replicating all edges into the node.
+    in_subs: FxHashMap<PeerId, u64>,
+    /// Shards replicating all edges out of the node.
+    out_subs: FxHashMap<PeerId, u64>,
+    /// Number of subscription backfills performed (diagnostics).
+    backfills: u64,
+}
+
+impl BoundaryIndex {
+    /// A fresh index with no subscriptions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bitmask of shards (beyond the two owners) subscribed to edges
+    /// into `head`.
+    pub fn in_mask(&self, head: PeerId) -> u64 {
+        self.in_subs.get(&head).copied().unwrap_or(0)
+    }
+
+    /// Bitmask of shards (beyond the two owners) subscribed to edges
+    /// out of `tail`.
+    pub fn out_mask(&self, tail: PeerId) -> u64 {
+        self.out_subs.get(&tail).copied().unwrap_or(0)
+    }
+
+    /// The full delivery mask for a mutation of edge `(tail, head)`
+    /// given the owner shards of its endpoints.
+    pub fn delivery_mask(
+        &self,
+        tail: PeerId,
+        head: PeerId,
+        tail_shard: usize,
+        head_shard: usize,
+    ) -> u64 {
+        (1u64 << tail_shard)
+            | (1u64 << head_shard)
+            | self.out_mask(tail)
+            | self.in_mask(head)
+    }
+
+    /// Subscribe `shard` to the in-edges of `node`. Returns `true` if
+    /// the subscription is new (caller must backfill existing in-edges
+    /// from the authoritative replica).
+    pub fn subscribe_in(&mut self, node: PeerId, shard: usize) -> bool {
+        debug_assert!(shard < MAX_SHARDS);
+        let mask = self.in_subs.entry(node).or_insert(0);
+        let bit = 1u64 << shard;
+        let fresh = *mask & bit == 0;
+        *mask |= bit;
+        if fresh {
+            self.backfills += 1;
+        }
+        fresh
+    }
+
+    /// Subscribe `shard` to the out-edges of `node`. Returns `true` if
+    /// the subscription is new (caller must backfill existing
+    /// out-edges from the authoritative replica).
+    pub fn subscribe_out(&mut self, node: PeerId, shard: usize) -> bool {
+        debug_assert!(shard < MAX_SHARDS);
+        let mask = self.out_subs.entry(node).or_insert(0);
+        let bit = 1u64 << shard;
+        let fresh = *mask & bit == 0;
+        *mask |= bit;
+        if fresh {
+            self.backfills += 1;
+        }
+        fresh
+    }
+
+    /// Number of subscription backfills triggered so far.
+    pub fn backfills(&self) -> u64 {
+        self.backfills
+    }
+
+    /// Number of nodes carrying at least one subscription mask.
+    pub fn tracked_nodes(&self) -> usize {
+        let mut nodes: Vec<&PeerId> = self.in_subs.keys().chain(self.out_subs.keys()).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Drop all subscriptions (used when the service repartitions).
+    pub fn clear(&mut self) {
+        self.in_subs.clear();
+        self.out_subs.clear();
+    }
+}
+
+/// Iterate the shard indices set in `mask`, ascending.
+pub fn shards_in_mask(mask: u64) -> impl Iterator<Item = usize> {
+    let mut rest = mask;
+    std::iter::from_fn(move || {
+        if rest == 0 {
+            None
+        } else {
+            let s = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            Some(s)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn delivery_mask_starts_with_owners() {
+        let idx = BoundaryIndex::new();
+        let mask = idx.delivery_mask(p(1), p(2), 0, 3);
+        assert_eq!(mask, 0b1001);
+        assert_eq!(shards_in_mask(mask).collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn subscriptions_extend_delivery() {
+        let mut idx = BoundaryIndex::new();
+        assert!(idx.subscribe_out(p(1), 5));
+        assert!(!idx.subscribe_out(p(1), 5), "second subscribe is a no-op");
+        assert!(idx.subscribe_in(p(2), 6));
+        let mask = idx.delivery_mask(p(1), p(2), 0, 3);
+        assert_eq!(
+            shards_in_mask(mask).collect::<Vec<_>>(),
+            vec![0, 3, 5, 6]
+        );
+        assert_eq!(idx.backfills(), 2);
+        assert_eq!(idx.tracked_nodes(), 2);
+    }
+
+    #[test]
+    fn same_shard_owners_collapse_to_one_bit() {
+        let idx = BoundaryIndex::new();
+        assert_eq!(idx.delivery_mask(p(1), p(2), 2, 2), 0b100);
+    }
+
+    #[test]
+    fn clear_resets_masks_but_not_counters() {
+        let mut idx = BoundaryIndex::new();
+        idx.subscribe_in(p(7), 1);
+        idx.clear();
+        assert_eq!(idx.in_mask(p(7)), 0);
+        assert_eq!(idx.tracked_nodes(), 0);
+        assert_eq!(idx.backfills(), 1);
+    }
+
+    #[test]
+    fn mask_iteration_covers_all_64_bits() {
+        assert_eq!(shards_in_mask(u64::MAX).count(), MAX_SHARDS);
+        assert_eq!(shards_in_mask(0).count(), 0);
+        assert_eq!(shards_in_mask(1u64 << 63).collect::<Vec<_>>(), vec![63]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Ownership partitioning: which shard owns which peer.
+//!
+//! Every peer is **owned** by exactly one shard — the shard whose
+//! replica graph is authoritative for the peer's incident edges and
+//! whose engine answers the peer's reputation queries. The assignment
+//! is a pure function of the peer id (and the partitioner's
+//! configuration), so it is total and disjoint by construction: any
+//! `PeerId`, including ones the service has never seen, maps to
+//! exactly one shard.
+//!
+//! Two partitioners ship:
+//!
+//! * [`HashPartitioner`] — FxHash of the peer id modulo the shard
+//!   count. Uniform, zero-configuration, oblivious to graph structure.
+//! * [`CommunityPartitioner`] — an explicit `peer → community` label
+//!   map with communities assigned round-robin to shards, falling back
+//!   to the hash assignment for unlabeled peers. Stratification in P2P
+//!   networks (PAPERS.md) observes that like-bandwidth peers cluster
+//!   into communities with sparse cross-links; labelling those
+//!   communities keeps intra-community edges shard-local, which is
+//!   what bounds the boundary-replication overhead of the sharded
+//!   service (see [`super::boundary`]).
+
+use bartercast_util::units::PeerId;
+use bartercast_util::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// A total assignment of peers to shards.
+///
+/// Implementations must be pure: `shard_of(peer, shards)` may depend
+/// only on `peer`, `shards`, and the partitioner's own immutable
+/// configuration, and must return a value in `0..shards`. The sharded
+/// engine routes every mutation and query through this function, so a
+/// non-deterministic implementation would scatter a peer's edges
+/// across shards and break the replication invariant.
+pub trait Partitioner: std::fmt::Debug + Send + Sync {
+    /// The shard in `0..shards` that owns `peer`. Must be
+    /// deterministic.
+    fn shard_of(&self, peer: PeerId, shards: usize) -> usize;
+}
+
+/// The FxHash assignment of `peer` to one of `shards` buckets — shared
+/// so that [`CommunityPartitioner`]'s fallback agrees with
+/// [`HashPartitioner`] exactly.
+fn hash_shard(peer: PeerId, shards: usize) -> usize {
+    let mut h = FxHasher::default();
+    peer.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Structure-oblivious default: FxHash of the peer id modulo the shard
+/// count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, peer: PeerId, shards: usize) -> usize {
+        hash_shard(peer, shards)
+    }
+}
+
+/// Community-label partitioning: labelled peers go to
+/// `community % shards`, unlabelled peers fall back to the
+/// [`HashPartitioner`] assignment.
+///
+/// Labels typically come from an offline clustering of the
+/// contribution graph (or, in the synthetic scale study, from the
+/// planted communities themselves). Peers of one community always land
+/// on one shard, so every intra-community edge is shard-local.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityPartitioner {
+    labels: FxHashMap<PeerId, u32>,
+}
+
+impl CommunityPartitioner {
+    /// A partitioner using `labels` (`peer → community`), hashing
+    /// unlabelled peers.
+    pub fn new(labels: FxHashMap<PeerId, u32>) -> Self {
+        CommunityPartitioner { labels }
+    }
+
+    /// The community label of `peer`, if it has one.
+    pub fn label(&self, peer: PeerId) -> Option<u32> {
+        self.labels.get(&peer).copied()
+    }
+
+    /// Number of labelled peers.
+    pub fn labelled(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+impl Partitioner for CommunityPartitioner {
+    fn shard_of(&self, peer: PeerId, shards: usize) -> usize {
+        match self.labels.get(&peer) {
+            Some(&community) => community as usize % shards,
+            None => hash_shard(peer, shards),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId(i)
+    }
+
+    #[test]
+    fn hash_assignment_is_total_and_stable() {
+        let part = HashPartitioner;
+        for shards in [1usize, 2, 4, 8, 64] {
+            for i in 0..1000u32 {
+                let s = part.shard_of(p(i), shards);
+                assert!(s < shards, "shard {s} out of range for {shards}");
+                assert_eq!(s, part.shard_of(p(i), shards), "must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_assignment_spreads_peers() {
+        let part = HashPartitioner;
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for i in 0..8000u32 {
+            counts[part.shard_of(p(i), shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 8000 / shards / 4,
+                "shard {s} starved: {c} of 8000 peers"
+            );
+        }
+    }
+
+    #[test]
+    fn community_labels_override_hash() {
+        let mut labels = FxHashMap::default();
+        labels.insert(p(1), 0);
+        labels.insert(p(2), 0);
+        labels.insert(p(3), 5);
+        let part = CommunityPartitioner::new(labels);
+        assert_eq!(part.shard_of(p(1), 4), part.shard_of(p(2), 4));
+        assert_eq!(part.shard_of(p(3), 4), 1); // 5 % 4
+        // unlabelled falls back to the hash assignment
+        assert_eq!(part.shard_of(p(99), 4), HashPartitioner.shard_of(p(99), 4));
+        assert_eq!(part.labelled(), 3);
+        assert_eq!(part.label(p(3)), Some(5));
+        assert_eq!(part.label(p(99)), None);
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let part = HashPartitioner;
+        for i in [0u32, 1, 77, u32::MAX] {
+            assert_eq!(part.shard_of(p(i), 1), 0);
+        }
+    }
+}

@@ -28,6 +28,7 @@ use crate::metrics::SimReport;
 use crate::peer::SimPeer;
 use bartercast_bt::choke::Candidate;
 use bartercast_core::policy::ReputationPolicy;
+use bartercast_core::ShardedEngine;
 use bartercast_graph::boundedk::layered_dag_cost;
 use bartercast_graph::maxflow::Method;
 use bartercast_trace::model::Trace;
@@ -35,6 +36,7 @@ use bartercast_util::units::PeerId;
 use bartercast_util::FxHashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Run one simulation per configuration, in parallel, preserving input
 /// order in the output.
@@ -301,6 +303,229 @@ fn gather_stealing(
         .collect()
 }
 
+/// The result of a shard-parallel sweep: per-evaluator value vectors
+/// in input order, plus the per-task timings the deterministic
+/// makespan replay ([`shard_makespan_ms`]) consumes.
+#[derive(Debug, Clone)]
+pub struct ShardedSweepOutcome {
+    /// `reputations_from(evaluator, targets)` per evaluator, in the
+    /// order the evaluators were passed.
+    pub values: Vec<Vec<f64>>,
+    /// `(owner_shard, microseconds)` per completed task, one entry per
+    /// evaluator (completion order).
+    pub task_us: Vec<(usize, f64)>,
+    /// Wall-clock time of the whole threaded sweep, milliseconds.
+    pub wall_ms: f64,
+    /// Tasks completed in the tail-steal phase against epoch views
+    /// rather than on the owner's live engine.
+    pub stolen: usize,
+}
+
+/// Shard-parallel Equation-1 sweeps: `reputations_from(e, targets)`
+/// for every `e` in `evaluators`, bit-identical to the monolithic
+/// engine at any worker count. See [`sharded_reputations_timed`].
+pub fn sharded_reputations(
+    service: &mut ShardedEngine,
+    evaluators: &[PeerId],
+    targets: &[PeerId],
+    workers: usize,
+) -> Vec<Vec<f64>> {
+    sharded_reputations_timed(service, evaluators, targets, workers).values
+}
+
+/// Shard-parallel sweep with per-task timing.
+///
+/// The scheduler gives the work-stealing task list a **shard
+/// dimension**: evaluators are grouped by owner shard into per-shard
+/// queues, each LPT-ordered by layered-DAG cost, with one atomic claim
+/// counter per shard. Worker `w` owns the live engines of shards
+/// `w, w + W, w + 2W, …` and drains their queues through those engines
+/// (memoized, journal-synced); only when its own shards run dry does
+/// it **steal across shards**, evaluating tail tasks against the
+/// epoch views published at sweep start. During the sweep no writer
+/// runs — the service is `&mut`-borrowed — so each epoch equals its
+/// shard's live graph and stolen results are bit-identical to
+/// owner-evaluated ones; threads only gather `(position, values)`
+/// pairs, so the output is independent of the schedule.
+pub fn sharded_reputations_timed(
+    service: &mut ShardedEngine,
+    evaluators: &[PeerId],
+    targets: &[PeerId],
+    workers: usize,
+) -> ShardedSweepOutcome {
+    let shards = service.shard_count();
+    let workers = workers.max(1);
+    let k = match service.method() {
+        Method::Bounded(k) => k,
+        other => unreachable!("sharded service is always bounded, got {other:?}"),
+    };
+    let epochs = service.publish_all();
+    // per-shard claimable queues, heaviest layered DAG first (LPT)
+    let mut queues: Vec<Vec<(usize, PeerId)>> = vec![Vec::new(); shards];
+    for (pos, &e) in evaluators.iter().enumerate() {
+        queues[service.shard_of(e)].push((pos, e));
+    }
+    for (s, queue) in queues.iter_mut().enumerate() {
+        let graph = epochs[s].graph();
+        let mut costed: Vec<(usize, usize, PeerId)> = queue
+            .drain(..)
+            .map(|(pos, e)| (layered_dag_cost(graph, e, k), pos, e))
+            .collect();
+        costed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        queue.extend(costed.into_iter().map(|(_, pos, e)| (pos, e)));
+    }
+    let claims: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+    let mut engine_slots: Vec<Option<&mut bartercast_core::ReputationEngine>> =
+        service.shard_engines_mut().into_iter().map(Some).collect();
+
+    let mut gathered: Vec<Option<Vec<f64>>> = Vec::new();
+    gathered.resize_with(evaluators.len(), || None);
+    let mut task_us: Vec<(usize, f64)> = Vec::with_capacity(evaluators.len());
+    let mut stolen_total = 0usize;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            // worker w takes the live engines of shards ≡ w (mod W)
+            let mut own: Vec<(usize, &mut bartercast_core::ReputationEngine)> = engine_slots
+                .iter_mut()
+                .enumerate()
+                .filter(|(s, _)| s % workers == w)
+                .map(|(s, slot)| (s, slot.take().expect("engine taken once")))
+                .collect();
+            let queues = &queues;
+            let claims = &claims;
+            let epochs = &epochs;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, Vec<f64>, usize, f64)> = Vec::new();
+                let mut stolen = 0usize;
+                // phase 1: drain owned shards on their live engines
+                for (s, engine) in &mut own {
+                    loop {
+                        let t = claims[*s].fetch_add(1, Ordering::Relaxed);
+                        if t >= queues[*s].len() {
+                            break;
+                        }
+                        let (pos, e) = queues[*s][t];
+                        let t0 = Instant::now();
+                        let values = engine.reputations_from(e, targets);
+                        local.push((pos, values, *s, t0.elapsed().as_secs_f64() * 1e6));
+                    }
+                }
+                // phase 2: steal the tail of other shards via epochs
+                loop {
+                    let mut claimed_any = false;
+                    for (s, epoch) in epochs.iter().enumerate() {
+                        let t = claims[s].fetch_add(1, Ordering::Relaxed);
+                        if t >= queues[s].len() {
+                            continue;
+                        }
+                        claimed_any = true;
+                        let (pos, e) = queues[s][t];
+                        let t0 = Instant::now();
+                        let values = epoch.reputations_from(e, targets);
+                        local.push((pos, values, s, t0.elapsed().as_secs_f64() * 1e6));
+                        stolen += 1;
+                    }
+                    if !claimed_any {
+                        break;
+                    }
+                }
+                (local, stolen)
+            }));
+        }
+        for h in handles {
+            let (local, stolen) = h.join().expect("sharded sweep worker panicked");
+            stolen_total += stolen;
+            for (pos, values, shard, us) in local {
+                gathered[pos] = Some(values);
+                task_us.push((shard, us));
+            }
+        }
+    });
+    ShardedSweepOutcome {
+        values: gathered
+            .into_iter()
+            .map(|v| v.expect("every evaluator swept"))
+            .collect(),
+        task_us,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        stolen: stolen_total,
+    }
+}
+
+/// Equation-2 numerators over a sharded service: for each target in
+/// `evaluators`, the sum of `R_j(target)` over every other evaluator
+/// `j`. Values are gathered shard-parallel ([`sharded_reputations`])
+/// and reduced serially in input order, so the sums are bit-identical
+/// at any shard and worker count.
+pub fn sharded_reputation_sums(
+    service: &mut ShardedEngine,
+    evaluators: &[PeerId],
+    workers: usize,
+) -> Vec<f64> {
+    let gathered = sharded_reputations(service, evaluators, evaluators, workers);
+    let mut sums = vec![0.0; evaluators.len()];
+    for (pos, values) in gathered.iter().enumerate() {
+        let evaluator = evaluators[pos];
+        for (k, &target) in evaluators.iter().enumerate() {
+            if target != evaluator {
+                sums[k] += values[k];
+            }
+        }
+    }
+    sums
+}
+
+/// Deterministic makespan replay of a measured task set: the
+/// wall-clock a `workers`-core machine would need for the shard-aware
+/// schedule, in milliseconds.
+///
+/// Replays the scheduler's own policy against the measured per-task
+/// costs: per-shard LPT queues, worker `w` owning shards `≡ w (mod
+/// workers)`, the minimum-clock worker always taking its own shards'
+/// next task and stealing from the shard with the most remaining work
+/// once its own are dry. On a single-core host (this repo's benches)
+/// real threads cannot show the scaling, so `bench_scale` reports this
+/// replay alongside the measured single-core wall time.
+pub fn shard_makespan_ms(task_us: &[(usize, f64)], shards: usize, workers: usize) -> f64 {
+    let workers = workers.max(1);
+    let mut queues: Vec<Vec<f64>> = vec![Vec::new(); shards.max(1)];
+    for &(s, us) in task_us {
+        queues[s].push(us);
+    }
+    for q in &mut queues {
+        q.sort_by(|a, b| b.partial_cmp(a).expect("finite task costs"));
+    }
+    let mut next: Vec<usize> = vec![0; queues.len()];
+    let mut remaining: Vec<f64> = queues.iter().map(|q| q.iter().sum()).collect();
+    let mut clocks = vec![0.0f64; workers];
+    loop {
+        // minimum-clock worker acts next (ties by index: deterministic)
+        let w = (0..workers)
+            .min_by(|&a, &b| clocks[a].partial_cmp(&clocks[b]).expect("finite clocks"))
+            .expect("at least one worker");
+        // own shards first, ascending
+        let own = (w..queues.len())
+            .step_by(workers)
+            .find(|&s| next[s] < queues[s].len());
+        // otherwise steal from the shard with the most remaining work
+        let steal = || {
+            (0..queues.len())
+                .filter(|&s| next[s] < queues[s].len())
+                .max_by(|&a, &b| remaining[a].partial_cmp(&remaining[b]).expect("finite"))
+        };
+        let Some(s) = own.or_else(steal) else {
+            break;
+        };
+        let cost = queues[s][next[s]];
+        next[s] += 1;
+        remaining[s] -= cost;
+        clocks[w] += cost;
+    }
+    clocks.into_iter().fold(0.0, f64::max) / 1e3
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +702,99 @@ mod tests {
         for (s, w) in serial.iter().zip(&stolen) {
             assert_eq!(s.to_bits(), w.to_bits());
         }
+    }
+
+    /// A deterministic skewed edge batch for the sharded-sweep tests.
+    fn sharded_fixture(shards: usize, n: u32, seed: u64) -> (ShardedEngine, ReputationEngine) {
+        let mut svc = ShardedEngine::new(shards);
+        let mut mono = ReputationEngine::new();
+        let mut state = seed | 1;
+        for _ in 0..(n as u64 * 6) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let hub = ((state >> 33) % (1 + n as u64 / 4)) as u32;
+            let other = ((state >> 17) % n as u64) as u32;
+            let amount = Bytes(1 + (state % 1_000_000));
+            svc.add_transfer(PeerId(hub), PeerId(other), amount);
+            mono.graph_mut()
+                .add_transfer(PeerId(hub), PeerId(other), amount);
+        }
+        (svc, mono)
+    }
+
+    #[test]
+    fn sharded_sweep_matches_monolith_at_every_worker_count() {
+        let n = 36u32;
+        let evaluators: Vec<PeerId> = (0..n).map(PeerId).collect();
+        for shards in [1usize, 2, 4, 8] {
+            for workers in [1usize, 2, 3, 8] {
+                let (mut svc, mut mono) = sharded_fixture(shards, n, 42);
+                let swept = sharded_reputations(&mut svc, &evaluators, &evaluators, workers);
+                for (pos, &e) in evaluators.iter().enumerate() {
+                    let expect = mono.reputations_from(e, &evaluators);
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(&expect),
+                        bits(&swept[pos]),
+                        "shards={shards} workers={workers} evaluator={e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sums_match_serial_reduction() {
+        let n = 40u32;
+        let evaluators: Vec<PeerId> = (0..n).map(PeerId).collect();
+        let (mut svc, mut mono) = sharded_fixture(4, n, 7);
+        let sums = sharded_reputation_sums(&mut svc, &evaluators, 3);
+        // serial monolithic reference, reduced in the same input order
+        let mut expect = vec![0.0; evaluators.len()];
+        for &e in &evaluators {
+            let values = mono.reputations_from(e, &evaluators);
+            for (k, &target) in evaluators.iter().enumerate() {
+                if target != e {
+                    expect[k] += values[k];
+                }
+            }
+        }
+        for (a, b) in expect.iter().zip(&sums) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_outcome_reports_every_task() {
+        let n = 30u32;
+        let evaluators: Vec<PeerId> = (0..n).map(PeerId).collect();
+        let (mut svc, _) = sharded_fixture(4, n, 11);
+        let outcome = sharded_reputations_timed(&mut svc, &evaluators, &evaluators, 2);
+        assert_eq!(outcome.values.len(), evaluators.len());
+        assert_eq!(outcome.task_us.len(), evaluators.len());
+        assert!(outcome.task_us.iter().all(|&(s, us)| s < 4 && us >= 0.0));
+        assert!(outcome.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn makespan_replay_is_deterministic_and_scales_down() {
+        let tasks: Vec<(usize, f64)> = (0..64)
+            .map(|i| (i % 4, 100.0 + (i as f64 * 37.0) % 900.0))
+            .collect();
+        let serial = shard_makespan_ms(&tasks, 4, 1);
+        let total: f64 = tasks.iter().map(|&(_, us)| us).sum();
+        assert!((serial - total / 1e3).abs() < 1e-9, "one worker does it all");
+        let two = shard_makespan_ms(&tasks, 4, 2);
+        let four = shard_makespan_ms(&tasks, 4, 4);
+        assert!(two <= serial && four <= two, "{serial} {two} {four}");
+        // perfect scaling is the floor
+        assert!(four >= serial / 4.0 - 1e-9);
+        assert_eq!(
+            shard_makespan_ms(&tasks, 4, 4).to_bits(),
+            four.to_bits(),
+            "replay must be deterministic"
+        );
     }
 
     proptest! {

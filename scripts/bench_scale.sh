@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Sharded million-peer scale study: correctness-gated (shard-vs-monolith
+# bitwise cross-check, then full-scale cross-shard-count checksum
+# equality) before any timing. Writes BENCH_scale.json at the repo root.
+# Pass --quick for a 100k-peer smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bench --bin bench_scale -- "$@" BENCH_scale.json

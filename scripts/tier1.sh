@@ -21,6 +21,14 @@ cargo test -q -p bartercast-graph --test boundedk_differential
 cargo test -q -p bartercast-graph --test incremental_gomoryhu
 cargo test -q -p bartercast-core --test invalidation --test codec_fuzz
 cargo test -q -p bartercast-core --test reputation_bound
+# Sharded reputation service: shard-vs-monolith bit-identity at shard
+# counts {1,2,4,8} (interleaved queries, long sync gaps, node growth,
+# community partitioning, live repartition, pinned 64-node checksum)
+# and epoch-snapshot consistency under a concurrent writer.
+cargo test -q -p bartercast-core --test shard_differential --test epoch_snapshot
+# Fast sharded-scale smoke: 2k-peer community population at 4 shards,
+# monolith cross-check on, 1-vs-4-shard checksum equality.
+cargo test -q -p bartercast-sim four_shard_smoke
 # Node runtime convergence gate: 8 peers over the deterministic
 # in-process transport, 5% frame loss, one forced disconnect per node;
 # every subjective graph must converge to the gossip-reachable record
