@@ -1,9 +1,10 @@
-//! End-to-end measurement of the node runtime: how fast a full
-//! cluster of real peers (threads, framed sessions, bounded queues)
-//! disseminates every gossip-reachable record.
+//! End-to-end measurement of the node runtime: how fast the reactor
+//! (one thread per node, readiness-polled sessions) disseminates every
+//! gossip-reachable record, and how it behaves under session-count
+//! overload.
 //!
 //! Emits `BENCH_node.json` in the current directory (override with a
-//! path argument). Three rows:
+//! path argument). Rows:
 //!
 //! * **mem** — 8 nodes on the deterministic in-process transport,
 //!   lossless: the runtime's own overhead, no adversity.
@@ -13,13 +14,27 @@
 //! * **tcp** — the same population on real loopback sockets (4 nodes,
 //!   to keep OS socket churn modest). Skipped gracefully — row kept,
 //!   `"skipped": true` — on hosts without loopback (sandboxes).
+//! * **mem_overload** — 5,000 scripted dialers slam one reactor capped
+//!   at 2,048 sessions: accepted-vs-shed split, records/sec the single
+//!   thread sustained, p50/p99 dial-to-done latency, and resident
+//!   memory growth per peak session.
+//! * **tcp_overload** — 512 dialers over real loopback sockets against
+//!   a 256-session cap; skipped without loopback.
+//! * **thread_per_session** — always skipped, kept as the record of
+//!   why the pre-reactor runtime cannot run this scenario at all: the
+//!   overload population would need one OS thread per session, and
+//!   5,000 threads at the 8 MiB default stack is ~40 GiB of stack
+//!   address space before a single record moves.
 //!
-//! Reported per row: wall-clock to convergence, records/sec received
-//! across the cluster, bytes on the wire per record sent, reconnect
-//! and shed counts, and the summed `NodeStats` counters.
+//! Cluster rows report wall-clock to convergence, records/sec received
+//! across the cluster, bytes on the wire per record sent, reconnect and
+//! shed counts, and the summed `NodeStats` counters. Overload rows
+//! report the `LoadGenReport` plus the target's own counters.
 
+use bartercast_core::PrivateHistory;
 use bartercast_node::cluster::{Cluster, ClusterConfig};
-use bartercast_node::mem::MemConfig;
+use bartercast_node::loadgen::{rss_bytes, run_loadgen, LoadGenConfig, LoadGenReport};
+use bartercast_node::mem::{MemConfig, MemTransport};
 use bartercast_node::node::{Node, NodeConfig};
 use bartercast_node::stats::NodeStats;
 use bartercast_node::transport::{TcpTransport, Transport};
@@ -39,19 +54,147 @@ struct Row {
     stats: NodeStats,
 }
 
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"transport\": \"{}\", \"n\": {}, \"skipped\": {}, \
+             \"converge_ms\": {:.3}, \"records_per_sec\": {:.1}, \
+             \"bytes_per_record\": {:.2}, \"frames_dropped\": {}, \
+             \"node\": {{{}}}}}",
+            self.transport,
+            self.n,
+            self.skipped,
+            self.converge_ms,
+            self.records_per_sec,
+            self.bytes_per_record,
+            self.frames_dropped,
+            self.stats.json_fields()
+        )
+    }
+
+    fn report(&self) {
+        if self.skipped {
+            eprintln!("{:18}  skipped", self.transport);
+            return;
+        }
+        eprintln!(
+            "{:18}  n={}  converged in {:8.1} ms   {:9.0} records/s   {:6.1} bytes/record   \
+             reconnects={}  shed={}/{}  dropped_frames={}",
+            self.transport,
+            self.n,
+            self.converge_ms,
+            self.records_per_sec,
+            self.bytes_per_record,
+            self.stats.reconnects,
+            self.stats.shed_accept,
+            self.stats.shed_session,
+            self.frames_dropped
+        );
+    }
+}
+
+/// One overload scenario: `dialers` scripted peers against a single
+/// reactor capped at `max_sessions`.
+struct OverloadRow {
+    transport: &'static str,
+    skipped: bool,
+    dialers: usize,
+    max_sessions: usize,
+    report: Option<LoadGenReport>,
+    stats: NodeStats,
+    mem_per_session_bytes: u64,
+    note: &'static str,
+}
+
+impl OverloadRow {
+    fn skipped(transport: &'static str, note: &'static str) -> OverloadRow {
+        OverloadRow {
+            transport,
+            skipped: true,
+            dialers: 0,
+            max_sessions: 0,
+            report: None,
+            stats: NodeStats::default(),
+            mem_per_session_bytes: 0,
+            note,
+        }
+    }
+
+    fn json(&self) -> String {
+        let (records_per_sec, p50, p99, established, shed, failed, completed) = match &self.report {
+            Some(r) => (
+                r.records_per_sec(),
+                r.p50_session_ms,
+                r.p99_session_ms,
+                r.established,
+                r.shed,
+                r.failed,
+                r.completed,
+            ),
+            None => (0.0, 0.0, 0.0, 0, 0, 0, 0),
+        };
+        format!(
+            "    {{\"transport\": \"{}\", \"skipped\": {}, \"dialers\": {}, \
+             \"max_sessions\": {}, \"records_per_sec\": {:.1}, \
+             \"p50_session_ms\": {:.3}, \"p99_session_ms\": {:.3}, \
+             \"established\": {}, \"shed\": {}, \"failed\": {}, \"completed\": {}, \
+             \"mem_per_session_bytes\": {}, \"note\": \"{}\", \"node\": {{{}}}}}",
+            self.transport,
+            self.skipped,
+            self.dialers,
+            self.max_sessions,
+            records_per_sec,
+            p50,
+            p99,
+            established,
+            shed,
+            failed,
+            completed,
+            self.mem_per_session_bytes,
+            self.note,
+            self.stats.json_fields()
+        )
+    }
+
+    fn report(&self) {
+        if self.skipped {
+            eprintln!("{:18}  skipped ({})", self.transport, self.note);
+            return;
+        }
+        let r = self.report.as_ref().expect("non-skipped rows have reports");
+        eprintln!(
+            "{:18}  dialers={} cap={}  {:9.0} records/s   p50={:.1}ms p99={:.1}ms   \
+             established={} shed={} failed={}   {} B/session",
+            self.transport,
+            self.dialers,
+            self.max_sessions,
+            r.records_per_sec(),
+            r.p50_session_ms,
+            r.p99_session_ms,
+            r.established,
+            r.shed,
+            r.failed,
+            self.mem_per_session_bytes
+        );
+    }
+}
+
 fn sum_stats(all: &[NodeStats]) -> NodeStats {
     let mut total = NodeStats::default();
     for s in all {
         total.sessions_opened += s.sessions_opened;
         total.sessions_failed += s.sessions_failed;
         total.sessions_closed += s.sessions_closed;
+        total.sessions_live += s.sessions_live;
+        total.sessions_peak += s.sessions_peak;
         total.reconnects += s.reconnects;
         total.records_sent += s.records_sent;
         total.records_received += s.records_received;
         total.records_duplicate += s.records_duplicate;
         total.bytes_sent += s.bytes_sent;
         total.bytes_received += s.bytes_received;
-        total.queue_shed += s.queue_shed;
+        total.shed_accept += s.shed_accept;
+        total.shed_session += s.shed_session;
         total.protocol_errors += s.protocol_errors;
     }
     total
@@ -157,17 +300,69 @@ fn run_tcp(n: usize) -> Row {
     finish("tcp", n, elapsed, 0, stats)
 }
 
+/// Overload scenario: `dialers` scripted peers against one reactor
+/// capped at `max_sessions`, on the given transport. The target stays
+/// gossip-passive so every byte measured is loadgen traffic.
+fn run_overload(
+    transport_name: &'static str,
+    transport: Arc<dyn Transport>,
+    dialers: usize,
+    max_sessions: usize,
+) -> OverloadRow {
+    let rss_before = rss_bytes().unwrap_or(0);
+    let node = Node::spawn(
+        PeerId(0),
+        Arc::clone(&transport),
+        vec![],
+        PrivateHistory::new(PeerId(0)),
+        NodeConfig {
+            exchange_interval: Duration::from_secs(3600), // serve, don't gossip
+            max_sessions,
+            ..NodeConfig::default()
+        },
+    )
+    .expect("boot overload target");
+    let report = run_loadgen(
+        Arc::clone(&transport),
+        PeerId(0),
+        LoadGenConfig {
+            dialers,
+            frames_per_dialer: 4,
+            records_per_frame: 8,
+            dial_batch: dialers, // slam the whole population in at once
+            timeout: Duration::from_secs(120),
+            first_peer: 1000,
+        },
+    );
+    let rss_after = rss_bytes().unwrap_or(rss_before);
+    let stats = node.shutdown();
+    let mem_per_session_bytes = rss_after
+        .saturating_sub(rss_before)
+        .checked_div(stats.sessions_peak)
+        .unwrap_or(0);
+    OverloadRow {
+        transport: transport_name,
+        skipped: false,
+        dialers,
+        max_sessions,
+        report: Some(report),
+        stats,
+        mem_per_session_bytes,
+        note: "",
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_node.json".to_string());
 
-    let mut rows = vec![run_mem("mem", 8, 0.0), run_mem("mem_lossy", 8, 0.05)];
+    let mut cluster_rows = vec![run_mem("mem", 8, 0.0), run_mem("mem_lossy", 8, 0.05)];
     if TcpTransport::loopback_available() {
-        rows.push(run_tcp(4));
+        cluster_rows.push(run_tcp(4));
     } else {
         eprintln!("tcp: no loopback in this environment, skipping");
-        rows.push(Row {
+        cluster_rows.push(Row {
             transport: "tcp",
             n: 0,
             skipped: true,
@@ -179,43 +374,42 @@ fn main() {
         });
     }
 
-    for r in &rows {
-        if r.skipped {
-            eprintln!("{:9}  skipped", r.transport);
-            continue;
-        }
-        eprintln!(
-            "{:9}  n={}  converged in {:8.1} ms   {:9.0} records/s   {:6.1} bytes/record   \
-             reconnects={}  shed={}  dropped_frames={}",
-            r.transport,
-            r.n,
-            r.converge_ms,
-            r.records_per_sec,
-            r.bytes_per_record,
-            r.stats.reconnects,
-            r.stats.queue_shed,
-            r.frames_dropped
-        );
+    let mut overload_rows = vec![run_overload(
+        "mem_overload",
+        Arc::new(MemTransport::new(MemConfig::default())) as Arc<dyn Transport>,
+        5000,
+        2048,
+    )];
+    if TcpTransport::loopback_available() {
+        overload_rows.push(run_overload(
+            "tcp_overload",
+            Arc::new(TcpTransport::new()) as Arc<dyn Transport>,
+            512,
+            256,
+        ));
+    } else {
+        eprintln!("tcp_overload: no loopback in this environment, skipping");
+        overload_rows.push(OverloadRow::skipped("tcp_overload", "no loopback"));
+    }
+    // The retired runtime's entry: one OS thread per session means the
+    // 5,000-dialer population wants ~40 GiB of default-sized stacks
+    // (5,000 x 8 MiB) before any work happens — it cannot run here.
+    overload_rows.push(OverloadRow::skipped(
+        "thread_per_session",
+        "retired: 5000 sessions x 8 MiB default thread stacks = ~40 GiB",
+    ));
+
+    for r in &cluster_rows {
+        r.report();
+    }
+    for r in &overload_rows {
+        r.report();
     }
 
-    let body: Vec<String> = rows
+    let body: Vec<String> = cluster_rows
         .iter()
-        .map(|r| {
-            format!(
-                "    {{\"transport\": \"{}\", \"n\": {}, \"skipped\": {}, \
-                 \"converge_ms\": {:.3}, \"records_per_sec\": {:.1}, \
-                 \"bytes_per_record\": {:.2}, \"frames_dropped\": {}, \
-                 \"node\": {{{}}}}}",
-                r.transport,
-                r.n,
-                r.skipped,
-                r.converge_ms,
-                r.records_per_sec,
-                r.bytes_per_record,
-                r.frames_dropped,
-                r.stats.json_fields()
-            )
-        })
+        .map(Row::json)
+        .chain(overload_rows.iter().map(OverloadRow::json))
         .collect();
     write_bench_json(&out_path, "node_runtime", "ms_to_convergence", &body);
 }

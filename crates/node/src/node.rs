@@ -1,140 +1,51 @@
-//! The node core: one running BarterCast peer.
+//! The node handle: one running BarterCast peer.
 //!
 //! A [`Node`] owns its private history and subjective
-//! [`ReputationEngine`], listens for inbound sessions, and periodically
-//! pushes its top-`Nh`/`Nr` history slice to gossip-sampled neighbors.
-//! Three kinds of threads cooperate:
+//! [`ReputationEngine`](bartercast_core::repcache::ReputationEngine)
+//! behind a single [`Reactor`](crate::reactor::Reactor) thread. Where
+//! the previous runtime spent a thread per live connection (plus an
+//! acceptor and a core loop), the reactor multiplexes *every* session
+//! of this node — accepts, handshakes, exchanges, timeouts, dial
+//! retries — through one readiness-polled loop, so a node's thread
+//! count is 1 regardless of fan-out.
 //!
-//! * the **acceptor** polls the transport listener and spawns a
-//!   responder session per inbound connection;
-//! * one **session thread** per live connection runs the
-//!   [`session`](crate::session) state machine, isolated from node
-//!   state behind bounded channels;
-//! * the **core loop** drains session events (absorbing `Records` into
-//!   the engine), fires exchange ticks, dials neighbors with
-//!   exponential backoff plus jitter, and reaps finished sessions.
-//!
-//! Backpressure is explicit everywhere: outbound per-session queues and
-//! the inbound event channel are bounded `sync_channel`s, and anything
-//! shed on a full queue is counted in
-//! [`NodeStats::queue_shed`](crate::stats::NodeStats::queue_shed)
-//! rather than silently buffered without limit.
+//! The handle itself only holds the shared pieces the outside world
+//! needs: the counters (for [`Node::stats`]), the node state (for
+//! [`Node::subjective_edges`] / [`Node::reputation_of`]), the shutdown
+//! flag, and the reactor's wake queue so [`Node::shutdown`] can
+//! interrupt a parked reactor immediately instead of waiting out its
+//! poll timeout.
 
-use crate::session::{self, Direction, SessionConfig, SessionEvent};
+use crate::clock::SystemClock;
+use crate::reactor::Reactor;
 use crate::stats::{NodeCounters, NodeStats};
-use crate::transport::Transport;
-use bartercast_core::message::BarterCastConfig;
-use bartercast_core::repcache::ReputationEngine;
-use bartercast_core::{BarterCastMessage, PrivateHistory};
-use bartercast_gossip::{PssConfig, PssNode};
+use crate::transport::{Transport, WakeQueue};
+use bartercast_core::PrivateHistory;
 use bartercast_util::units::{Bytes, PeerId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-/// Tunables for one node. The defaults are production-flavored
-/// (seconds-scale exchanges); tests and the cluster harness shrink the
-/// intervals to milliseconds.
-#[derive(Debug, Clone, Copy)]
-pub struct NodeConfig {
-    /// How often the node pushes its history to sampled neighbors.
-    pub exchange_interval: Duration,
-    /// Neighbors addressed per exchange tick.
-    pub fanout: usize,
-    /// First reconnect delay after a failure; doubles per consecutive
-    /// failure.
-    pub backoff_base: Duration,
-    /// Ceiling on the exponential backoff.
-    pub backoff_max: Duration,
-    /// Random extra fraction (`0.0..=1.0`) added to each backoff delay
-    /// so a rebooted cluster doesn't thunder back in lockstep.
-    pub backoff_jitter: f64,
-    /// Capacity of each session's outbound message queue.
-    pub outbound_queue: usize,
-    /// Capacity of the session-event channel into the core loop.
-    pub event_queue: usize,
-    /// Accept-poll granularity for the acceptor thread.
-    pub accept_poll: Duration,
-    /// Per-session protocol timeouts.
-    pub session: SessionConfig,
-    /// Top-`Nh`/`Nr` selection for outgoing BarterCast messages.
-    pub bartercast: BarterCastConfig,
-    /// Peer-sampling view parameters.
-    pub pss: PssConfig,
-    /// Seed for the node's own RNG (sampling + jitter). Combined with
-    /// the node id, so a cluster built from one seed still gives every
-    /// node a distinct stream.
-    pub seed: u64,
-}
-
-impl Default for NodeConfig {
-    fn default() -> Self {
-        NodeConfig {
-            exchange_interval: Duration::from_secs(10),
-            fanout: 3,
-            backoff_base: Duration::from_millis(100),
-            backoff_max: Duration::from_secs(30),
-            backoff_jitter: 0.5,
-            outbound_queue: 16,
-            event_queue: 256,
-            accept_poll: Duration::from_millis(20),
-            session: SessionConfig::default(),
-            bartercast: BarterCastConfig::default(),
-            pss: PssConfig::default(),
-            seed: 0xBC,
-        }
-    }
-}
-
-/// Per-peer reconnect state.
-#[derive(Debug, Clone, Copy, Default)]
-struct Backoff {
-    consecutive_failures: u32,
-    not_before: Option<Instant>,
-}
-
-/// A live session as the core loop sees it.
-struct SessionHandle {
-    outbound: SyncSender<BarterCastMessage>,
-    remote: Option<PeerId>,
-    join: JoinHandle<()>,
-}
-
-#[derive(Default)]
-struct SessionTable {
-    by_token: HashMap<u64, SessionHandle>,
-    next_token: u64,
-}
-
-/// Node state the core loop owns exclusively (behind a mutex only so
-/// snapshots can be taken from the outside).
-struct NodeState {
-    history: PrivateHistory,
-    engine: ReputationEngine,
-}
+pub use crate::reactor::NodeConfig;
 
 /// One running peer. Dropping the handle without calling
-/// [`Node::shutdown`] aborts ungracefully; call `shutdown` to drain
-/// sessions and join every thread.
+/// [`Node::shutdown`] still drains gracefully; call `shutdown` to get
+/// the final counter snapshot back.
 pub struct Node {
     id: PeerId,
     counters: Arc<NodeCounters>,
-    state: Arc<Mutex<NodeState>>,
+    state: Arc<Mutex<crate::reactor::NodeState>>,
     shutdown: Arc<AtomicBool>,
-    core: Option<JoinHandle<()>>,
-    acceptor: Option<JoinHandle<()>>,
+    wake: Arc<WakeQueue>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl Node {
-    /// Boot a node: bind its listener, start the acceptor and core
-    /// threads, and begin exchanging on `config.exchange_interval`.
-    /// `bootstrap` seeds the peer-sampling view.
+    /// Boot a node: bind its listener (synchronously, so the peer is
+    /// dialable as soon as `spawn` returns), start the reactor thread,
+    /// and begin exchanging on `config.exchange_interval`. `bootstrap`
+    /// seeds the peer-sampling view.
     pub fn spawn(
         id: PeerId,
         transport: Arc<dyn Transport>,
@@ -142,69 +53,32 @@ impl Node {
         history: PrivateHistory,
         config: NodeConfig,
     ) -> io::Result<Node> {
-        let mut listener = transport.listen(id)?;
-        let counters = Arc::new(NodeCounters::default());
+        let mut reactor = Reactor::new(
+            id,
+            transport,
+            bootstrap,
+            history,
+            config,
+            Arc::new(SystemClock),
+        )?;
+        let counters = reactor.counters();
+        let state = reactor.state();
+        let wake = reactor.wake_handle();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let sessions = Arc::new(Mutex::new(SessionTable::default()));
-        let (event_tx, event_rx) = sync_channel::<SessionEvent>(config.event_queue);
-        let engine = ReputationEngine::from_private(&history);
-        let state = Arc::new(Mutex::new(NodeState { history, engine }));
-
-        let mut pss = PssNode::new(id, config.pss);
-        pss.bootstrap(bootstrap);
-
-        let acceptor = {
+        let thread = {
             let shutdown = Arc::clone(&shutdown);
-            let counters = Arc::clone(&counters);
-            let sessions = Arc::clone(&sessions);
-            let event_tx = event_tx.clone();
             std::thread::Builder::new()
-                .name(format!("node-{}-accept", id.0))
-                .spawn(move || {
-                    while !shutdown.load(Ordering::Relaxed) {
-                        match listener.accept(config.accept_poll) {
-                            Ok(Some(conn)) => spawn_session(
-                                conn,
-                                id,
-                                Direction::Responder,
-                                None,
-                                &sessions,
-                                &event_tx,
-                                &shutdown,
-                                &counters,
-                                &config,
-                            ),
-                            Ok(None) => {}
-                            Err(_) => break, // listener died; core still drains
-                        }
-                    }
-                })
-                .expect("spawn acceptor")
+                .name(format!("node-{}", id.0))
+                .spawn(move || reactor.run(&shutdown))
+                .expect("spawn reactor")
         };
-
-        let core = {
-            let shutdown = Arc::clone(&shutdown);
-            let counters = Arc::clone(&counters);
-            let sessions = Arc::clone(&sessions);
-            let state = Arc::clone(&state);
-            std::thread::Builder::new()
-                .name(format!("node-{}-core", id.0))
-                .spawn(move || {
-                    core_loop(
-                        id, transport, pss, state, sessions, event_rx, event_tx, shutdown,
-                        counters, config,
-                    )
-                })
-                .expect("spawn core")
-        };
-
         Ok(Node {
             id,
             counters,
             state,
             shutdown,
-            core: Some(core),
-            acceptor: Some(acceptor),
+            wake,
+            reactor: Some(thread),
         })
     }
 
@@ -222,336 +96,35 @@ impl Node {
     /// `(from, to, bytes)` — the convergence check compares these
     /// across nodes.
     pub fn subjective_edges(&self) -> Vec<(PeerId, PeerId, Bytes)> {
-        let state = self.state.lock().expect("state lock");
-        let mut edges: Vec<_> = state.engine.graph().edges().collect();
-        edges.sort_unstable();
-        edges
+        self.state.lock().expect("state lock").subjective_edges()
     }
 
     /// This node's subjective reputation of `peer` (Equation 1 over the
     /// merged graph).
     pub fn reputation_of(&self, peer: PeerId) -> f64 {
-        let mut state = self.state.lock().expect("state lock");
         let me = self.id;
-        state.engine.reputation(me, peer)
+        self.state.lock().expect("state lock").reputation(me, peer)
     }
 
-    /// Stop gracefully: drain and `Bye` every session, join all
-    /// threads, and return the final counter snapshot.
-    pub fn shutdown(mut self) -> NodeStats {
+    fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.core.take() {
+        self.wake.kick(); // interrupt a parked reactor immediately
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
+    }
+
+    /// Stop gracefully: drain and `Bye` every session, join the reactor
+    /// thread, and return the final counter snapshot.
+    pub fn shutdown(mut self) -> NodeStats {
+        self.stop();
         self.counters.snapshot()
     }
 }
 
 impl Drop for Node {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.core.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Register and start one session thread. `preload` (initiator dials
-/// only) is queued before the thread starts so the first exchange rides
-/// the same path as every later one.
-#[allow(clippy::too_many_arguments)]
-fn spawn_session(
-    conn: Box<dyn crate::transport::Conn>,
-    local: PeerId,
-    direction: Direction,
-    preload: Option<BarterCastMessage>,
-    sessions: &Arc<Mutex<SessionTable>>,
-    event_tx: &SyncSender<SessionEvent>,
-    shutdown: &Arc<AtomicBool>,
-    counters: &Arc<NodeCounters>,
-    config: &NodeConfig,
-) {
-    let (out_tx, out_rx) = sync_channel::<BarterCastMessage>(config.outbound_queue.max(1));
-    if let Some(msg) = preload {
-        let _ = out_tx.try_send(msg);
-    }
-    let mut table = sessions.lock().expect("session table");
-    let token = table.next_token;
-    table.next_token += 1;
-    let join = {
-        let event_tx = event_tx.clone();
-        let shutdown = Arc::clone(shutdown);
-        let counters = Arc::clone(counters);
-        let session_config = config.session;
-        std::thread::Builder::new()
-            .name(format!("node-{}-s{token}", local.0))
-            .spawn(move || {
-                session::run_session(
-                    conn,
-                    token,
-                    local,
-                    direction,
-                    out_rx,
-                    event_tx,
-                    &shutdown,
-                    &counters,
-                    session_config,
-                )
-            })
-            .expect("spawn session")
-    };
-    table.by_token.insert(
-        token,
-        SessionHandle {
-            outbound: out_tx,
-            remote: None,
-            join,
-        },
-    );
-}
-
-/// The node's main loop: events in, exchanges out.
-#[allow(clippy::too_many_arguments)]
-fn core_loop(
-    id: PeerId,
-    transport: Arc<dyn Transport>,
-    mut pss: PssNode,
-    state: Arc<Mutex<NodeState>>,
-    sessions: Arc<Mutex<SessionTable>>,
-    event_rx: Receiver<SessionEvent>,
-    event_tx: SyncSender<SessionEvent>,
-    shutdown: Arc<AtomicBool>,
-    counters: Arc<NodeCounters>,
-    config: NodeConfig,
-) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (((id.0 as u64) << 32) | 0xA5A5));
-    let mut backoff: HashMap<PeerId, Backoff> = HashMap::new();
-    let mut ever_connected: HashSet<PeerId> = HashSet::new();
-    let mut next_tick = Instant::now(); // first exchange fires immediately
-
-    while !shutdown.load(Ordering::Relaxed) {
-        // 1. drain session events (bounded wait doubles as the tick timer)
-        let wait = next_tick
-            .saturating_duration_since(Instant::now())
-            .min(Duration::from_millis(10));
-        // a timeout here is just the tick timer firing; hangup cannot
-        // happen while this loop holds its own event_tx clone
-        if let Ok(event) = event_rx.recv_timeout(wait) {
-            handle_event(
-                event,
-                &state,
-                &sessions,
-                &mut backoff,
-                &mut ever_connected,
-                &mut pss,
-                &counters,
-            );
-            // drain whatever else is ready before considering a tick
-            while let Ok(event) = event_rx.try_recv() {
-                handle_event(
-                    event,
-                    &state,
-                    &sessions,
-                    &mut backoff,
-                    &mut ever_connected,
-                    &mut pss,
-                    &counters,
-                );
-            }
-        }
-
-        // 2. exchange tick
-        if Instant::now() >= next_tick {
-            next_tick = Instant::now() + config.exchange_interval;
-            pss.tick();
-            exchange_tick(
-                id,
-                &transport,
-                &pss,
-                &state,
-                &sessions,
-                &event_tx,
-                &shutdown,
-                &counters,
-                &config,
-                &mut rng,
-                &mut backoff,
-                &mut ever_connected,
-            );
-        }
-    }
-
-    // 3. graceful shutdown: close every outbound queue (sessions drain
-    // and send Bye), then join the threads
-    let handles: Vec<SessionHandle> = {
-        let mut table = sessions.lock().expect("session table");
-        table.by_token.drain().map(|(_, h)| h).collect()
-    };
-    let joins: Vec<JoinHandle<()>> = handles
-        .into_iter()
-        .map(|h| {
-            drop(h.outbound); // closing the queue is the drain+Bye signal
-            h.join
-        })
-        .collect();
-    for join in joins {
-        let _ = join.join();
-    }
-    // drain stragglers so session threads blocked in emit() are freed
-    while event_rx.try_recv().is_ok() {}
-}
-
-/// Apply one session event to node state.
-fn handle_event(
-    event: SessionEvent,
-    state: &Arc<Mutex<NodeState>>,
-    sessions: &Arc<Mutex<SessionTable>>,
-    backoff: &mut HashMap<PeerId, Backoff>,
-    ever_connected: &mut HashSet<PeerId>,
-    pss: &mut PssNode,
-    counters: &Arc<NodeCounters>,
-) {
-    match event {
-        SessionEvent::Established { token, remote, .. } => {
-            if let Some(h) = sessions
-                .lock()
-                .expect("session table")
-                .by_token
-                .get_mut(&token)
-            {
-                h.remote = Some(remote);
-            }
-            backoff.remove(&remote);
-            if !ever_connected.insert(remote) {
-                NodeCounters::inc(&counters.reconnects);
-            }
-            pss.bootstrap([remote]);
-        }
-        SessionEvent::Records { from, msg, .. } => {
-            let mut st = state.lock().expect("state lock");
-            let changed = st.engine.absorb_message(&msg);
-            if changed == 0 {
-                NodeCounters::add(&counters.records_duplicate, msg.len() as u64);
-            }
-            let _ = from; // history stays private: only direct transfers enter it
-        }
-        SessionEvent::Closed { token, clean } => {
-            let handle = sessions
-                .lock()
-                .expect("session table")
-                .by_token
-                .remove(&token);
-            if let Some(h) = handle {
-                if let (false, Some(remote)) = (clean, h.remote) {
-                    bump_backoff_entry(backoff, remote);
-                }
-                drop(h.outbound);
-                // the thread emitted Closed as its last act; join is
-                // immediate
-                let _ = h.join.join();
-            }
-        }
-    }
-}
-
-fn bump_backoff_entry(backoff: &mut HashMap<PeerId, Backoff>, peer: PeerId) {
-    let entry = backoff.entry(peer).or_default();
-    entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
-    // the actual delay (with jitter) is computed at dial time
-}
-
-/// One exchange: build the BarterCast message once, then deliver it to
-/// each sampled neighbor — over a live session when one exists,
-/// otherwise by dialing (subject to backoff).
-#[allow(clippy::too_many_arguments)]
-fn exchange_tick(
-    id: PeerId,
-    transport: &Arc<dyn Transport>,
-    pss: &PssNode,
-    state: &Arc<Mutex<NodeState>>,
-    sessions: &Arc<Mutex<SessionTable>>,
-    event_tx: &SyncSender<SessionEvent>,
-    shutdown: &Arc<AtomicBool>,
-    counters: &Arc<NodeCounters>,
-    config: &NodeConfig,
-    rng: &mut StdRng,
-    backoff: &mut HashMap<PeerId, Backoff>,
-    ever_connected: &mut HashSet<PeerId>,
-) {
-    let msg = {
-        let st = state.lock().expect("state lock");
-        BarterCastMessage::from_history(&st.history, config.bartercast)
-    };
-    if msg.is_empty() {
-        return; // nothing to gossip yet
-    }
-    let targets = pss.sample_many(rng, config.fanout);
-    for target in targets {
-        if target == id {
-            continue;
-        }
-        // reuse a live session when one exists
-        let sent_live = {
-            let table = sessions.lock().expect("session table");
-            match table.by_token.values().find(|h| h.remote == Some(target)) {
-                Some(h) => match h.outbound.try_send(msg.clone()) {
-                    Ok(()) => Some(true),
-                    Err(TrySendError::Full(_)) => {
-                        NodeCounters::inc(&counters.queue_shed);
-                        Some(false)
-                    }
-                    Err(TrySendError::Disconnected(_)) => None, // reap pending
-                },
-                None => None,
-            }
-        };
-        if sent_live.is_some() {
-            continue;
-        }
-        // no live session: dial, respecting backoff
-        let now = Instant::now();
-        let entry = backoff.entry(target).or_default();
-        if let Some(not_before) = entry.not_before {
-            if now < not_before {
-                continue;
-            }
-        }
-        if ever_connected.contains(&target) {
-            NodeCounters::inc(&counters.reconnects);
-        }
-        match transport.connect(id, target) {
-            Ok(conn) => {
-                // success of the *dial*; the handshake may still fail,
-                // in which case Closed{clean: false} re-arms backoff
-                entry.not_before = None;
-                spawn_session(
-                    conn,
-                    id,
-                    Direction::Initiator,
-                    Some(msg.clone()),
-                    sessions,
-                    event_tx,
-                    shutdown,
-                    counters,
-                    config,
-                );
-            }
-            Err(_) => {
-                NodeCounters::inc(&counters.sessions_failed);
-                entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
-                let exp = entry.consecutive_failures.min(16);
-                let base = config.backoff_base.as_secs_f64() * f64::from(1u32 << exp) / 2.0;
-                let capped = base.min(config.backoff_max.as_secs_f64());
-                let jittered = capped * (1.0 + rng.gen::<f64>() * config.backoff_jitter);
-                entry.not_before = Some(now + Duration::from_secs_f64(jittered));
-            }
-        }
+        self.stop();
     }
 }
 
@@ -560,6 +133,7 @@ mod tests {
     use super::*;
     use crate::mem::{MemConfig, MemTransport};
     use bartercast_util::units::Seconds;
+    use std::time::{Duration, Instant};
 
     fn fast_config(seed: u64) -> NodeConfig {
         NodeConfig {
@@ -619,6 +193,8 @@ mod tests {
         let sb = b.shutdown();
         assert!(sa.sessions_opened + sb.sessions_opened >= 1);
         assert!(sa.records_received + sb.records_received >= 2);
+        assert_eq!(sa.sessions_live, 0, "shutdown must reap every session");
+        assert_eq!(sb.sessions_live, 0);
     }
 
     #[test]

@@ -1,0 +1,835 @@
+//! The readiness-polled reactor: one thread, every session.
+//!
+//! The old runtime spent a thread per connection; the [`Reactor`]
+//! replaces all of them with a single poll loop over non-blocking
+//! connections:
+//!
+//! ```text
+//!                ┌──────────────────────────────────────────┐
+//!                │                 Reactor                  │
+//!                │                                          │
+//!   WakeQueue ──▶│ drain wakes ─▶ fire timers ─▶ accept ─▶  │
+//!   (or poll(2)) │                                          │
+//!                │  pump ready sessions ─▶ apply events ─▶  │
+//!                │                                          │
+//!                │  reap closed ─▶ sleep until next wake    │
+//!                └──────────────────────────────────────────┘
+//!                      ▲               │
+//!            TimerWheel┘               ▼
+//!          Exchange / SessionCheck   Session state machines
+//!          / DialRetry               (crate::session)
+//! ```
+//!
+//! Readiness arrives one of two ways, chosen by the transport's
+//! [`ReadySource`]:
+//!
+//! * **Waker mode** ([`MemTransport`](crate::mem::MemTransport)) —
+//!   each connection is registered with the reactor's [`WakeQueue`]
+//!   under its session token; a peer's send notifies the token and the
+//!   reactor pumps exactly the woken sessions, in sorted-token order.
+//!   Together with the transport's split send/receive RNG streams this
+//!   makes the frame schedule a pure function of the seeds.
+//! * **Fd mode** ([`TcpTransport`](crate::transport::TcpTransport)) —
+//!   the reactor collects raw fds and blocks in `poll(2)` via
+//!   [`wait_readiness`](crate::transport::wait_readiness), then pumps
+//!   every session (readiness fan-in without per-fd dispatch keeps the
+//!   loop simple; sessions that have nothing report no progress
+//!   cheaply).
+//!
+//! All time-driven behaviour — the periodic exchange, handshake/idle
+//! deadlines, dial-backoff retries — lives on the [`TimerWheel`]; the
+//! reactor never sleeps except in its single wait point, and never
+//! blocks on I/O at all. Overload is shed at two distinct points:
+//! inbound connections beyond `max_sessions` are accepted and
+//! immediately dropped (`shed_accept` — the peer sees a reset rather
+//! than a SYN backlog), and exchange messages to a slow peer are
+//! dropped at its bounded queue (`shed_session`).
+
+use crate::clock::Clock;
+use crate::session::{Direction, Session, SessionConfig, SessionEvent};
+use crate::stats::NodeCounters;
+use crate::timer::{TimerKind, TimerWheel};
+use crate::transport::{
+    wait_readiness, Conn, FdInterest, Listener, ReadySource, Transport, WakeQueue, LISTENER_TOKEN,
+};
+use bartercast_core::message::BarterCastConfig;
+use bartercast_core::repcache::ReputationEngine;
+use bartercast_core::{BarterCastMessage, PrivateHistory};
+use bartercast_gossip::{PssConfig, PssNode};
+use bartercast_util::units::{Bytes, PeerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one node. The defaults are production-flavored
+/// (seconds-scale exchanges); tests and the cluster harness shrink the
+/// intervals to milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// How often the node pushes its history to sampled neighbors.
+    pub exchange_interval: Duration,
+    /// Neighbors addressed per exchange tick.
+    pub fanout: usize,
+    /// First reconnect delay after a failure; doubles per consecutive
+    /// failure.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_max: Duration,
+    /// Random extra fraction (`0.0..=1.0`) added to each backoff delay
+    /// so a rebooted cluster doesn't thunder back in lockstep.
+    pub backoff_jitter: f64,
+    /// Capacity of each session's outbound message queue; overflow is
+    /// shed and counted in `shed_session`.
+    pub outbound_queue: usize,
+    /// Hard cap on concurrent sessions; inbound connections beyond it
+    /// are accepted-then-dropped and counted in `shed_accept`.
+    pub max_sessions: usize,
+    /// Inbound connections adopted per poll cycle; bounds how long one
+    /// accept storm can starve established sessions.
+    pub accept_burst: usize,
+    /// Timer-wheel granularity (deadline resolution).
+    pub tick_granularity: Duration,
+    /// How long a graceful shutdown waits for sessions to drain and
+    /// `Bye` before force-closing the stragglers.
+    pub drain_timeout: Duration,
+    /// Per-session protocol timeouts.
+    pub session: SessionConfig,
+    /// Top-`Nh`/`Nr` selection for outgoing BarterCast messages.
+    pub bartercast: BarterCastConfig,
+    /// Peer-sampling view parameters.
+    pub pss: PssConfig,
+    /// Seed for the node's own RNG (sampling + jitter). Combined with
+    /// the node id, so a cluster built from one seed still gives every
+    /// node a distinct stream.
+    pub seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            exchange_interval: Duration::from_secs(10),
+            fanout: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(30),
+            backoff_jitter: 0.5,
+            outbound_queue: 16,
+            max_sessions: 4096,
+            accept_burst: 128,
+            tick_granularity: Duration::from_millis(1),
+            drain_timeout: Duration::from_secs(1),
+            session: SessionConfig::default(),
+            bartercast: BarterCastConfig::default(),
+            pss: PssConfig::default(),
+            seed: 0xBC,
+        }
+    }
+}
+
+/// The exponential-backoff delay before retry number
+/// `consecutive_failures`: `base · 2^f / 2`, capped at `max`, with a
+/// multiplicative jitter in `[1, 1 + jitter]` drawn from `rng`. Public
+/// so the lifecycle tests can pin the cap and the jitter bounds.
+pub fn backoff_delay(
+    consecutive_failures: u32,
+    base: Duration,
+    max: Duration,
+    jitter: f64,
+    rng: &mut StdRng,
+) -> Duration {
+    let exp = consecutive_failures.min(16);
+    let raw = base.as_secs_f64() * f64::from(1u32 << exp) / 2.0;
+    let capped = raw.min(max.as_secs_f64());
+    let jittered = capped * (1.0 + rng.gen::<f64>() * jitter);
+    Duration::from_secs_f64(jittered)
+}
+
+/// Per-peer reconnect state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Backoff {
+    consecutive_failures: u32,
+    not_before: Option<Instant>,
+}
+
+/// Node state the reactor owns exclusively (behind a mutex only so
+/// snapshots can be taken from the outside).
+pub struct NodeState {
+    pub(crate) history: PrivateHistory,
+    pub(crate) engine: ReputationEngine,
+}
+
+impl NodeState {
+    /// The subjective contribution graph as a sorted edge list
+    /// `(from, to, bytes)` — the convergence check compares these
+    /// across nodes.
+    pub fn subjective_edges(&self) -> Vec<(PeerId, PeerId, Bytes)> {
+        let mut edges: Vec<_> = self.engine.graph().edges().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Subjective reputation of `peer` as seen from `me` (Equation 1
+    /// over the merged graph).
+    pub fn reputation(&mut self, me: PeerId, peer: PeerId) -> f64 {
+        self.engine.reputation(me, peer)
+    }
+}
+
+/// One node's entire runtime, as pollable state. [`Node`](crate::Node)
+/// runs it on a dedicated thread; the deterministic cluster driver
+/// pumps several of them in lockstep on one thread.
+pub struct Reactor {
+    id: PeerId,
+    transport: Arc<dyn Transport>,
+    listener: Box<dyn Listener>,
+    clock: Arc<dyn Clock>,
+    wake: Arc<WakeQueue>,
+    /// Sorted so waker-mode pump order is deterministic.
+    sessions: BTreeMap<u64, Session>,
+    next_token: u64,
+    /// Established sessions by remote peer — the exchange tick's
+    /// "reuse a live session" lookup.
+    by_peer: HashMap<PeerId, u64>,
+    wheel: TimerWheel,
+    /// Tokens whose connection holds a frame that becomes readable at a
+    /// future instant (mem-transport delay injection): the reactor must
+    /// wake itself then, because no external notify will.
+    delayed: BTreeMap<u64, Instant>,
+    /// Tokens to pump on the next cycle.
+    ready: BTreeSet<u64>,
+    pss: PssNode,
+    rng: StdRng,
+    backoff: HashMap<PeerId, Backoff>,
+    ever_connected: HashSet<PeerId>,
+    state: Arc<Mutex<NodeState>>,
+    counters: Arc<NodeCounters>,
+    config: NodeConfig,
+    /// Waker mode: pump exactly the woken tokens. Fd mode: pump all.
+    targeted: bool,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    /// Bind the listener and assemble a reactor. Nothing runs until
+    /// [`Reactor::poll_once`] (or [`Reactor::run`]) is called; the
+    /// first exchange tick is scheduled for "now", matching the old
+    /// runtime's fire-immediately behaviour.
+    pub fn new(
+        id: PeerId,
+        transport: Arc<dyn Transport>,
+        bootstrap: Vec<PeerId>,
+        history: PrivateHistory,
+        config: NodeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Reactor> {
+        let mut listener = transport.listen(id)?;
+        let wake = Arc::new(WakeQueue::new());
+        let targeted = matches!(listener.ready_source(), ReadySource::Waker);
+        if targeted {
+            listener.register_waker(&wake, LISTENER_TOKEN);
+        }
+        let now = clock.now();
+        let mut wheel = TimerWheel::new(now, config.tick_granularity, 512);
+        wheel.schedule(now, TimerKind::Exchange);
+        let engine = ReputationEngine::from_private(&history);
+        let mut pss = PssNode::new(id, config.pss);
+        pss.bootstrap(bootstrap);
+        Ok(Reactor {
+            id,
+            transport,
+            listener,
+            clock,
+            wake,
+            sessions: BTreeMap::new(),
+            next_token: 0,
+            by_peer: HashMap::new(),
+            wheel,
+            delayed: BTreeMap::new(),
+            ready: BTreeSet::new(),
+            pss,
+            rng: StdRng::seed_from_u64(config.seed ^ (((id.0 as u64) << 32) | 0xA5A5)),
+            backoff: HashMap::new(),
+            ever_connected: HashSet::new(),
+            state: Arc::new(Mutex::new(NodeState { history, engine })),
+            counters: Arc::new(NodeCounters::default()),
+            config,
+            targeted,
+            draining: false,
+            drain_deadline: None,
+        })
+    }
+
+    /// This reactor's peer id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Shared handle to the operational counters.
+    pub fn counters(&self) -> Arc<NodeCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Shared handle to the node state (history + reputation engine).
+    pub fn state(&self) -> Arc<Mutex<NodeState>> {
+        Arc::clone(&self.state)
+    }
+
+    /// The wake queue — external threads kick it to interrupt
+    /// [`Reactor::wait`] (e.g. for shutdown).
+    pub fn wake_handle(&self) -> Arc<WakeQueue> {
+        Arc::clone(&self.wake)
+    }
+
+    /// Live session count (pending + established).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether a graceful drain has been requested and every session
+    /// has finished.
+    pub fn drained(&self) -> bool {
+        self.draining && self.sessions.is_empty()
+    }
+
+    /// One full cycle: wakes → timers → delayed frames → accepts →
+    /// pumps → events → reaping. Returns whether any progress was made,
+    /// so callers know when to park in [`Reactor::wait`]. Time is read
+    /// from the clock exactly once, at entry — under a virtual clock
+    /// the whole cycle is a pure function of (state, seeds, now).
+    pub fn poll_once(&mut self) -> bool {
+        let now = self.clock.now();
+        let mut events: Vec<SessionEvent> = Vec::new();
+        let mut progress = false;
+
+        // 1. external readiness
+        for token in self.wake.drain() {
+            self.ready.insert(token);
+        }
+
+        // 2. due timers
+        for kind in self.wheel.pop_due(now) {
+            match kind {
+                TimerKind::Exchange => {
+                    if !self.draining {
+                        self.wheel
+                            .schedule(now + self.config.exchange_interval, TimerKind::Exchange);
+                        self.exchange_tick(now);
+                        progress = true;
+                    }
+                }
+                TimerKind::SessionCheck { token } => {
+                    if let Some(session) = self.sessions.get_mut(&token) {
+                        match session.check_deadlines(
+                            now,
+                            &self.config.session,
+                            &self.counters,
+                            &mut events,
+                        ) {
+                            Some(next) => {
+                                self.wheel.schedule(next, TimerKind::SessionCheck { token })
+                            }
+                            None => progress = true, // expired
+                        }
+                    }
+                }
+                TimerKind::DialRetry { peer } => {
+                    if !self.draining && !self.by_peer.contains_key(&peer) {
+                        self.dial(peer, now, None);
+                        progress = true;
+                    }
+                }
+            }
+        }
+
+        // 3. in-flight frames that became readable
+        let due: Vec<u64> = self
+            .delayed
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in due {
+            self.delayed.remove(&token);
+            self.ready.insert(token);
+        }
+
+        // 4. inbound connections, up to the accept burst
+        let mut accepted = 0;
+        while accepted < self.config.accept_burst {
+            match self.listener.try_accept() {
+                Ok(Some(conn)) => {
+                    accepted += 1;
+                    if self.draining || self.sessions.len() >= self.config.max_sessions {
+                        // accepted-then-dropped: the peer sees an
+                        // immediate close, not a hanging backlog
+                        NodeCounters::inc(&self.counters.shed_accept);
+                        drop(conn);
+                    } else {
+                        self.adopt(conn, Direction::Responder, None, now);
+                    }
+                    progress = true;
+                }
+                Ok(None) => break,
+                Err(_) => break, // listener died; keep serving sessions
+            }
+        }
+        if accepted == self.config.accept_burst {
+            // burst limit hit with possibly more queued: make sure the
+            // next cycle services the listener even without a new wake
+            self.ready.insert(LISTENER_TOKEN);
+        } else {
+            self.ready.remove(&LISTENER_TOKEN);
+        }
+
+        // 5. pump sessions
+        let tokens: Vec<u64> = if self.targeted {
+            self.ready
+                .iter()
+                .copied()
+                .filter(|t| *t != LISTENER_TOKEN)
+                .collect()
+        } else {
+            self.sessions.keys().copied().collect()
+        };
+        self.ready.retain(|t| *t == LISTENER_TOKEN);
+        for token in tokens {
+            if let Some(session) = self.sessions.get_mut(&token) {
+                if session.pump(self.id, now, &self.counters, &mut events) {
+                    progress = true;
+                }
+                // a frame still in simulated flight needs a self-wake
+                match session.conn_mut().next_ready_at() {
+                    Some(at) if at > now => {
+                        self.delayed.insert(token, at);
+                    }
+                    _ => {
+                        self.delayed.remove(&token);
+                    }
+                }
+            }
+        }
+
+        // 6. apply events, then reap the dead
+        if !events.is_empty() {
+            progress = true;
+            self.apply_events(events, now);
+        }
+        let closed: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.is_closed())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in closed {
+            self.reap(token);
+        }
+
+        progress
+    }
+
+    /// The earliest instant at which the reactor has scheduled work:
+    /// the nearest timer or the nearest delayed in-flight frame.
+    pub fn next_wake(&self) -> Option<Instant> {
+        let timer = self.wheel.next_deadline();
+        let frame = self.delayed.values().min().copied();
+        match (timer, frame) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    /// Park until something happens: a wake notification (waker mode),
+    /// fd readiness (fd mode), or the next scheduled deadline.
+    pub fn wait(&mut self) {
+        let now = self.clock.now();
+        let until = self
+            .next_wake()
+            .map(|t| t.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50));
+        if self.targeted {
+            for token in self.wake.wait(until) {
+                self.ready.insert(token);
+            }
+        } else {
+            let mut set = Vec::with_capacity(self.sessions.len() + 1);
+            if let ReadySource::Fd(fd) = self.listener.ready_source() {
+                set.push(FdInterest { fd, write: false });
+            }
+            for session in self.sessions.values_mut() {
+                let write = session.wants_write();
+                if let ReadySource::Fd(fd) = session.conn_mut().ready_source() {
+                    set.push(FdInterest { fd, write });
+                }
+            }
+            wait_readiness(&set, until.min(Duration::from_millis(10)));
+        }
+    }
+
+    /// Drive the reactor until `shutdown` is flagged, then drain
+    /// gracefully: every session gets a `Bye` and up to
+    /// `config.drain_timeout` to flush before being force-closed.
+    pub fn run(&mut self, shutdown: &AtomicBool) {
+        loop {
+            if shutdown.load(Ordering::Relaxed) && !self.draining {
+                self.begin_shutdown();
+            }
+            let progress = self.poll_once();
+            if self.draining {
+                if self.sessions.is_empty() {
+                    return;
+                }
+                if let Some(deadline) = self.drain_deadline {
+                    if self.clock.now() >= deadline {
+                        self.force_close_all();
+                        return;
+                    }
+                }
+            }
+            if !progress {
+                self.wait();
+            }
+        }
+    }
+
+    /// Flip into draining mode: ask every session for a graceful
+    /// teardown and arm the force-close deadline.
+    pub fn begin_shutdown(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(self.clock.now() + self.config.drain_timeout);
+        let tokens: Vec<u64> = self.sessions.keys().copied().collect();
+        for token in tokens {
+            if let Some(session) = self.sessions.get_mut(&token) {
+                session.begin_drain();
+            }
+            self.ready.insert(token);
+        }
+    }
+
+    fn force_close_all(&mut self) {
+        let mut events = Vec::new();
+        let tokens: Vec<u64> = self.sessions.keys().copied().collect();
+        for token in tokens {
+            if let Some(session) = self.sessions.get_mut(&token) {
+                session.force_close(&self.counters, &mut events);
+            }
+            self.reap(token);
+        }
+        // events are only Closed notifications for sessions already
+        // reaped; nothing else to apply
+    }
+
+    /// Take ownership of a connection as a new session: assign a token,
+    /// register its waker, count it live, and schedule its handshake
+    /// deadline.
+    fn adopt(
+        &mut self,
+        mut conn: Box<dyn Conn>,
+        direction: Direction,
+        preload: Option<BarterCastMessage>,
+        now: Instant,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        if self.targeted {
+            conn.register_waker(&self.wake, token);
+        }
+        let mut session = Session::new(token, conn, direction, now);
+        if let Some(msg) = preload {
+            session.preload(msg);
+        }
+        if self.draining {
+            session.begin_drain();
+        }
+        self.sessions.insert(token, session);
+        self.counters.session_adopted();
+        self.wheel.schedule(
+            now + self.config.session.handshake_timeout,
+            TimerKind::SessionCheck { token },
+        );
+        self.ready.insert(token);
+    }
+
+    fn reap(&mut self, token: u64) {
+        if self.sessions.remove(&token).is_some() {
+            self.counters.session_reaped();
+        }
+        self.delayed.remove(&token);
+        self.ready.remove(&token);
+        if let Some(peer) = self
+            .by_peer
+            .iter()
+            .find(|(_, t)| **t == token)
+            .map(|(p, _)| *p)
+        {
+            self.by_peer.remove(&peer);
+        }
+    }
+
+    /// Dial `target` (respecting backoff); on success the new session
+    /// carries `preload` out with its first established pump.
+    fn dial(&mut self, target: PeerId, now: Instant, preload: Option<BarterCastMessage>) {
+        let entry = self.backoff.entry(target).or_default();
+        if let Some(not_before) = entry.not_before {
+            if now < not_before {
+                return;
+            }
+        }
+        if self.ever_connected.contains(&target) {
+            NodeCounters::inc(&self.counters.reconnects);
+        }
+        match self.transport.connect(self.id, target) {
+            Ok(conn) => {
+                // success of the *dial*; the handshake may still fail,
+                // in which case Closed{clean: false} re-arms backoff
+                self.backoff.entry(target).or_default().not_before = None;
+                self.adopt(conn, Direction::Initiator, preload, now);
+            }
+            Err(_) => {
+                NodeCounters::inc(&self.counters.sessions_failed);
+                self.arm_backoff(target, now);
+            }
+        }
+    }
+
+    /// Bump the failure count, compute the next delay, and schedule the
+    /// retry timer.
+    fn arm_backoff(&mut self, peer: PeerId, now: Instant) {
+        let entry = self.backoff.entry(peer).or_default();
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        let delay = backoff_delay(
+            entry.consecutive_failures,
+            self.config.backoff_base,
+            self.config.backoff_max,
+            self.config.backoff_jitter,
+            &mut self.rng,
+        );
+        let retry_at = now + delay;
+        entry.not_before = Some(retry_at);
+        if !self.draining {
+            self.wheel.schedule(retry_at, TimerKind::DialRetry { peer });
+        }
+    }
+
+    /// One exchange: build the BarterCast message once, then deliver it
+    /// to each sampled neighbor — over a live session when one exists,
+    /// otherwise by dialing (subject to backoff).
+    fn exchange_tick(&mut self, now: Instant) {
+        self.pss.tick();
+        let msg = {
+            let st = self.state.lock().expect("state lock");
+            BarterCastMessage::from_history(&st.history, self.config.bartercast)
+        };
+        if msg.is_empty() {
+            return; // nothing to gossip yet
+        }
+        let targets = self.pss.sample_many(&mut self.rng, self.config.fanout);
+        for target in targets {
+            if target == self.id {
+                continue;
+            }
+            if let Some(&token) = self.by_peer.get(&target) {
+                if let Some(session) = self.sessions.get_mut(&token) {
+                    session.enqueue(msg.clone(), self.config.outbound_queue, &self.counters);
+                    self.ready.insert(token);
+                    continue;
+                }
+            }
+            self.dial(target, now, Some(msg.clone()));
+        }
+    }
+
+    fn apply_events(&mut self, events: Vec<SessionEvent>, now: Instant) {
+        for event in events {
+            match event {
+                SessionEvent::Established { token, remote, .. } => {
+                    self.by_peer.entry(remote).or_insert(token);
+                    self.backoff.remove(&remote);
+                    if !self.ever_connected.insert(remote) {
+                        NodeCounters::inc(&self.counters.reconnects);
+                    }
+                    self.pss.bootstrap([remote]);
+                }
+                SessionEvent::Records { from, msg, .. } => {
+                    let mut st = self.state.lock().expect("state lock");
+                    let changed = st.engine.absorb_message(&msg);
+                    if changed == 0 {
+                        NodeCounters::add(&self.counters.records_duplicate, msg.len() as u64);
+                    }
+                    let _ = from; // history stays private: only direct transfers enter it
+                }
+                SessionEvent::Closed { token, clean } => {
+                    let remote = self.sessions.get(&token).and_then(|s| s.remote());
+                    if let (false, Some(peer)) = (clean, remote) {
+                        if !self.draining {
+                            self.arm_backoff(peer, now);
+                        }
+                    }
+                    // reaping happens at the end of poll_once
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::mem::{MemConfig, MemTransport};
+    use bartercast_util::units::Seconds;
+
+    fn fast_config(seed: u64) -> NodeConfig {
+        NodeConfig {
+            exchange_interval: Duration::from_millis(20),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(200),
+            seed,
+            ..NodeConfig::default()
+        }
+    }
+
+    fn history_with_upload(owner: u32, peer: u32, mb: u64) -> PrivateHistory {
+        let mut h = PrivateHistory::new(PeerId(owner));
+        h.record_upload(PeerId(peer), Bytes::from_mb(mb), Seconds(1));
+        h
+    }
+
+    #[test]
+    fn backoff_delay_caps_at_max_with_bounded_jitter() {
+        let base = Duration::from_millis(100);
+        let max = Duration::from_secs(30);
+        let mut rng = StdRng::seed_from_u64(1);
+        for failures in [20u32, 40, u32::MAX] {
+            let d = backoff_delay(failures, base, max, 0.5, &mut rng);
+            assert!(d >= max, "capped delay must be at least max, got {d:?}");
+            assert!(
+                d <= max.mul_f64(1.5),
+                "jitter must stay within +50%, got {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_delay_grows_exponentially_before_the_cap() {
+        let base = Duration::from_millis(100);
+        let max = Duration::from_secs(30);
+        // jitter 0 isolates the deterministic part
+        let mut rng = StdRng::seed_from_u64(1);
+        let d1 = backoff_delay(1, base, max, 0.0, &mut rng);
+        let d2 = backoff_delay(2, base, max, 0.0, &mut rng);
+        let d3 = backoff_delay(3, base, max, 0.0, &mut rng);
+        assert_eq!(d1, Duration::from_millis(100));
+        assert_eq!(d2, Duration::from_millis(200));
+        assert_eq!(d3, Duration::from_millis(400));
+    }
+
+    /// Two reactors pumped in lockstep on virtual time converge to each
+    /// other's records without any thread ever sleeping.
+    #[test]
+    fn two_reactors_converge_on_virtual_time() {
+        let clock = Arc::new(VirtualClock::new());
+        let transport = Arc::new(MemTransport::with_clock(
+            MemConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        let mut a = Reactor::new(
+            PeerId(0),
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            vec![PeerId(1)],
+            history_with_upload(0, 1, 64),
+            fast_config(1),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .unwrap();
+        let mut b = Reactor::new(
+            PeerId(1),
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            vec![PeerId(0)],
+            history_with_upload(1, 2, 32),
+            fast_config(2),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )
+        .unwrap();
+
+        let want = 2; // 0→1 (a's upload) and 1→2 (b's upload)
+        for _step in 0..10_000 {
+            // settle every event available at this virtual instant
+            let mut spins = 0;
+            while (a.poll_once() | b.poll_once()) && spins < 1000 {
+                spins += 1;
+            }
+            let ea = a.state.lock().unwrap().subjective_edges();
+            let eb = b.state.lock().unwrap().subjective_edges();
+            if ea.len() >= want && ea == eb {
+                return; // converged
+            }
+            // advance to the earliest scheduled wake, strictly forward
+            let next = [a.next_wake(), b.next_wake()]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("idle reactors must still hold their exchange timer");
+            let now = clock.now();
+            clock.advance_to(next.max(now + Duration::from_micros(1)));
+        }
+        panic!(
+            "no convergence: a={:?} b={:?}",
+            a.counters.snapshot(),
+            b.counters.snapshot()
+        );
+    }
+
+    /// Inbound connections beyond `max_sessions` are shed at accept and
+    /// counted, while existing sessions keep working.
+    #[test]
+    fn sessions_beyond_the_cap_are_shed_at_accept() {
+        let transport = Arc::new(MemTransport::new(MemConfig::default()));
+        let clock: Arc<dyn Clock> = Arc::new(crate::clock::SystemClock);
+        let mut r = Reactor::new(
+            PeerId(1),
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            vec![],
+            PrivateHistory::new(PeerId(1)),
+            NodeConfig {
+                max_sessions: 2,
+                ..fast_config(9)
+            },
+            clock,
+        )
+        .unwrap();
+        let mut dialers: Vec<Box<dyn Conn>> = (0..5)
+            .map(|i| transport.connect(PeerId(10 + i), PeerId(1)).unwrap())
+            .collect();
+        r.poll_once();
+        assert_eq!(r.session_count(), 2, "cap must hold");
+        assert_eq!(r.counters.snapshot().shed_accept, 3);
+        assert_eq!(r.counters.snapshot().sessions_peak, 2);
+        // shed dialers observe EOF; adopted ones do not
+        let mut eofs = 0;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while eofs < 3 && Instant::now() < deadline {
+            eofs = 0;
+            for d in dialers.iter_mut() {
+                let mut buf = [0u8; 64];
+                loop {
+                    match d.try_recv(&mut buf) {
+                        Ok(Some(0)) | Err(_) => {
+                            eofs += 1;
+                            break;
+                        }
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break,
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(eofs, 3, "exactly the shed dialers see EOF");
+    }
+}

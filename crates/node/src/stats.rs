@@ -1,10 +1,18 @@
 //! Per-node operational counters.
 //!
-//! Sessions run on their own threads, so counters are plain relaxed
-//! atomics bumped at the point of truth (the session loop) and
-//! snapshotted into an immutable [`NodeStats`] on demand. The JSON
-//! surface mirrors `CacheStats::json_fields` from `bartercast-core` so
-//! bench output stays one consistent dialect.
+//! The reactor and its helpers bump plain relaxed atomics at the point
+//! of truth and snapshot them into an immutable [`NodeStats`] on
+//! demand. The JSON surface mirrors `CacheStats::json_fields` from
+//! `bartercast-core` so bench output stays one consistent dialect.
+//!
+//! Shedding is split by *where* the overload bit: `shed_accept` counts
+//! inbound connections dropped at the door because the session table
+//! was at `max_sessions`, while `shed_session` counts outbound
+//! messages dropped because one session's bounded queue was full. The
+//! distinction matters for capacity planning — the first says "raise
+//! the session cap or add nodes", the second says "this peer is slow
+//! or the exchange rate outruns the wire". `sessions_live` /
+//! `sessions_peak` give the matching occupancy view.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -17,6 +25,11 @@ pub struct NodeCounters {
     pub sessions_failed: AtomicU64,
     /// Sessions that ended, cleanly or not.
     pub sessions_closed: AtomicU64,
+    /// Sessions currently alive (gauge: incremented on adoption,
+    /// decremented on reap).
+    pub sessions_live: AtomicU64,
+    /// High-water mark of `sessions_live`.
+    pub sessions_peak: AtomicU64,
     /// Dials to a peer we had already had a session with — the
     /// reconnect path the backoff machinery exists for.
     pub reconnects: AtomicU64,
@@ -30,8 +43,12 @@ pub struct NodeCounters {
     pub bytes_sent: AtomicU64,
     /// Stream bytes read from the transport.
     pub bytes_received: AtomicU64,
-    /// Outbound messages shed because a bounded queue was full.
-    pub queue_shed: AtomicU64,
+    /// Inbound connections dropped at accept because the session table
+    /// was full (`max_sessions`).
+    pub shed_accept: AtomicU64,
+    /// Outbound messages dropped because a session's bounded queue was
+    /// full.
+    pub shed_session: AtomicU64,
     /// Envelopes rejected by the wire layer (bad kind, bad handshake,
     /// codec failure) plus decoder poisonings.
     pub protocol_errors: AtomicU64,
@@ -48,19 +65,34 @@ impl NodeCounters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record a session entering the table: bumps the live gauge and
+    /// folds it into the peak high-water mark.
+    pub fn session_adopted(&self) {
+        let live = self.sessions_live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sessions_peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Record a session leaving the table.
+    pub fn session_reaped(&self) {
+        self.sessions_live.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// An immutable snapshot of every counter.
     pub fn snapshot(&self) -> NodeStats {
         NodeStats {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_live: self.sessions_live.load(Ordering::Relaxed),
+            sessions_peak: self.sessions_peak.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             records_sent: self.records_sent.load(Ordering::Relaxed),
             records_received: self.records_received.load(Ordering::Relaxed),
             records_duplicate: self.records_duplicate.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
-            queue_shed: self.queue_shed.load(Ordering::Relaxed),
+            shed_accept: self.shed_accept.load(Ordering::Relaxed),
+            shed_session: self.shed_session.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
         }
     }
@@ -75,6 +107,10 @@ pub struct NodeStats {
     pub sessions_failed: u64,
     /// Sessions ended.
     pub sessions_closed: u64,
+    /// Sessions alive at snapshot time.
+    pub sessions_live: u64,
+    /// High-water mark of live sessions.
+    pub sessions_peak: u64,
     /// Dials to previously-seen peers.
     pub reconnects: u64,
     /// Records sent.
@@ -87,8 +123,10 @@ pub struct NodeStats {
     pub bytes_sent: u64,
     /// Bytes read from the wire.
     pub bytes_received: u64,
-    /// Messages shed at full queues.
-    pub queue_shed: u64,
+    /// Inbound connections shed at accept (session table full).
+    pub shed_accept: u64,
+    /// Outbound messages shed at a full per-session queue.
+    pub shed_session: u64,
     /// Wire-layer rejections.
     pub protocol_errors: u64,
 }
@@ -99,19 +137,23 @@ impl NodeStats {
     pub fn json_fields(&self) -> String {
         format!(
             "\"sessions_opened\": {}, \"sessions_failed\": {}, \"sessions_closed\": {}, \
-             \"reconnects\": {}, \"records_sent\": {}, \"records_received\": {}, \
-             \"records_duplicate\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \
-             \"queue_shed\": {}, \"protocol_errors\": {}",
+             \"sessions_live\": {}, \"sessions_peak\": {}, \"reconnects\": {}, \
+             \"records_sent\": {}, \"records_received\": {}, \"records_duplicate\": {}, \
+             \"bytes_sent\": {}, \"bytes_received\": {}, \"shed_accept\": {}, \
+             \"shed_session\": {}, \"protocol_errors\": {}",
             self.sessions_opened,
             self.sessions_failed,
             self.sessions_closed,
+            self.sessions_live,
+            self.sessions_peak,
             self.reconnects,
             self.records_sent,
             self.records_received,
             self.records_duplicate,
             self.bytes_sent,
             self.bytes_received,
-            self.queue_shed,
+            self.shed_accept,
+            self.shed_session,
             self.protocol_errors,
         )
     }
@@ -133,11 +175,25 @@ mod tests {
     }
 
     #[test]
+    fn live_gauge_and_peak_track_adoption_and_reaping() {
+        let c = NodeCounters::default();
+        c.session_adopted();
+        c.session_adopted();
+        c.session_adopted();
+        c.session_reaped();
+        let s = c.snapshot();
+        assert_eq!(s.sessions_live, 2);
+        assert_eq!(s.sessions_peak, 3, "peak must survive the reap");
+    }
+
+    #[test]
     fn json_fields_form_a_valid_object_body() {
         let s = NodeCounters::default().snapshot();
         let obj = format!("{{{}}}", s.json_fields());
         assert!(obj.starts_with('{') && obj.ends_with('}'));
-        assert_eq!(obj.matches(':').count(), 11);
-        assert!(obj.contains("\"queue_shed\": 0"));
+        assert_eq!(obj.matches(':').count(), 14);
+        assert!(obj.contains("\"shed_accept\": 0"));
+        assert!(obj.contains("\"shed_session\": 0"));
+        assert!(obj.contains("\"sessions_peak\": 0"));
     }
 }

@@ -1,0 +1,224 @@
+//! The reactor's timer wheel.
+//!
+//! Every delayed action in the runtime — the periodic exchange tick,
+//! per-session handshake/idle deadlines, and dial-backoff retries —
+//! lives on one hashed [`TimerWheel`] instead of a sleeping thread.
+//! The wheel is a ring of slots, each `granularity` wide; a timer due
+//! at absolute tick `t` sits in slot `t % slots`, carrying `t` so
+//! entries from later wheel revolutions can share the slot without
+//! firing early. [`TimerWheel::pop_due`] walks the cursor forward to
+//! the current tick and drains exactly the entries whose tick has
+//! passed, preserving (tick, insertion) order — which keeps the
+//! deterministic cluster driver's timer schedule reproducible.
+//!
+//! Everything is O(1) per insert and O(slots walked) per poll; there
+//! is no allocation-heavy heap and no per-timer thread. With the
+//! default 1 ms granularity and 512 slots one revolution covers half a
+//! second, comfortably above the runtime's poll cadence, so far-future
+//! timers (30 s backoff caps) simply ride around the ring a few times.
+
+use bartercast_util::units::PeerId;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// What to do when a timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Periodic gossip exchange: build a message, sample targets, dial.
+    Exchange,
+    /// Re-check one session's handshake/idle deadline.
+    SessionCheck {
+        /// The session's reactor token.
+        token: u64,
+    },
+    /// A dial to `peer` backed off earlier; try again now.
+    DialRetry {
+        /// The peer to redial.
+        peer: PeerId,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    tick: u64,
+    kind: TimerKind,
+}
+
+/// A hashed timer wheel over [`Instant`]s.
+#[derive(Debug)]
+pub struct TimerWheel {
+    start: Instant,
+    granularity: Duration,
+    slots: Vec<VecDeque<Entry>>,
+    /// Next tick to process; every queued entry has `tick >= current`.
+    current: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel anchored at `start` with `slots` slots of `granularity`
+    /// each. `start` should be the clock's current instant at boot.
+    pub fn new(start: Instant, granularity: Duration, slots: usize) -> Self {
+        assert!(granularity > Duration::ZERO);
+        assert!(slots >= 2);
+        TimerWheel {
+            start,
+            granularity,
+            slots: (0..slots).map(|_| VecDeque::new()).collect(),
+            current: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let nanos = t.saturating_duration_since(self.start).as_nanos();
+        let g = self.granularity.as_nanos();
+        nanos.div_ceil(g) as u64
+    }
+
+    /// Queue `kind` to fire at (or just after) `deadline`. Deadlines in
+    /// the past fire on the next [`TimerWheel::pop_due`].
+    pub fn schedule(&mut self, deadline: Instant, kind: TimerKind) {
+        let tick = self.tick_of(deadline).max(self.current);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push_back(Entry { tick, kind });
+        self.len += 1;
+    }
+
+    /// Advance the cursor to `now` and return every timer that came
+    /// due, in (tick, insertion) order. The cursor stops *at* the
+    /// current tick (not past it), so an entry scheduled for "now"
+    /// right after a poll still fires on the next poll at the same
+    /// instant rather than waiting out a granularity step.
+    pub fn pop_due(&mut self, now: Instant) -> Vec<TimerKind> {
+        let elapsed = now.saturating_duration_since(self.start).as_nanos();
+        let target = (elapsed / self.granularity.as_nanos()) as u64;
+        let mut due = Vec::new();
+        while self.current <= target {
+            let slot = (self.current % self.slots.len() as u64) as usize;
+            if !self.slots[slot].is_empty() {
+                let entries = std::mem::take(&mut self.slots[slot]);
+                for e in entries {
+                    if e.tick <= self.current {
+                        due.push(e.kind);
+                        self.len -= 1;
+                    } else {
+                        self.slots[slot].push_back(e); // a later revolution
+                    }
+                }
+            }
+            if self.current == target {
+                break;
+            }
+            self.current += 1;
+        }
+        due
+    }
+
+    /// The earliest queued deadline, if any — what the reactor sleeps
+    /// until.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let min_tick = self
+            .slots
+            .iter()
+            .flat_map(|s| s.iter().map(|e| e.tick))
+            .min()?;
+        let nanos = self.granularity.as_nanos() as u64 * min_tick.max(1);
+        Some(self.start + Duration::from_nanos(nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel(granularity_ms: u64, slots: usize) -> (TimerWheel, Instant) {
+        let start = Instant::now();
+        (
+            TimerWheel::new(start, Duration::from_millis(granularity_ms), slots),
+            start,
+        )
+    }
+
+    #[test]
+    fn fires_in_deadline_then_insertion_order() {
+        let (mut w, t0) = wheel(1, 8);
+        w.schedule(
+            t0 + Duration::from_millis(5),
+            TimerKind::SessionCheck { token: 5 },
+        );
+        w.schedule(
+            t0 + Duration::from_millis(2),
+            TimerKind::SessionCheck { token: 2 },
+        );
+        w.schedule(
+            t0 + Duration::from_millis(2),
+            TimerKind::SessionCheck { token: 3 },
+        );
+        assert_eq!(w.pop_due(t0 + Duration::from_millis(1)), vec![]);
+        assert_eq!(
+            w.pop_due(t0 + Duration::from_millis(10)),
+            vec![
+                TimerKind::SessionCheck { token: 2 },
+                TimerKind::SessionCheck { token: 3 },
+                TimerKind::SessionCheck { token: 5 },
+            ]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_timers_survive_wheel_revolutions() {
+        let (mut w, t0) = wheel(1, 4); // one revolution = 4 ms
+        w.schedule(t0 + Duration::from_millis(11), TimerKind::Exchange);
+        w.schedule(
+            t0 + Duration::from_millis(3),
+            TimerKind::SessionCheck { token: 1 },
+        );
+        assert_eq!(
+            w.pop_due(t0 + Duration::from_millis(4)),
+            vec![TimerKind::SessionCheck { token: 1 }]
+        );
+        assert_eq!(w.pop_due(t0 + Duration::from_millis(10)), vec![]);
+        assert_eq!(
+            w.pop_due(t0 + Duration::from_millis(12)),
+            vec![TimerKind::Exchange]
+        );
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_poll() {
+        let (mut w, t0) = wheel(1, 8);
+        let now = t0 + Duration::from_millis(20);
+        w.pop_due(now); // move the cursor forward first
+        w.schedule(t0 + Duration::from_millis(1), TimerKind::Exchange); // already past
+        assert_eq!(w.pop_due(now), vec![TimerKind::Exchange]);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_minimum() {
+        let (mut w, t0) = wheel(2, 8);
+        assert_eq!(w.next_deadline(), None);
+        w.schedule(t0 + Duration::from_millis(9), TimerKind::Exchange);
+        w.schedule(
+            t0 + Duration::from_millis(3),
+            TimerKind::SessionCheck { token: 1 },
+        );
+        let next = w.next_deadline().unwrap();
+        assert!(next <= t0 + Duration::from_millis(4));
+        assert!(next > t0);
+    }
+}

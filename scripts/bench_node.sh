@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Measure the node runtime end to end and emit BENCH_node.json at the
+# repository root: cluster convergence on the in-process transport
+# (lossless and the lossy tier-1 shape), the same population on real
+# loopback sockets, and the overload scenarios (5,000 scripted dialers
+# against one session-capped reactor; 512 dialers over TCP).
+#
+# The binary probes for loopback itself: on hosts without it
+# (sandboxes) the tcp and tcp_overload rows are kept in the JSON with
+# "skipped": true rather than failing the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bench --bin bench_node -- BENCH_node.json

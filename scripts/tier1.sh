@@ -35,6 +35,20 @@ cargo test -q -p bartercast-sim four_shard_smoke
 # set, bit-identically across two seeded runs. MemTransport only — no
 # sockets — so it runs anywhere tier-1 runs.
 cargo test -q -p bartercast-node --test cluster
+# Reactor determinism: the same lossy 8-node population driven in
+# lockstep on virtual time, twice, must produce bitwise-identical
+# NodeStats and converged graphs; plus pump-order / redundant-poll
+# invariance of the MemTransport loss-and-delay schedule.
+cargo test -q -p bartercast-node --test determinism
+# Session-lifecycle edge cases: half-open peers hit the idle deadline,
+# a Bye behind a partially-decoded frame still drains cleanly, and
+# dial backoff caps at its maximum with jitter inside bounds.
+cargo test -q -p bartercast-node --test lifecycle
+# Loadgen overload smoke: 512 concurrent dialers slam one reactor
+# capped at 128 sessions; the run must complete with the cap held,
+# shedding counted on both sides, and a sane shed rate (sheds some,
+# still serves a healthy share).
+cargo test -q -p bartercast-node --test loadgen
 # The vendored proptest never writes regression files; any
 # proptest-regressions entry appearing in the tree means a test pulled
 # in the real crate or something is scribbling where it shouldn't.
