@@ -1,0 +1,185 @@
+//! End-to-end measurement of the live-reputation swarm runtime: one
+//! 8-node piece-transfer swarm per choke policy, run in virtual time
+//! on the deterministic in-process transport, measuring how hard each
+//! policy suppresses lazy freeriders and what the run cost.
+//!
+//! Emits `BENCH_swarm.json` in the current directory (override with a
+//! path argument), plus one `swarm_<policy>.csv` per policy beside it
+//! — the per-peer download table the paper's Fig 2–3 plots are drawn
+//! from (peer, behaviour class, completeness, bytes up/down,
+//! completion round).
+//!
+//! Rows (one per policy: `none`, `rank`, `ban(-0.3)`, `ratio(0.25)`):
+//!
+//! * virtual ms until every cooperator completed,
+//! * mean cooperator / freerider completeness at that instant and
+//!   their ratio (the headline suppression number),
+//! * pieces moved per virtual second and gossip records received,
+//! * wall-clock ms the lockstep run took.
+//!
+//! Every row is correctness-gated before it is written: cooperators
+//! must all complete, every contribution edge must trace back to a
+//! ledger-backed piece transfer, and no node may have counted a
+//! protocol error. A violation exits non-zero rather than emitting a
+//! number measured on a broken run.
+
+use bartercast_bt::RatioPolicy;
+use bartercast_core::policy::ReputationPolicy;
+use bartercast_swarm::{
+    NodeSpec, PeerBehaviour, SwarmCluster, SwarmClusterConfig, SwarmParams, SwarmPolicy,
+};
+use bartercast_util::units::Bytes;
+use bench::write_bench_json;
+use std::time::{Duration, Instant};
+
+const PIECES: usize = 32;
+const HORIZON: Duration = Duration::from_secs(900);
+
+struct Row {
+    policy: String,
+    virtual_ms: f64,
+    wall_ms: f64,
+    coop_completeness: f64,
+    free_completeness: f64,
+    suppression_ratio: f64,
+    pieces_per_vsec: f64,
+    records_received: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"policy\": \"{}\", \"virtual_ms\": {:.1}, \
+             \"wall_ms\": {:.1}, \"coop_completeness\": {:.4}, \
+             \"free_completeness\": {:.4}, \"suppression_ratio\": {:.4}, \
+             \"pieces_per_vsec\": {:.2}, \"records_received\": {}}}",
+            self.policy,
+            self.virtual_ms,
+            self.wall_ms,
+            self.coop_completeness,
+            self.free_completeness,
+            self.suppression_ratio,
+            self.pieces_per_vsec,
+            self.records_received
+        )
+    }
+}
+
+fn population() -> Vec<NodeSpec> {
+    let mut nodes = vec![NodeSpec::new(0, PeerBehaviour::Cooperator, true)];
+    for id in 1..=5 {
+        nodes.push(NodeSpec::new(id, PeerBehaviour::Cooperator, false));
+    }
+    for id in 6..=7 {
+        nodes.push(NodeSpec::new(id, PeerBehaviour::Freerider, false));
+    }
+    nodes
+}
+
+fn run_policy(name: &str, policy: SwarmPolicy, csv_dir: &std::path::Path) -> Row {
+    let config = SwarmClusterConfig {
+        nodes: population(),
+        params: SwarmParams {
+            piece_count: PIECES,
+            policy,
+            ..SwarmParams::default()
+        },
+        ..SwarmClusterConfig::default()
+    };
+    let wall = Instant::now();
+    let mut cluster = SwarmCluster::boot(config).expect("boot swarm");
+    let completed = cluster.run_until_cooperators_complete(HORIZON);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    // correctness gate: a row measured on a broken run is worse than
+    // no row
+    if !completed {
+        eprintln!("error: cooperators failed to complete under {name}");
+        std::process::exit(1);
+    }
+    if !cluster.all_from_pieces() {
+        eprintln!("error: non-piece contribution records under {name}");
+        std::process::exit(1);
+    }
+    let stats = cluster.stats();
+    if stats.values().any(|s| s.protocol_errors > 0) {
+        eprintln!("error: protocol errors under {name}");
+        std::process::exit(1);
+    }
+
+    let report = cluster.report();
+    let csv_path = csv_dir.join(format!("swarm_{name}.csv"));
+    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+        eprintln!("error: cannot write {}: {e}", csv_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", csv_path.display());
+
+    let coop = report
+        .mean_completeness(PeerBehaviour::Cooperator)
+        .unwrap_or(0.0);
+    let free = report
+        .mean_completeness(PeerBehaviour::Freerider)
+        .unwrap_or(0.0);
+    let elapsed = cluster.elapsed().as_secs_f64();
+    let pieces: u64 = cluster.ledger().progress.values().map(|p| p.pieces).sum();
+    Row {
+        policy: name.to_string(),
+        virtual_ms: elapsed * 1e3,
+        wall_ms,
+        coop_completeness: coop,
+        free_completeness: free,
+        suppression_ratio: report.freerider_completion_ratio().unwrap_or(f64::NAN),
+        pieces_per_vsec: pieces as f64 / elapsed,
+        records_received: stats.values().map(|s| s.records_received).sum(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_swarm.json".to_string());
+    let csv_dir = std::path::Path::new(&out_path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+
+    let policies: [(&str, SwarmPolicy); 4] = [
+        ("none", SwarmPolicy::Reputation(ReputationPolicy::None)),
+        ("rank", SwarmPolicy::Reputation(ReputationPolicy::Rank)),
+        (
+            "ban",
+            SwarmPolicy::Reputation(ReputationPolicy::Ban { delta: -0.3 }),
+        ),
+        (
+            "ratio",
+            SwarmPolicy::Ratio(RatioPolicy {
+                min_ratio: 0.25,
+                grace: Bytes::from_gb(2),
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    eprintln!(
+        "{:10} {:>11} {:>9} {:>6} {:>6} {:>7} {:>10}",
+        "policy", "virtual_ms", "wall_ms", "coop", "free", "ratio", "pieces/vs"
+    );
+    for (name, policy) in policies {
+        let row = run_policy(name, policy, &csv_dir);
+        eprintln!(
+            "{:10} {:>11.0} {:>9.1} {:>6.3} {:>6.3} {:>7.3} {:>10.2}",
+            row.policy,
+            row.virtual_ms,
+            row.wall_ms,
+            row.coop_completeness,
+            row.free_completeness,
+            row.suppression_ratio,
+            row.pieces_per_vsec
+        );
+        rows.push(row.json());
+    }
+
+    write_bench_json(&out_path, "swarm", "per-policy 8-node swarm run", &rows);
+}

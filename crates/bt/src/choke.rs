@@ -23,7 +23,7 @@
 use crate::config::BtConfig;
 use crate::swarm::Role;
 use bartercast_core::policy::{PolicyDecision, ReputationPolicy};
-use bartercast_util::units::PeerId;
+use bartercast_util::units::{Bytes, PeerId};
 
 /// One interested peer competing for a slot, with its observed rates
 /// over the last unchoke period.
@@ -37,6 +37,102 @@ pub struct Candidate {
     /// Bytes we uploaded to this candidate during the last period
     /// (the candidate's download rate; seeder ranking key).
     pub rate_from_me: u64,
+}
+
+/// Everything a choke policy may consult about one candidate.
+///
+/// The rank and ban policies look only at `reputation`; the
+/// private-tracker ratio policy ([`RatioPolicy`](crate::RatioPolicy))
+/// looks at the lifetime `up`/`down` totals the evaluator's subjective
+/// contribution graph records for the candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerScore {
+    /// BarterCast reputation of the candidate as seen by the
+    /// evaluator (Equation 1, in `(-1, 1)`).
+    pub reputation: f64,
+    /// Total bytes the candidate is known to have uploaded.
+    pub up: Bytes,
+    /// Total bytes the candidate is known to have downloaded.
+    pub down: Bytes,
+}
+
+impl PeerScore {
+    /// The score of a peer nothing is known about: zero reputation,
+    /// zero transfer totals.
+    pub const NEUTRAL: PeerScore = PeerScore {
+        reputation: 0.0,
+        up: Bytes::ZERO,
+        down: Bytes::ZERO,
+    };
+
+    /// A score carrying only a reputation (transfer totals zero) —
+    /// what the rank/ban policies need.
+    pub fn reputation_only(reputation: f64) -> Self {
+        PeerScore {
+            reputation,
+            ..PeerScore::NEUTRAL
+        }
+    }
+
+    /// The candidate's share ratio `up / down`; peers that have not
+    /// downloaded anything yet get `+inf` (nothing to reciprocate).
+    pub fn share_ratio(&self) -> f64 {
+        if self.down.0 == 0 {
+            f64::INFINITY
+        } else {
+            self.up.0 as f64 / self.down.0 as f64
+        }
+    }
+}
+
+/// A choking policy: the seam between the slot-assignment mechanics in
+/// [`Choker`] and the reputation system feeding it.
+///
+/// Both runtimes share every implementation — the trace-driven
+/// simulator (`bartercast-sim`) and the live wire runtime
+/// (`bartercast-swarm` over `bartercast-node`) call the same
+/// [`Choker::unchoke`] with the same `&dyn ChokePolicy`, so a policy
+/// behaves identically whether its inputs come from simulated byte
+/// credits or from pieces moved over a transport.
+///
+/// Implementations: [`ReputationPolicy`] (none/rank/ban, §4.2) and
+/// [`RatioPolicy`](crate::RatioPolicy) (private-tracker ratio
+/// enforcement).
+pub trait ChokePolicy {
+    /// May this candidate receive any upload slot at all? Gates both
+    /// regular and optimistic slots (the ban policy's "do not assign
+    /// any upload slots to peers below δ").
+    fn admit(&self, score: &PeerScore) -> bool;
+
+    /// Order (and possibly filter) the optimistic-slot pool. The pool
+    /// arrives in plain-BitTorrent round-robin order; the first peer
+    /// of the returned vector wins the optimistic slot.
+    fn order_candidates(
+        &self,
+        pool: &[PeerId],
+        score: &mut dyn FnMut(PeerId) -> PeerScore,
+    ) -> Vec<PeerId>;
+
+    /// Short label for CSV output and plots.
+    fn policy_label(&self) -> String;
+}
+
+impl ChokePolicy for ReputationPolicy {
+    fn admit(&self, score: &PeerScore) -> bool {
+        self.admission(score.reputation) == PolicyDecision::Allow
+    }
+
+    fn order_candidates(
+        &self,
+        pool: &[PeerId],
+        score: &mut dyn FnMut(PeerId) -> PeerScore,
+    ) -> Vec<PeerId> {
+        self.order_optimistic(pool, |p| score(p).reputation)
+    }
+
+    fn policy_label(&self) -> String {
+        self.label()
+    }
 }
 
 /// Per-(peer, swarm) choking state.
@@ -69,25 +165,25 @@ impl Choker {
     /// Recompute the unchoke set for one period.
     ///
     /// `candidates` are the currently *interested* connected peers.
-    /// `reputation` is consulted only when the policy requires it.
+    /// `score` is consulted only when the policy requires it.
     /// Returns the unchoked peers (regular slots plus the optimistic
     /// slot).
     pub fn unchoke<F>(
         &mut self,
         role: Role,
         candidates: &[Candidate],
-        policy: &ReputationPolicy,
-        mut reputation: F,
+        policy: &dyn ChokePolicy,
+        mut score: F,
     ) -> Vec<PeerId>
     where
-        F: FnMut(PeerId) -> f64,
+        F: FnMut(PeerId) -> PeerScore,
     {
-        // Ban policy gates everything (§4.2: "do not assign any upload
+        // Admission gates everything (§4.2: "do not assign any upload
         // slots to peers that have a reputation below δ").
         let admitted: Vec<Candidate> = candidates
             .iter()
             .copied()
-            .filter(|c| policy.admission(reputation(c.peer)) == PolicyDecision::Allow)
+            .filter(|c| policy.admit(&score(c.peer)))
             .collect();
 
         // Regular slots: leechers by tit-for-tat rate, seeders by
@@ -126,7 +222,7 @@ impl Choker {
             .is_some_and(|p| admitted.iter().any(|c| c.peer == p) && !unchoked.contains(&p));
         if self.rounds_since_rotation >= self.config.optimistic_rounds() || !optimistic_still_valid
         {
-            self.optimistic = self.pick_optimistic(&admitted, &unchoked, policy, &mut reputation);
+            self.optimistic = self.pick_optimistic(&admitted, &unchoked, policy, &mut score);
             self.rounds_since_rotation = 0;
         }
         if let Some(p) = self.optimistic {
@@ -139,11 +235,11 @@ impl Choker {
         &mut self,
         admitted: &[Candidate],
         already: &[PeerId],
-        policy: &ReputationPolicy,
-        reputation: &mut F,
+        policy: &dyn ChokePolicy,
+        score: &mut F,
     ) -> Option<PeerId>
     where
-        F: FnMut(PeerId) -> f64,
+        F: FnMut(PeerId) -> PeerScore,
     {
         let mut pool: Vec<PeerId> = admitted
             .iter()
@@ -163,7 +259,7 @@ impl Choker {
         self.rotation_cursor = self.rotation_cursor.wrapping_add(1);
         // The rank policy reorders by reputation; ban has already
         // filtered; none keeps round-robin order (§4.2).
-        let ordered = policy.order_optimistic(&pool, reputation);
+        let ordered = policy.order_candidates(&pool, score);
         ordered.first().copied()
     }
 }
@@ -195,8 +291,15 @@ mod tests {
     #[test]
     fn leecher_prefers_best_reciprocators() {
         let mut ch = Choker::new(cfg());
-        let cands = vec![cand(1, 100, 0), cand(2, 500, 0), cand(3, 300, 0), cand(4, 10, 0)];
-        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        let cands = vec![
+            cand(1, 100, 0),
+            cand(2, 500, 0),
+            cand(3, 300, 0),
+            cand(4, 10, 0),
+        ];
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| {
+            PeerScore::NEUTRAL
+        });
         assert!(unchoked.contains(&p(2)));
         assert!(unchoked.contains(&p(3)));
         // 2 regular + 1 optimistic
@@ -209,7 +312,9 @@ mod tests {
         let cands: Vec<Candidate> = (1..=6).map(|i| cand(i, 0, 0)).collect();
         let mut served = std::collections::HashSet::new();
         for _ in 0..4 {
-            let unchoked = ch.unchoke(Role::Seeder, &cands, &ReputationPolicy::None, |_| 0.0);
+            let unchoked = ch.unchoke(Role::Seeder, &cands, &ReputationPolicy::None, |_| {
+                PeerScore::NEUTRAL
+            });
             assert!(unchoked.len() <= cfg().regular_slots + 1);
             served.extend(unchoked);
         }
@@ -221,14 +326,24 @@ mod tests {
     fn seeder_slots_spread_rather_than_lock_in() {
         let mut ch = Choker::new(cfg());
         // a peer with a huge observed rate must not monopolize seed slots
-        let cands = vec![cand(1, 0, 9000), cand(2, 0, 0), cand(3, 0, 0), cand(4, 0, 0)];
+        let cands = vec![
+            cand(1, 0, 9000),
+            cand(2, 0, 0),
+            cand(3, 0, 0),
+            cand(4, 0, 0),
+        ];
         let mut first_slot_history = Vec::new();
         for _ in 0..4 {
-            let unchoked = ch.unchoke(Role::Seeder, &cands, &ReputationPolicy::None, |_| 0.0);
+            let unchoked = ch.unchoke(Role::Seeder, &cands, &ReputationPolicy::None, |_| {
+                PeerScore::NEUTRAL
+            });
             first_slot_history.push(unchoked[0]);
         }
         let distinct: std::collections::HashSet<_> = first_slot_history.iter().collect();
-        assert!(distinct.len() > 1, "seed slots locked in: {first_slot_history:?}");
+        assert!(
+            distinct.len() > 1,
+            "seed slots locked in: {first_slot_history:?}"
+        );
     }
 
     #[test]
@@ -236,28 +351,43 @@ mod tests {
         let mut ch = Choker::new(cfg());
         // peer 9 has no rate yet: never wins a regular slot
         let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(9, 0, 0)];
-        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
-        assert!(unchoked.contains(&p(9)), "optimistic slot must pick the zero-rate peer");
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| {
+            PeerScore::NEUTRAL
+        });
+        assert!(
+            unchoked.contains(&p(9)),
+            "optimistic slot must pick the zero-rate peer"
+        );
     }
 
     #[test]
     fn optimistic_rotates_round_robin() {
         let mut ch = Choker::new(cfg());
-        let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(8, 0, 0), cand(9, 0, 0)];
+        let cands = vec![
+            cand(1, 500, 0),
+            cand(2, 400, 0),
+            cand(8, 0, 0),
+            cand(9, 0, 0),
+        ];
         let mut seen = std::collections::HashSet::new();
         // rotation period is 3 rounds; run enough rounds to cycle
         for _ in 0..12 {
-            let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+            let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| {
+                PeerScore::NEUTRAL
+            });
             seen.insert(*unchoked.last().unwrap());
         }
-        assert!(seen.contains(&p(8)) && seen.contains(&p(9)), "both zero-rate peers get turns: {seen:?}");
+        assert!(
+            seen.contains(&p(8)) && seen.contains(&p(9)),
+            "both zero-rate peers get turns: {seen:?}"
+        );
     }
 
     #[test]
     fn ban_policy_excludes_low_reputation_everywhere() {
         let mut ch = Choker::new(cfg());
         let cands = vec![cand(1, 900, 0), cand(2, 100, 0)];
-        let rep = |q: PeerId| if q == p(1) { -0.9 } else { 0.0 };
+        let rep = |q: PeerId| PeerScore::reputation_only(if q == p(1) { -0.9 } else { 0.0 });
         let unchoked = ch.unchoke(
             Role::Leecher,
             &cands,
@@ -272,20 +402,33 @@ mod tests {
     fn rank_policy_orders_optimistic_by_reputation() {
         let mut ch = Choker::new(cfg());
         // regular slots go to 1 and 2; optimistic pool is {8, 9}
-        let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(8, 0, 0), cand(9, 0, 0)];
-        let rep = |q: PeerId| match q.0 {
-            8 => -0.4,
-            9 => 0.7,
-            _ => 0.0,
+        let cands = vec![
+            cand(1, 500, 0),
+            cand(2, 400, 0),
+            cand(8, 0, 0),
+            cand(9, 0, 0),
+        ];
+        let rep = |q: PeerId| {
+            PeerScore::reputation_only(match q.0 {
+                8 => -0.4,
+                9 => 0.7,
+                _ => 0.0,
+            })
         };
         let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::Rank, rep);
-        assert_eq!(*unchoked.last().unwrap(), p(9), "higher reputation wins the optimistic slot");
+        assert_eq!(
+            *unchoked.last().unwrap(),
+            p(9),
+            "higher reputation wins the optimistic slot"
+        );
     }
 
     #[test]
     fn empty_candidates_no_unchokes() {
         let mut ch = Choker::new(cfg());
-        let unchoked = ch.unchoke(Role::Leecher, &[], &ReputationPolicy::None, |_| 0.0);
+        let unchoked = ch.unchoke(Role::Leecher, &[], &ReputationPolicy::None, |_| {
+            PeerScore::NEUTRAL
+        });
         assert!(unchoked.is_empty());
         assert_eq!(ch.optimistic(), None);
     }
@@ -294,11 +437,15 @@ mod tests {
     fn departed_optimistic_is_replaced() {
         let mut ch = Choker::new(cfg());
         let cands = vec![cand(1, 500, 0), cand(2, 400, 0), cand(9, 0, 0)];
-        ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| {
+            PeerScore::NEUTRAL
+        });
         assert_eq!(ch.optimistic(), Some(p(9)));
         // peer 9 leaves; next round someone else (or none) is optimistic
         let cands2 = vec![cand(1, 500, 0), cand(2, 400, 0)];
-        let unchoked = ch.unchoke(Role::Leecher, &cands2, &ReputationPolicy::None, |_| 0.0);
+        let unchoked = ch.unchoke(Role::Leecher, &cands2, &ReputationPolicy::None, |_| {
+            PeerScore::NEUTRAL
+        });
         assert!(!unchoked.contains(&p(9)));
     }
 
@@ -306,7 +453,9 @@ mod tests {
     fn fewer_candidates_than_slots() {
         let mut ch = Choker::new(cfg());
         let cands = vec![cand(1, 5, 0)];
-        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| {
+            PeerScore::NEUTRAL
+        });
         // peer 1 takes a regular slot; optimistic pool is empty
         assert_eq!(unchoked, vec![p(1)]);
     }

@@ -10,6 +10,10 @@
 //!   BarterCast's *rank* policy plugs in;
 //! * the *ban* policy filter that refuses all slots below a reputation
 //!   threshold (§4.2);
+//! * the [`ChokePolicy`] trait the slot mechanics consult, shared by
+//!   the trace simulator and the live wire runtime, with the
+//!   private-tracker *ratio* policy ([`RatioPolicy`]) as a third
+//!   implementation beside rank/ban;
 //! * **rarest-first** piece selection ([`swarm`]);
 //! * leecher/seeder state per swarm with byte-credit accounting that
 //!   converts transferred bytes into completed pieces.
@@ -23,9 +27,11 @@
 pub mod bitfield;
 pub mod choke;
 pub mod config;
+pub mod ratio;
 pub mod swarm;
 
 pub use bitfield::Bitfield;
-pub use choke::{Candidate, Choker};
+pub use choke::{Candidate, ChokePolicy, Choker, PeerScore};
 pub use config::BtConfig;
+pub use ratio::RatioPolicy;
 pub use swarm::{Member, Role, Swarm};

@@ -1,0 +1,139 @@
+//! Private-tracker ratio enforcement, a third choke policy beside
+//! rank and ban.
+//!
+//! The paper observes (§2, §6) that private BitTorrent communities
+//! suppress freeriding by banning members whose lifetime *share
+//! ratio* — bytes uploaded over bytes downloaded — falls below a
+//! threshold, at the cost of a central accounting server. BarterCast's
+//! subjective contribution graphs let a peer apply the same rule with
+//! no tracker: the `up`/`down` totals its own graph records for a
+//! candidate (first-hand transfers max-merged with gossiped records)
+//! stand in for the tracker's ledger.
+//!
+//! [`RatioPolicy`] admits a candidate when either
+//!
+//! * the candidate is still inside its **grace allowance** — it has
+//!   downloaded fewer than `grace` bytes in total, so a fresh joiner
+//!   that *cannot* have a meaningful ratio yet is not locked out (the
+//!   same bootstrap hole the optimistic unchoke fills for
+//!   tit-for-tat); or
+//! * its share ratio `up / down` is at least `min_ratio`.
+//!
+//! Like the ban policy, refusal is total: a peer below the ratio gets
+//! neither regular nor optimistic slots. Within the admitted pool the
+//! optimistic rotation keeps plain round-robin order — the policy
+//! gates, it does not rank. Note the whitewashing trade-off the paper
+//! discusses: the grace allowance is exactly what a banned peer
+//! reclaims by rejoining under a fresh identity, which the swarm
+//! harness's whitewash scenario measures.
+
+use crate::choke::{ChokePolicy, PeerScore};
+use bartercast_util::units::{Bytes, PeerId};
+use serde::{Deserialize, Serialize};
+
+/// Minimum-share-ratio admission with a grace allowance for new
+/// peers. See the [module docs](self) for the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioPolicy {
+    /// Minimum acceptable share ratio `up / down`. Private trackers
+    /// commonly require 0.3–0.7; the default is 0.5.
+    pub min_ratio: f64,
+    /// Candidates that have downloaded less than this many bytes in
+    /// total are always admitted, ratio regardless.
+    pub grace: Bytes,
+}
+
+impl Default for RatioPolicy {
+    fn default() -> Self {
+        RatioPolicy {
+            min_ratio: 0.5,
+            grace: Bytes::from_mb(64),
+        }
+    }
+}
+
+impl ChokePolicy for RatioPolicy {
+    fn admit(&self, score: &PeerScore) -> bool {
+        score.down < self.grace || score.share_ratio() >= self.min_ratio
+    }
+
+    fn order_candidates(
+        &self,
+        pool: &[PeerId],
+        score: &mut dyn FnMut(PeerId) -> PeerScore,
+    ) -> Vec<PeerId> {
+        // Keep round-robin order; drop peers the ratio refuses (the
+        // pool is pre-filtered by `admit` in the unchoke path, but the
+        // trait contract is that ordering alone is also safe).
+        pool.iter()
+            .copied()
+            .filter(|&p| self.admit(&score(p)))
+            .collect()
+    }
+
+    fn policy_label(&self) -> String {
+        format!("ratio({})", self.min_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(up: u64, down: u64) -> PeerScore {
+        PeerScore {
+            reputation: 0.0,
+            up: Bytes(up),
+            down: Bytes(down),
+        }
+    }
+
+    #[test]
+    fn grace_admits_fresh_peers() {
+        let pol = RatioPolicy {
+            min_ratio: 0.5,
+            grace: Bytes::from_mb(1),
+        };
+        // zero history: ratio undefined, grace covers it
+        assert!(pol.admit(&score(0, 0)));
+        // downloaded under the grace allowance with no uploads
+        assert!(pol.admit(&score(0, Bytes::from_mb(1).0 - 1)));
+    }
+
+    #[test]
+    fn ratio_gates_past_grace() {
+        let pol = RatioPolicy {
+            min_ratio: 0.5,
+            grace: Bytes::from_mb(1),
+        };
+        let past = Bytes::from_mb(10).0;
+        assert!(!pol.admit(&score(0, past)), "pure freerider refused");
+        assert!(!pol.admit(&score(past / 4, past)), "ratio 0.25 refused");
+        assert!(pol.admit(&score(past / 2, past)), "ratio 0.5 admitted");
+        assert!(pol.admit(&score(past * 2, past)), "over-seeder admitted");
+    }
+
+    #[test]
+    fn ordering_filters_but_keeps_round_robin_order() {
+        let pol = RatioPolicy {
+            min_ratio: 0.5,
+            grace: Bytes(0),
+        };
+        let pool = vec![PeerId(3), PeerId(1), PeerId(2)];
+        let mut lookup = |p: PeerId| match p.0 {
+            1 => score(0, 100),  // freerider
+            2 => score(80, 100), // good ratio
+            _ => score(50, 100), // exactly at threshold
+        };
+        assert_eq!(
+            pol.order_candidates(&pool, &mut lookup),
+            vec![PeerId(3), PeerId(2)]
+        );
+    }
+
+    #[test]
+    fn label_and_default() {
+        assert_eq!(RatioPolicy::default().policy_label(), "ratio(0.5)");
+        assert_eq!(RatioPolicy::default().grace, Bytes::from_mb(64));
+    }
+}

@@ -203,11 +203,9 @@ impl Swarm {
             if d.bitfield.has(i) {
                 continue;
             }
-            let offered = providers.iter().any(|p| {
-                self.members
-                    .get(p)
-                    .is_some_and(|m| m.bitfield.has(i))
-            });
+            let offered = providers
+                .iter()
+                .any(|p| self.members.get(p).is_some_and(|m| m.bitfield.has(i)));
             if !offered {
                 continue;
             }

@@ -1,6 +1,6 @@
 //! Property-based tests for choking and swarm-state invariants.
 
-use bartercast_bt::choke::{Candidate, Choker};
+use bartercast_bt::choke::{Candidate, Choker, PeerScore};
 use bartercast_bt::swarm::{Role, Swarm};
 use bartercast_bt::BtConfig;
 use bartercast_core::policy::ReputationPolicy;
@@ -43,7 +43,7 @@ proptest! {
         let mut ch = Choker::new(config());
         let role = if seeder { Role::Seeder } else { Role::Leecher };
         for _ in 0..rounds {
-            let unchoked = ch.unchoke(role, &cands, &ReputationPolicy::None, |_| 0.0);
+            let unchoked = ch.unchoke(role, &cands, &ReputationPolicy::None, |_| PeerScore::NEUTRAL);
             prop_assert!(unchoked.len() <= config().regular_slots + 1);
             let mut dedup = unchoked.clone();
             dedup.sort();
@@ -64,9 +64,11 @@ proptest! {
     ) {
         let mut ch = Choker::new(config());
         // deterministic pseudo-reputation per peer id
-        let rep = |p: PeerId| ((p.0 as f64 * 0.37).sin());
+        let rep = |p: PeerId| (p.0 as f64 * 0.37).sin();
         for _ in 0..rounds {
-            let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::Ban { delta }, rep);
+            let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::Ban { delta }, |p| {
+                PeerScore::reputation_only(rep(p))
+            });
             for p in unchoked {
                 prop_assert!(rep(p) >= delta, "banned peer {p} got a slot");
             }
@@ -79,7 +81,7 @@ proptest! {
     #[test]
     fn leecher_tit_for_tat_orders_rates(cands in candidates()) {
         let mut ch = Choker::new(config());
-        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| 0.0);
+        let unchoked = ch.unchoke(Role::Leecher, &cands, &ReputationPolicy::None, |_| PeerScore::NEUTRAL);
         let regular: Vec<PeerId> = unchoked
             .iter()
             .take(config().regular_slots.min(cands.len()))

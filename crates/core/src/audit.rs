@@ -115,7 +115,9 @@ impl Auditor {
     }
 
     fn check(&mut self, edge: (PeerId, PeerId)) {
-        let Some(c) = self.claims.get(&edge) else { return };
+        let Some(c) = self.claims.get(&edge) else {
+            return;
+        };
         let (Some(src), Some(dst)) = (c.by_source, c.by_target) else {
             return;
         };
@@ -209,8 +211,14 @@ mod tests {
         b.record_download(p(0), Bytes::from_gb(2), Seconds(5));
 
         let mut auditor = Auditor::default();
-        auditor.ingest(&BarterCastMessage::from_history(&a, BarterCastConfig::default()));
-        auditor.ingest(&BarterCastMessage::from_history(&b, BarterCastConfig::default()));
+        auditor.ingest(&BarterCastMessage::from_history(
+            &a,
+            BarterCastConfig::default(),
+        ));
+        auditor.ingest(&BarterCastMessage::from_history(
+            &b,
+            BarterCastConfig::default(),
+        ));
         assert_eq!(auditor.cross_checked_edges(), 2);
         assert_eq!(auditor.flagged_edges(), 0);
         assert!(auditor.suspects(1).is_empty());
@@ -225,8 +233,14 @@ mod tests {
         // b's view lags: it has only seen 700 MB arrive so far
         b.record_download(p(0), Bytes::from_mb(700), Seconds(4));
         let mut auditor = Auditor::default();
-        auditor.ingest(&BarterCastMessage::from_history(&a, BarterCastConfig::default()));
-        auditor.ingest(&BarterCastMessage::from_history(&b, BarterCastConfig::default()));
+        auditor.ingest(&BarterCastMessage::from_history(
+            &a,
+            BarterCastConfig::default(),
+        ));
+        auditor.ingest(&BarterCastMessage::from_history(
+            &b,
+            BarterCastConfig::default(),
+        ));
         assert_eq!(auditor.flagged_edges(), 0);
     }
 
@@ -239,14 +253,13 @@ mod tests {
         // liar 9 claims 100 GB uploaded to peer 1
         let mut liar = PrivateHistory::new(p(9));
         liar.record_upload(p(1), Bytes::from_mb(100), Seconds(5));
-        let lie = BarterCastMessage::lying(
-            &liar,
-            BarterCastConfig::default(),
-            Bytes::from_gb(100),
-        );
+        let lie = BarterCastMessage::lying(&liar, BarterCastConfig::default(), Bytes::from_gb(100));
 
         let mut auditor = Auditor::default();
-        auditor.ingest(&BarterCastMessage::from_history(&honest, BarterCastConfig::default()));
+        auditor.ingest(&BarterCastMessage::from_history(
+            &honest,
+            BarterCastConfig::default(),
+        ));
         auditor.ingest(&lie);
         assert_eq!(auditor.flagged_edges(), 1);
         assert_eq!(auditor.marks(p(9)), 1);
@@ -271,7 +284,10 @@ mod tests {
         for i in 1..=5u32 {
             let mut h = PrivateHistory::new(p(i));
             h.record_download(p(9), Bytes::from_mb(10), Seconds(i as u64));
-            auditor.ingest(&BarterCastMessage::from_history(&h, BarterCastConfig::default()));
+            auditor.ingest(&BarterCastMessage::from_history(
+                &h,
+                BarterCastConfig::default(),
+            ));
         }
         assert_eq!(auditor.marks(p(9)), 5);
         for i in 1..=5u32 {

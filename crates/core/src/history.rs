@@ -23,6 +23,23 @@ pub struct TransferTotals {
     pub last_seen: Seconds,
 }
 
+/// Provenance of the transfer totals with one peer: how many of the
+/// bytes arrived as completed swarm *pieces* (live transfer workload)
+/// versus bulk `record_upload`/`record_download` bookkeeping. The
+/// swarm runtime's tier-1 gate uses this to assert that piece
+/// transfers are the *sole* source of its contribution edges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PieceProvenance {
+    /// Completed pieces uploaded to the peer.
+    pub pieces_up: u64,
+    /// Bytes of those uploaded pieces.
+    pub piece_bytes_up: Bytes,
+    /// Completed pieces downloaded from the peer.
+    pub pieces_down: u64,
+    /// Bytes of those downloaded pieces.
+    pub piece_bytes_down: Bytes,
+}
+
 /// Peer *i*'s private table of its own transfers.
 ///
 /// ```
@@ -41,6 +58,10 @@ pub struct TransferTotals {
 pub struct PrivateHistory {
     owner: PeerId,
     entries: FxHashMap<PeerId, TransferTotals>,
+    /// Piece-transfer provenance, kept beside the totals so
+    /// [`TransferTotals`] stays the small `Copy` value every caller
+    /// compares. Only peers with at least one piece transfer appear.
+    provenance: FxHashMap<PeerId, PieceProvenance>,
 }
 
 impl PrivateHistory {
@@ -49,6 +70,7 @@ impl PrivateHistory {
         PrivateHistory {
             owner,
             entries: FxHashMap::default(),
+            provenance: FxHashMap::default(),
         }
     }
 
@@ -75,6 +97,59 @@ impl PrivateHistory {
         let e = self.entries.entry(peer).or_default();
         e.down += amount;
         e.last_seen = e.last_seen.max(now);
+    }
+
+    /// Record one completed piece *upload* of `amount` bytes to
+    /// `peer`: the bytes enter the transfer totals exactly as
+    /// [`PrivateHistory::record_upload`] would, and the piece
+    /// provenance counters advance.
+    pub fn record_piece_upload(&mut self, peer: PeerId, amount: Bytes, now: Seconds) {
+        if peer == self.owner {
+            return;
+        }
+        self.record_upload(peer, amount, now);
+        let p = self.provenance.entry(peer).or_default();
+        p.pieces_up += 1;
+        p.piece_bytes_up += amount;
+    }
+
+    /// Record one completed piece *download* of `amount` bytes from
+    /// `peer` — the mirror of [`PrivateHistory::record_piece_upload`].
+    pub fn record_piece_download(&mut self, peer: PeerId, amount: Bytes, now: Seconds) {
+        if peer == self.owner {
+            return;
+        }
+        self.record_download(peer, amount, now);
+        let p = self.provenance.entry(peer).or_default();
+        p.pieces_down += 1;
+        p.piece_bytes_down += amount;
+    }
+
+    /// Piece-transfer provenance with `peer`, if any piece ever moved.
+    pub fn provenance(&self, peer: PeerId) -> Option<PieceProvenance> {
+        self.provenance.get(&peer).copied()
+    }
+
+    /// Summed piece provenance across all peers.
+    pub fn total_provenance(&self) -> PieceProvenance {
+        let mut total = PieceProvenance::default();
+        for p in self.provenance.values() {
+            total.pieces_up += p.pieces_up;
+            total.piece_bytes_up += p.piece_bytes_up;
+            total.pieces_down += p.pieces_down;
+            total.piece_bytes_down += p.piece_bytes_down;
+        }
+        total
+    }
+
+    /// Whether every byte in the table arrived as a completed piece —
+    /// i.e. nothing was seeded or bulk-recorded. The swarm gates
+    /// assert this to pin piece transfers as the sole edge source.
+    pub fn all_from_pieces(&self) -> bool {
+        self.entries.iter().all(|(peer, totals)| {
+            let p = self.provenance.get(peer).copied().unwrap_or_default();
+            totals.up == p.piece_bytes_up && totals.down == p.piece_bytes_down
+        })
     }
 
     /// Note that `peer` was seen (e.g. a gossip meeting) without any
@@ -146,6 +221,7 @@ impl PrivateHistory {
         }
         let before = self.entries.len();
         self.entries.retain(|p, _| keep.contains(p));
+        self.provenance.retain(|p, _| keep.contains(p));
         before - self.entries.len()
     }
 
@@ -203,8 +279,32 @@ mod tests {
         let mut h = PrivateHistory::new(p(0));
         h.record_upload(p(0), Bytes::from_mb(10), Seconds(1));
         h.record_download(p(0), Bytes::from_mb(10), Seconds(1));
+        h.record_piece_upload(p(0), Bytes::from_mb(1), Seconds(1));
         h.touch(p(0), Seconds(1));
         assert!(h.is_empty());
+        assert_eq!(h.total_provenance(), PieceProvenance::default());
+    }
+
+    #[test]
+    fn piece_transfers_carry_provenance() {
+        let mut h = PrivateHistory::new(p(0));
+        h.record_piece_upload(p(1), Bytes::from_kb(256), Seconds(5));
+        h.record_piece_upload(p(1), Bytes::from_kb(256), Seconds(6));
+        h.record_piece_download(p(2), Bytes::from_kb(256), Seconds(7));
+        // totals and provenance agree: everything came from pieces
+        assert_eq!(h.get(p(1)).unwrap().up, Bytes::from_kb(512));
+        let prov = h.provenance(p(1)).unwrap();
+        assert_eq!(prov.pieces_up, 2);
+        assert_eq!(prov.piece_bytes_up, Bytes::from_kb(512));
+        assert_eq!(prov.pieces_down, 0);
+        assert!(h.all_from_pieces());
+        let total = h.total_provenance();
+        assert_eq!(total.pieces_up, 2);
+        assert_eq!(total.pieces_down, 1);
+        // a bulk record breaks the piece-only invariant
+        h.record_upload(p(3), Bytes::from_mb(1), Seconds(8));
+        assert!(!h.all_from_pieces());
+        assert!(h.provenance(p(3)).is_none());
     }
 
     #[test]
@@ -242,7 +342,10 @@ mod tests {
         let mut h = PrivateHistory::new(p(0));
         h.record_upload(p(1), Bytes::from_mb(10), Seconds(1)); // we only uploaded to them
         let sel = h.select_peers(3, 0);
-        assert!(sel.is_empty(), "nh selection must not include zero uploaders");
+        assert!(
+            sel.is_empty(),
+            "nh selection must not include zero uploaders"
+        );
         let sel = h.select_peers(3, 3);
         assert_eq!(sel, vec![p(1)], "nr selection still includes them");
     }

@@ -38,11 +38,11 @@ pub mod repcache;
 pub mod shard;
 
 pub use audit::Auditor;
+pub use history::{PieceProvenance, PrivateHistory, TransferTotals};
+pub use message::{BarterCastConfig, BarterCastMessage, TransferRecord};
+pub use metric::{reputation_from_flows, ReputationMetric};
+pub use policy::{PolicyDecision, ReputationPolicy};
 pub use repcache::{CacheStats, ReputationEngine};
 pub use shard::{
     CommunityPartitioner, EpochView, HashPartitioner, Partitioner, ShardStats, ShardedEngine,
 };
-pub use history::{PrivateHistory, TransferTotals};
-pub use message::{BarterCastConfig, BarterCastMessage, TransferRecord};
-pub use metric::{reputation_from_flows, ReputationMetric};
-pub use policy::{PolicyDecision, ReputationPolicy};

@@ -82,10 +82,7 @@ impl BoundaryIndex {
         tail_shard: usize,
         head_shard: usize,
     ) -> u64 {
-        (1u64 << tail_shard)
-            | (1u64 << head_shard)
-            | self.out_mask(tail)
-            | self.in_mask(head)
+        (1u64 << tail_shard) | (1u64 << head_shard) | self.out_mask(tail) | self.in_mask(head)
     }
 
     /// Subscribe `shard` to the in-edges of `node`. Returns `true` if
@@ -175,10 +172,7 @@ mod tests {
         assert!(!idx.subscribe_out(p(1), 5), "second subscribe is a no-op");
         assert!(idx.subscribe_in(p(2), 6));
         let mask = idx.delivery_mask(p(1), p(2), 0, 3);
-        assert_eq!(
-            shards_in_mask(mask).collect::<Vec<_>>(),
-            vec![0, 3, 5, 6]
-        );
+        assert_eq!(shards_in_mask(mask).collect::<Vec<_>>(), vec![0, 3, 5, 6]);
         assert_eq!(idx.backfills(), 2);
         assert_eq!(idx.tracked_nodes(), 2);
     }

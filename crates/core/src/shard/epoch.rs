@@ -89,10 +89,7 @@ impl EpochView {
     /// `(toward, away)` with `toward[j] = maxflow(j → i)` and
     /// `away[j] = maxflow(i → j)`, exactly as the live engine's
     /// bounded sweep computes them.
-    fn flow_maps(
-        &self,
-        i: PeerId,
-    ) -> (FxHashMap<PeerId, Bytes>, FxHashMap<PeerId, Bytes>) {
+    fn flow_maps(&self, i: PeerId) -> (FxHashMap<PeerId, Bytes>, FxHashMap<PeerId, Bytes>) {
         match self.method {
             Method::Bounded(0) => (FxHashMap::default(), FxHashMap::default()),
             Method::Bounded(1) => (
@@ -161,7 +158,13 @@ mod tests {
     }
 
     fn freeze(e: &ReputationEngine) -> Arc<EpochView> {
-        EpochView::new(0, 1, e.method(), ReputationMetric::default(), e.graph().clone())
+        EpochView::new(
+            0,
+            1,
+            e.method(),
+            ReputationMetric::default(),
+            e.graph().clone(),
+        )
     }
 
     #[test]
@@ -188,8 +191,7 @@ mod tests {
         let mut e = chain_engine();
         let before = e.reputations_from(p(0), &[p(1), p(2), p(3)]);
         let view = freeze(&e);
-        e.graph_mut()
-            .add_transfer(p(2), p(1), Bytes::from_gb(50));
+        e.graph_mut().add_transfer(p(2), p(1), Bytes::from_gb(50));
         assert_ne!(
             e.reputations_from(p(0), &[p(1), p(2), p(3)]),
             before,

@@ -441,7 +441,9 @@ mod tests {
         let mut x = 0x9e3779b97f4a7c15u64;
         for i in 0..40u32 {
             for j in 0..3u32 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let f = i % 24;
                 let t = (i + 1 + (x >> 33) as u32 % 7) % 24;
                 out.push((f, t, 1 + (x >> 17) % 5000 + j as u64));

@@ -144,7 +144,7 @@ mod tests {
         let part = CommunityPartitioner::new(labels);
         assert_eq!(part.shard_of(p(1), 4), part.shard_of(p(2), 4));
         assert_eq!(part.shard_of(p(3), 4), 1); // 5 % 4
-        // unlabelled falls back to the hash assignment
+                                               // unlabelled falls back to the hash assignment
         assert_eq!(part.shard_of(p(99), 4), HashPartitioner.shard_of(p(99), 4));
         assert_eq!(part.labelled(), 3);
         assert_eq!(part.label(p(3)), Some(5));

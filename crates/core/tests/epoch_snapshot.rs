@@ -199,7 +199,8 @@ fn single_peer_shard_epoch_matches_monolith() {
     ];
     for &(f, t, mb) in &ops {
         svc.add_transfer(p(f), p(t), Bytes::from_mb(mb));
-        mono.graph_mut().add_transfer(p(f), p(t), Bytes::from_mb(mb));
+        mono.graph_mut()
+            .add_transfer(p(f), p(t), Bytes::from_mb(mb));
     }
     assert_eq!(svc.shard_of(p(9)), 1);
     let lone = svc.publish_epoch(1);

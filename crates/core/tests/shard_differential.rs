@@ -184,7 +184,9 @@ proptest! {
 fn pinned_ops() -> Vec<Op> {
     let mut x = 0x243f6a8885a308d3u64; // pi digits, nothing up the sleeve
     let mut step = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x
     };
     (0..512)
@@ -238,8 +240,8 @@ fn community_partitioner_is_local_on_planted_graph() {
             svc.add_transfer(p(base), p(((c + 1) % COMMUNITIES) * SIZE), Bytes(10));
         }
     };
-    let mut community = ShardedEngine::new(SHARDS)
-        .with_partitioner(Arc::new(CommunityPartitioner::new(labels)));
+    let mut community =
+        ShardedEngine::new(SHARDS).with_partitioner(Arc::new(CommunityPartitioner::new(labels)));
     build(&mut community);
     let mut hashed = ShardedEngine::new(SHARDS);
     build(&mut hashed);
@@ -270,9 +272,8 @@ fn pinned_64_node_fixture_checksum() {
     for &op in &pinned_ops() {
         apply_mono(&mut mono, op);
     }
-    let mono_sum = all_pairs_checksum(
-        (0..64).flat_map(|i| mono.reputations_from(p(i), &targets).into_iter()),
-    );
+    let mono_sum =
+        all_pairs_checksum((0..64).flat_map(|i| mono.reputations_from(p(i), &targets).into_iter()));
     assert_eq!(
         mono_sum, PINNED_CHECKSUM,
         "monolithic all-pairs checksum moved: got {mono_sum:#018x}"

@@ -9,9 +9,9 @@
 //! Equation 1 reputations for every peer it has seen.
 
 use crate::community::Community;
-use bartercast_core::ReputationEngine;
 use bartercast_core::history::PrivateHistory;
 use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
+use bartercast_core::ReputationEngine;
 use bartercast_util::stats::Ecdf;
 use bartercast_util::units::{Bytes, PeerId, Seconds};
 use bartercast_util::FxHashSet;
@@ -153,9 +153,8 @@ impl Observer {
             .collect();
         for &i in &partners {
             let peer = PeerId(i as u32);
-            let down = Bytes(
-                (community.upload[i].0 / 10).clamp(50 * 1024 * 1024, 2 * 1024 * 1024 * 1024),
-            );
+            let down =
+                Bytes((community.upload[i].0 / 10).clamp(50 * 1024 * 1024, 2 * 1024 * 1024 * 1024));
             // the instrumented peer was a well-provisioned participant
             // that gave more than it took from most partners
             let ratio = rng.gen_range(0.8..2.0);
@@ -241,7 +240,11 @@ mod tests {
         assert_eq!(report.reputations.len(), 400);
         assert_eq!(report.net_contributions_sorted.len(), 400);
         assert!(report.messages_logged > 0);
-        assert!(report.peers_in_graph > 50, "graph too sparse: {}", report.peers_in_graph);
+        assert!(
+            report.peers_in_graph > 50,
+            "graph too sparse: {}",
+            report.peers_in_graph
+        );
     }
 
     #[test]
@@ -291,8 +294,7 @@ mod tests {
     #[test]
     fn evolution_negative_mass_grows_with_coverage() {
         let c = small_community();
-        let points =
-            Observer::observe_evolution(&c, &small_observer_cfg(), 8, 4);
+        let points = Observer::observe_evolution(&c, &small_observer_cfg(), 8, 4);
         assert_eq!(points.len(), 4);
         // messages monotone
         for w in points.windows(2) {

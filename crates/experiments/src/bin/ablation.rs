@@ -121,8 +121,12 @@ fn main() {
         let ys: Vec<f64> = r.outcomes.iter().map(|o| o.system_reputation).collect();
         let rho = spearman(&xs, &ys).unwrap_or(f64::NAN);
         println!("{k:<8} {rho:>9.3} {:>12}", r.messages_delivered);
-        w.row([k.to_string(), format!("{rho:.4}"), r.messages_delivered.to_string()])
-            .expect("csv row");
+        w.row([
+            k.to_string(),
+            format!("{rho:.4}"),
+            r.messages_delivered.to_string(),
+        ])
+        .expect("csv row");
     }
     w.finish().expect("flush");
     output::announce("ablation_nh_nr");

@@ -93,7 +93,10 @@ fn main() {
         );
         for run in &data.ban_sweep {
             if let (Some(r), Some(fr)) = (run.ratio, run.final_ratio) {
-                println!("{}: overall ratio = {r:.3}, end-of-week ratio = {fr:.3}", run.label);
+                println!(
+                    "{}: overall ratio = {r:.3}, end-of-week ratio = {fr:.3}",
+                    run.label
+                );
             }
         }
     }

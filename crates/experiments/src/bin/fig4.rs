@@ -53,7 +53,12 @@ fn main() {
         output::write_xy("fig4b_reputation_cdf", &["reputation", "cdf"], &pts);
         println!(
             "{}",
-            cdf_plot("Figure 4b: CDF of observer-computed reputations", &pts, 72, 18)
+            cdf_plot(
+                "Figure 4b: CDF of observer-computed reputations",
+                &pts,
+                72,
+                18
+            )
         );
         let (neg, zero, pos) = report.reputation_split(0.01);
         println!(
@@ -90,7 +95,10 @@ fn main() {
             "fig4_evolution",
             &["messages", "negative", "zeroish", "positive"],
         );
-        println!("{:>10} {:>9} {:>9} {:>9}", "messages", "negative", "~zero", "positive");
+        println!(
+            "{:>10} {:>9} {:>9} {:>9}",
+            "messages", "negative", "~zero", "positive"
+        );
         for &(m, neg, zero, pos) in &points {
             println!("{m:>10} {neg:>9.3} {zero:>9.3} {pos:>9.3}");
             w.row([

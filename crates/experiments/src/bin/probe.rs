@@ -106,7 +106,10 @@ fn main() {
     }
     println!(
         "sharer up median {:.2} GB / down {:.2} GB; freerider up median {:.2} GB / down {:.2} GB",
-        su[su.len() / 2], sd[sd.len() / 2], fu[fu.len() / 2], fd[fd.len() / 2]
+        su[su.len() / 2],
+        sd[sd.len() / 2],
+        fu[fu.len() / 2],
+        fd[fd.len() / 2]
     );
     // group-wise view from peer 10
     let behaviours: Vec<bool> = sim

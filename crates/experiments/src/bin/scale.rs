@@ -50,7 +50,12 @@ fn main() {
         let wall = start.elapsed().as_secs_f64();
         println!(
             "{:>8} {:>12.0} {:>9.1} us {:>9.1} us {:>10.3} {:>12}   ({wall:.1}s wall)",
-            r.peers, r.mean_graph_edges, r.query_us_p50, r.query_us_p95, r.pairwise_accuracy, r.messages
+            r.peers,
+            r.mean_graph_edges,
+            r.query_us_p50,
+            r.query_us_p95,
+            r.pairwise_accuracy,
+            r.messages
         );
         w.row([
             r.peers.to_string(),

@@ -108,7 +108,10 @@ mod tests {
             "ignoring wrecked the mechanism: {r0} -> {r_max}"
         );
         // the penalty stays active: freeriders stay slower than sharers
-        assert!(r_max < 1.0, "freeriders overtook sharers at 50% ignorers: {r_max}");
+        assert!(
+            r_max < 1.0,
+            "freeriders overtook sharers at 50% ignorers: {r_max}"
+        );
     }
 
     #[test]

@@ -17,8 +17,7 @@ pub fn results_dir() -> PathBuf {
 /// Create `results/<name>.csv` with the given header.
 pub fn csv(name: &str, header: &[&str]) -> CsvWriter<BufWriter<File>> {
     let path: PathBuf = results_dir().join(format!("{name}.csv"));
-    CsvWriter::create(&path, header)
-        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()))
+    CsvWriter::create(&path, header).unwrap_or_else(|e| panic!("create {}: {e}", path.display()))
 }
 
 /// Announce a written file on stdout.
@@ -31,7 +30,8 @@ pub fn announce(name: &str) {
 pub fn write_xy(name: &str, header: &[&str], rows: &[(f64, f64)]) {
     let mut w = csv(name, header);
     for &(x, y) in rows {
-        w.row([format!("{x:.6}"), format!("{y:.6}")]).expect("write row");
+        w.row([format!("{x:.6}"), format!("{y:.6}")])
+            .expect("write row");
     }
     w.finish().expect("flush csv");
     announce(name);
@@ -39,5 +39,7 @@ pub fn write_xy(name: &str, header: &[&str], rows: &[(f64, f64)]) {
 
 /// True iff `path` exists (used by tests).
 pub fn exists(name: &str) -> bool {
-    Path::new(&results_dir()).join(format!("{name}.csv")).exists()
+    Path::new(&results_dir())
+        .join(format!("{name}.csv"))
+        .exists()
 }

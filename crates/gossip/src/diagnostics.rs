@@ -134,10 +134,18 @@ mod tests {
         let nodes = mixed_overlay(60, 40, 1);
         let h = health(&nodes);
         // every node's view is full, so total references = 60 * 12
-        assert!((h.indegree_mean - 12.0).abs() < 1.0, "mean {}", h.indegree_mean);
+        assert!(
+            (h.indegree_mean - 12.0).abs() < 1.0,
+            "mean {}",
+            h.indegree_mean
+        );
         assert_eq!(h.starved, 0, "no node may be starved");
         // balanced in-degrees: stddev well below the mean
-        assert!(h.indegree_stddev < h.indegree_mean, "stddev {}", h.indegree_stddev);
+        assert!(
+            h.indegree_stddev < h.indegree_mean,
+            "stddev {}",
+            h.indegree_stddev
+        );
         // random-ish views: clustering far below 1
         assert!(h.clustering < 0.5, "clustering {}", h.clustering);
     }

@@ -94,7 +94,11 @@ impl PssNode {
 
     /// Up to `n` distinct random known peers.
     pub fn sample_many<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<PeerId> {
-        self.view.sample(rng, n).into_iter().map(|d| d.peer).collect()
+        self.view
+            .sample(rng, n)
+            .into_iter()
+            .map(|d| d.peer)
+            .collect()
     }
 
     /// Drop a peer that could not be contacted.
@@ -197,7 +201,12 @@ mod tests {
             }
         }
         for node in &nodes {
-            assert_eq!(node.view().len(), cfg.view_size, "view not full at {}", node.owner());
+            assert_eq!(
+                node.view().len(),
+                cfg.view_size,
+                "view not full at {}",
+                node.owner()
+            );
         }
     }
 

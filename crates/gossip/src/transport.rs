@@ -134,7 +134,14 @@ impl<T> Transport<T> {
             return false;
         }
         let span = self.config.max_delay.0 - self.config.min_delay.0;
-        let delay = Seconds(self.config.min_delay.0 + if span == 0 { 0 } else { rng.gen_range(0..=span) });
+        let delay = Seconds(
+            self.config.min_delay.0
+                + if span == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=span)
+                },
+        );
         self.queue.push(Reverse(InFlight {
             deliver_at: now + delay,
             sequence: self.sequence,
@@ -382,7 +389,11 @@ mod tests {
         for i in 0..50 {
             assert!(!t.send(&mut rng, Seconds(i), p(0), p(1), i as u32));
         }
-        assert_eq!(t.stats(), (50, 50), "every send counted, every send dropped");
+        assert_eq!(
+            t.stats(),
+            (50, 50),
+            "every send counted, every send dropped"
+        );
         assert_eq!(t.in_flight(), 0);
         let delivered = t.drive_until(&mut rng, Seconds(1_000_000), |_| Vec::new());
         assert_eq!(delivered, 0);

@@ -83,11 +83,7 @@ impl PartialView {
         }
         if self.entries.len() == self.capacity {
             // evict the oldest entry iff the newcomer is younger
-            if let Some((idx, oldest)) = self
-                .entries
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, e)| e.age)
+            if let Some((idx, oldest)) = self.entries.iter().enumerate().max_by_key(|(_, e)| e.age)
             {
                 if d.age < oldest.age {
                     self.entries[idx] = d;

@@ -172,9 +172,13 @@ fn gomoryhu_agrees_with_dinic_at_64_nodes() {
     // deterministic chords
     let mut x = 0x9E3779B97F4A7C15u64;
     for _ in 0..3 * n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = ((x >> 33) % n as u64) as u32;
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let b = ((x >> 33) % n as u64) as u32;
         if a != b {
             let w = 10 + (x % 300);

@@ -18,7 +18,11 @@
 //! * [`timer`] — the hashed [`TimerWheel`](timer::TimerWheel) carrying
 //!   exchange ticks, session deadlines, and dial-backoff retries;
 //! * [`wire`] — session envelopes (versioned `Hello`, `Records`,
-//!   `Bye`) framed with the `bartercast-core` stream codec;
+//!   `Bye`, and the BitTorrent-style swarm frames) framed with the
+//!   `bartercast-core` stream codec;
+//! * [`workload`] — the [`Workload`](workload::Workload) hook a
+//!   transfer workload (e.g. `bartercast-swarm`) implements to ride
+//!   the reactor's sessions, frames, and choke-round timer;
 //! * [`session`] — the per-connection state machine, pumped by the
 //!   reactor on readiness instead of owning a thread;
 //! * [`reactor`] — the coordinator: one poll loop driving every
@@ -48,12 +52,15 @@ pub mod stats;
 pub mod timer;
 pub mod transport;
 pub mod wire;
+pub mod workload;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use cluster::{Cluster, ClusterConfig, DeterministicCluster};
 pub use loadgen::{LoadGenConfig, LoadGenReport};
 pub use mem::{MemConfig, MemTransport};
 pub use node::{Node, NodeConfig};
-pub use reactor::{backoff_delay, Reactor};
+pub use reactor::{backoff_delay, NodeState, Reactor};
 pub use stats::{NodeCounters, NodeStats};
 pub use transport::{Conn, Listener, TcpTransport, Transport, WakeQueue};
+pub use wire::SwarmFrame;
+pub use workload::{Workload, WorkloadIo};

@@ -52,11 +52,12 @@ use crate::timer::{TimerKind, TimerWheel};
 use crate::transport::{
     wait_readiness, Conn, FdInterest, Listener, ReadySource, Transport, WakeQueue, LISTENER_TOKEN,
 };
+use crate::workload::{Workload, WorkloadIo};
 use bartercast_core::message::BarterCastConfig;
 use bartercast_core::repcache::ReputationEngine;
 use bartercast_core::{BarterCastMessage, PrivateHistory};
 use bartercast_gossip::{PssConfig, PssNode};
-use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::units::{Bytes, PeerId, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -162,6 +163,12 @@ pub struct NodeState {
 }
 
 impl NodeState {
+    /// Build a state directly from its parts — for driving a
+    /// [`Workload`] without a reactor (unit tests, tools).
+    pub fn new(history: PrivateHistory, engine: ReputationEngine) -> NodeState {
+        NodeState { history, engine }
+    }
+
     /// The subjective contribution graph as a sorted edge list
     /// `(from, to, bytes)` — the convergence check compares these
     /// across nodes.
@@ -175,6 +182,40 @@ impl NodeState {
     /// over the merged graph).
     pub fn reputation(&mut self, me: PeerId, peer: PeerId) -> f64 {
         self.engine.reputation(me, peer)
+    }
+
+    /// Read access to the node's private transfer history.
+    pub fn history(&self) -> &PrivateHistory {
+        &self.history
+    }
+
+    /// Read access to the reputation engine (graph queries; use
+    /// [`NodeState::reputation`] for Equation-1 evaluations).
+    pub fn engine(&self) -> &ReputationEngine {
+        &self.engine
+    }
+
+    /// Account one completed piece *upload* of `amount` bytes to
+    /// `peer`: the private history gains the bytes (with piece
+    /// provenance), and the subjective graph's `me → peer` edge is
+    /// max-merged to the new private total so the next choke round
+    /// sees it immediately.
+    pub fn record_piece_upload(&mut self, peer: PeerId, amount: Bytes, now: Seconds) {
+        self.history.record_piece_upload(peer, amount, now);
+        let me = self.history.owner();
+        if let Some(totals) = self.history.get(peer) {
+            self.engine.graph_mut().merge_record(me, peer, totals.up);
+        }
+    }
+
+    /// Account one completed piece *download* of `amount` bytes from
+    /// `peer` — the mirror of [`NodeState::record_piece_upload`].
+    pub fn record_piece_download(&mut self, peer: PeerId, amount: Bytes, now: Seconds) {
+        self.history.record_piece_download(peer, amount, now);
+        let me = self.history.owner();
+        if let Some(totals) = self.history.get(peer) {
+            self.engine.graph_mut().merge_record(peer, me, totals.down);
+        }
     }
 }
 
@@ -211,6 +252,13 @@ pub struct Reactor {
     targeted: bool,
     draining: bool,
     drain_deadline: Option<Instant>,
+    /// The attached transfer workload, if any (see [`Workload`]).
+    workload: Option<Box<dyn Workload>>,
+    /// Choke-round period for the attached workload.
+    choke_interval: Duration,
+    /// Clock instant at construction; workload callbacks see time as
+    /// whole seconds since this.
+    boot: Instant,
 }
 
 impl Reactor {
@@ -260,7 +308,62 @@ impl Reactor {
             targeted,
             draining: false,
             drain_deadline: None,
+            workload: None,
+            choke_interval: Duration::from_secs(10),
+            boot: now,
         })
+    }
+
+    /// Attach a transfer workload: its choke round fires every
+    /// `choke_interval` starting one interval from now, and its
+    /// `on_start` hook runs immediately (dialing initial targets).
+    /// Call before the first [`Reactor::poll_once`].
+    pub fn attach_workload(&mut self, workload: Box<dyn Workload>, choke_interval: Duration) {
+        assert!(choke_interval > Duration::ZERO);
+        self.workload = Some(workload);
+        self.choke_interval = choke_interval;
+        let now = self.clock.now();
+        self.wheel
+            .schedule(now + choke_interval, TimerKind::ChokeRound);
+        self.with_workload(now, |w, secs, state, io| w.on_start(secs, state, io));
+    }
+
+    /// Run `f` against the attached workload (if any) with the node
+    /// state locked, then apply the batched [`WorkloadIo`].
+    fn with_workload<F>(&mut self, now: Instant, f: F)
+    where
+        F: FnOnce(&mut dyn Workload, Seconds, &mut NodeState, &mut WorkloadIo),
+    {
+        let Some(mut workload) = self.workload.take() else {
+            return;
+        };
+        let mut io = WorkloadIo::default();
+        let secs = Seconds(now.saturating_duration_since(self.boot).as_secs());
+        {
+            let mut state = self.state.lock().expect("state lock");
+            f(workload.as_mut(), secs, &mut state, &mut io);
+        }
+        self.workload = Some(workload);
+        self.deliver_io(io, now);
+    }
+
+    /// Apply a workload's batched output: frames onto live sessions
+    /// (dropped, not queued, for peers without one), dials for missing
+    /// peers through the normal backoff machinery.
+    fn deliver_io(&mut self, io: WorkloadIo, now: Instant) {
+        for (peer, frame) in io.frames {
+            if let Some(&token) = self.by_peer.get(&peer) {
+                if let Some(session) = self.sessions.get_mut(&token) {
+                    session.enqueue_frame(frame, self.config.outbound_queue, &self.counters);
+                    self.ready.insert(token);
+                }
+            }
+        }
+        for peer in io.dials {
+            if peer != self.id && !self.by_peer.contains_key(&peer) && !self.draining {
+                self.dial(peer, now, None);
+            }
+        }
     }
 
     /// This reactor's peer id.
@@ -339,6 +442,16 @@ impl Reactor {
                 TimerKind::DialRetry { peer } => {
                     if !self.draining && !self.by_peer.contains_key(&peer) {
                         self.dial(peer, now, None);
+                        progress = true;
+                    }
+                }
+                TimerKind::ChokeRound => {
+                    if !self.draining && self.workload.is_some() {
+                        self.wheel
+                            .schedule(now + self.choke_interval, TimerKind::ChokeRound);
+                        self.with_workload(now, |w, secs, state, io| {
+                            w.on_choke_round(secs, state, io)
+                        });
                         progress = true;
                     }
                 }
@@ -654,6 +767,14 @@ impl Reactor {
                         NodeCounters::inc(&self.counters.reconnects);
                     }
                     self.pss.bootstrap([remote]);
+                    // notify the workload only for the session that
+                    // became the peer's primary (duplicate dials race;
+                    // the loser idles out without a notification)
+                    if self.by_peer.get(&remote) == Some(&token) {
+                        self.with_workload(now, |w, secs, state, io| {
+                            w.on_established(remote, secs, state, io)
+                        });
+                    }
                 }
                 SessionEvent::Records { from, msg, .. } => {
                     let mut st = self.state.lock().expect("state lock");
@@ -663,11 +784,25 @@ impl Reactor {
                     }
                     let _ = from; // history stays private: only direct transfers enter it
                 }
+                SessionEvent::Frame { token, from, frame } => {
+                    if self.by_peer.get(&from) == Some(&token) {
+                        self.with_workload(now, |w, secs, state, io| {
+                            w.on_frame(from, frame, secs, state, io)
+                        });
+                    }
+                }
                 SessionEvent::Closed { token, clean } => {
                     let remote = self.sessions.get(&token).and_then(|s| s.remote());
                     if let (false, Some(peer)) = (clean, remote) {
                         if !self.draining {
                             self.arm_backoff(peer, now);
+                        }
+                    }
+                    if let Some(peer) = remote {
+                        if self.by_peer.get(&peer) == Some(&token) {
+                            self.with_workload(now, |w, secs, state, io| {
+                                w.on_closed(peer, secs, state, io)
+                            });
                         }
                     }
                     // reaping happens at the end of poll_once

@@ -35,7 +35,7 @@
 
 use crate::stats::NodeCounters;
 use crate::transport::Conn;
-use crate::wire::{self, Envelope};
+use crate::wire::{self, Envelope, SwarmFrame};
 use bartercast_core::codec::FrameDecoder;
 use bartercast_core::BarterCastMessage;
 use bartercast_util::units::PeerId;
@@ -73,6 +73,16 @@ pub enum SessionEvent {
         from: PeerId,
         /// The decoded BarterCast message.
         msg: BarterCastMessage,
+    },
+    /// A swarm-workload frame arrived; the reactor routes it to the
+    /// attached [`Workload`](crate::workload::Workload), if any.
+    Frame {
+        /// Reactor-assigned session id.
+        token: u64,
+        /// Peer the session is established with.
+        from: PeerId,
+        /// The decoded frame.
+        frame: SwarmFrame,
     },
     /// The session ended; the reactor should reap it.
     Closed {
@@ -123,7 +133,7 @@ pub struct Session {
     direction: Direction,
     state: SessionState,
     decoder: FrameDecoder,
-    outbound: VecDeque<BarterCastMessage>,
+    outbound: VecDeque<Envelope>,
     remote: Option<PeerId>,
     started_at: Instant,
     last_activity: Instant,
@@ -200,17 +210,32 @@ impl Session {
     /// the outbound queue and goes out once the handshake completes, so
     /// the first exchange takes the same path as every later one.
     pub fn preload(&mut self, msg: BarterCastMessage) {
-        self.outbound.push_back(msg);
+        self.outbound.push_back(Envelope::Records(msg));
     }
 
     /// Queue a message for sending, shedding (and counting) if the
     /// bounded queue is full. Returns whether the message was queued.
     pub fn enqueue(&mut self, msg: BarterCastMessage, cap: usize, counters: &NodeCounters) -> bool {
+        self.enqueue_envelope(Envelope::Records(msg), cap, counters)
+    }
+
+    /// Queue a swarm frame for sending, shedding (and counting) if the
+    /// bounded queue is full. Returns whether the frame was queued.
+    pub fn enqueue_frame(
+        &mut self,
+        frame: SwarmFrame,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
+        self.enqueue_envelope(Envelope::Swarm(frame), cap, counters)
+    }
+
+    fn enqueue_envelope(&mut self, env: Envelope, cap: usize, counters: &NodeCounters) -> bool {
         if !self.is_established() || self.outbound.len() >= cap {
             NodeCounters::inc(&counters.shed_session);
             return false;
         }
-        self.outbound.push_back(msg);
+        self.outbound.push_back(env);
         true
     }
 
@@ -250,8 +275,14 @@ impl Session {
         match self.conn.try_send(&frame)? {
             true => {
                 NodeCounters::add(&counters.bytes_sent, frame.len() as u64);
-                if let Envelope::Records(msg) = env {
-                    NodeCounters::add(&counters.records_sent, msg.len() as u64);
+                match env {
+                    Envelope::Records(msg) => {
+                        NodeCounters::add(&counters.records_sent, msg.len() as u64);
+                    }
+                    Envelope::Swarm(SwarmFrame::Piece { .. }) => {
+                        NodeCounters::inc(&counters.pieces_sent);
+                    }
+                    _ => {}
                 }
                 Ok(true)
             }
@@ -374,6 +405,16 @@ impl Session {
                         msg,
                     });
                 }
+                (SessionState::Exchange | SessionState::Draining, Envelope::Swarm(frame)) => {
+                    if matches!(frame, SwarmFrame::Piece { .. }) {
+                        NodeCounters::inc(&counters.pieces_received);
+                    }
+                    events.push(SessionEvent::Frame {
+                        token: self.token,
+                        from: self.remote.expect("established session has a remote"),
+                        frame,
+                    });
+                }
                 (SessionState::Exchange | SessionState::Draining, Envelope::Bye) => {
                     // peer is done; answer in kind (best-effort — it may
                     // already be gone) so both logs agree, then close
@@ -401,10 +442,10 @@ impl Session {
             return true;
         }
 
-        // 5. write queued records until the connection pushes back
+        // 5. write queued envelopes until the connection pushes back
         if matches!(self.state, SessionState::Exchange | SessionState::Draining) {
-            while let Some(msg) = self.outbound.front() {
-                match self.send_envelope(counters, &Envelope::Records(msg.clone())) {
+            while let Some(env) = self.outbound.front().cloned() {
+                match self.send_envelope(counters, &env) {
                     Ok(true) => {
                         self.outbound.pop_front();
                         progress = true;
@@ -625,6 +666,60 @@ mod tests {
             SessionEvent::Closed { clean: false, .. }
         ));
         assert_eq!(counters.snapshot().sessions_failed, 1);
+    }
+
+    /// Swarm frames ride the same session as record exchanges and are
+    /// surfaced as `Frame` events with piece counters maintained.
+    #[test]
+    fn swarm_frames_flow_alongside_records() {
+        let t = MemTransport::new(MemConfig::default());
+        let (conn_a, conn_b) = pair(&t);
+        let counters = NodeCounters::default();
+        let now = Instant::now();
+        let mut a = Session::new(1, conn_a, Direction::Initiator, now);
+        let mut b = Session::new(2, conn_b, Direction::Responder, now);
+        let (mut ev_a, mut ev_b) = (Vec::new(), Vec::new());
+        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        assert!(a.is_established() && b.is_established());
+
+        assert!(a.enqueue_frame(SwarmFrame::Request { piece: 4 }, 8, &counters));
+        assert!(a.enqueue(msg(0, 5, 100), 8, &counters));
+        assert!(b.enqueue_frame(
+            SwarmFrame::Piece {
+                piece: 4,
+                size: 16384
+            },
+            8,
+            &counters
+        ));
+        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+
+        assert!(ev_b.iter().any(|e| matches!(
+            e,
+            SessionEvent::Frame {
+                from: PeerId(0),
+                frame: SwarmFrame::Request { piece: 4 },
+                ..
+            }
+        )));
+        assert!(ev_b
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Records { .. })));
+        assert!(ev_a.iter().any(|e| matches!(
+            e,
+            SessionEvent::Frame {
+                from: PeerId(1),
+                frame: SwarmFrame::Piece {
+                    piece: 4,
+                    size: 16384
+                },
+                ..
+            }
+        )));
+        let s = counters.snapshot();
+        assert_eq!(s.pieces_sent, 1);
+        assert_eq!(s.pieces_received, 1);
+        assert_eq!(s.records_sent, 1);
     }
 
     /// Queueing past the cap sheds and counts.

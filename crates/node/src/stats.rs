@@ -52,6 +52,10 @@ pub struct NodeCounters {
     /// Envelopes rejected by the wire layer (bad kind, bad handshake,
     /// codec failure) plus decoder poisonings.
     pub protocol_errors: AtomicU64,
+    /// Swarm pieces sent inside `Piece` frames.
+    pub pieces_sent: AtomicU64,
+    /// Swarm pieces received inside `Piece` frames.
+    pub pieces_received: AtomicU64,
 }
 
 impl NodeCounters {
@@ -94,6 +98,8 @@ impl NodeCounters {
             shed_accept: self.shed_accept.load(Ordering::Relaxed),
             shed_session: self.shed_session.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            pieces_sent: self.pieces_sent.load(Ordering::Relaxed),
+            pieces_received: self.pieces_received.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +135,10 @@ pub struct NodeStats {
     pub shed_session: u64,
     /// Wire-layer rejections.
     pub protocol_errors: u64,
+    /// Swarm pieces sent.
+    pub pieces_sent: u64,
+    /// Swarm pieces received.
+    pub pieces_received: u64,
 }
 
 impl NodeStats {
@@ -140,7 +150,8 @@ impl NodeStats {
              \"sessions_live\": {}, \"sessions_peak\": {}, \"reconnects\": {}, \
              \"records_sent\": {}, \"records_received\": {}, \"records_duplicate\": {}, \
              \"bytes_sent\": {}, \"bytes_received\": {}, \"shed_accept\": {}, \
-             \"shed_session\": {}, \"protocol_errors\": {}",
+             \"shed_session\": {}, \"protocol_errors\": {}, \
+             \"pieces_sent\": {}, \"pieces_received\": {}",
             self.sessions_opened,
             self.sessions_failed,
             self.sessions_closed,
@@ -155,6 +166,8 @@ impl NodeStats {
             self.shed_accept,
             self.shed_session,
             self.protocol_errors,
+            self.pieces_sent,
+            self.pieces_received,
         )
     }
 }
@@ -191,7 +204,7 @@ mod tests {
         let s = NodeCounters::default().snapshot();
         let obj = format!("{{{}}}", s.json_fields());
         assert!(obj.starts_with('{') && obj.ends_with('}'));
-        assert_eq!(obj.matches(':').count(), 14);
+        assert_eq!(obj.matches(':').count(), 16);
         assert!(obj.contains("\"shed_accept\": 0"));
         assert!(obj.contains("\"shed_session\": 0"));
         assert!(obj.contains("\"sessions_peak\": 0"));

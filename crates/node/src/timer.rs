@@ -36,6 +36,9 @@ pub enum TimerKind {
         /// The peer to redial.
         peer: PeerId,
     },
+    /// Periodic choke-round tick for the attached swarm workload:
+    /// recompute unchoke sets and serve queued piece requests.
+    ChokeRound,
 }
 
 #[derive(Debug)]

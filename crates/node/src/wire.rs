@@ -13,6 +13,18 @@
 //!   `bartercast-core` wire codec verbatim as the body.
 //! * [`Envelope::Bye`] — explicit teardown, so the peer can distinguish
 //!   a graceful close from a severed connection.
+//! * [`Envelope::Swarm`] — one BitTorrent-style swarm frame
+//!   ([`SwarmFrame`]): bitfield/have availability advertisements,
+//!   piece requests and transfers, and choke/unchoke notifications.
+//!   These ride the same framed stream as record exchanges, so a
+//!   transfer workload and BarterCast gossip share one session.
+//!
+//! Piece payloads are *logical*: a [`SwarmFrame::Piece`] carries the
+//! piece index and its byte size, not the bytes themselves. The
+//! runtime studies incentive dynamics (who gets unchoked, who
+//! completes), for which shipping megabytes of zeroes through the
+//! in-process transport would add nothing but wall-clock time; the
+//! contribution accounting uses the declared size.
 
 use bartercast_core::codec::{self, DecodeError};
 use bartercast_core::BarterCastMessage;
@@ -22,11 +34,19 @@ use std::fmt;
 
 /// Version of the session protocol (handshake + envelope layout).
 /// Distinct from the record-codec version inside `Records` bodies.
-pub const NODE_PROTOCOL_VERSION: u8 = 1;
+/// v2 added the swarm frames (kinds 4–10).
+pub const NODE_PROTOCOL_VERSION: u8 = 2;
 
 const KIND_HELLO: u8 = 1;
 const KIND_RECORDS: u8 = 2;
 const KIND_BYE: u8 = 3;
+const KIND_BITFIELD: u8 = 4;
+const KIND_HAVE: u8 = 5;
+const KIND_REQUEST: u8 = 6;
+const KIND_PIECE: u8 = 7;
+const KIND_CHOKE: u8 = 8;
+const KIND_UNCHOKE: u8 = 9;
+const KIND_CANCEL: u8 = 10;
 
 /// Magic byte opening a `Hello` body (same value as the record codec's
 /// magic — one constant to grep for on the wire).
@@ -44,6 +64,67 @@ pub enum Envelope {
     Records(BarterCastMessage),
     /// Graceful teardown; no more envelopes follow from the sender.
     Bye,
+    /// One swarm-workload frame (piece transfer protocol).
+    Swarm(SwarmFrame),
+}
+
+/// One BitTorrent-style frame of the piece-transfer workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwarmFrame {
+    /// Full availability advertisement: which of the torrent's
+    /// `piece_count` pieces the sender holds, packed LSB-first into
+    /// `bits` (`ceil(piece_count / 8)` bytes).
+    Bitfield {
+        /// Number of pieces in the torrent, so the receiver can check
+        /// the packing and reject mismatched swarms.
+        piece_count: u32,
+        /// Packed presence bits, LSB-first within each byte.
+        bits: Vec<u8>,
+    },
+    /// The sender just completed `piece`.
+    Have {
+        /// Piece index.
+        piece: u32,
+    },
+    /// The sender wants `piece` from us.
+    Request {
+        /// Piece index.
+        piece: u32,
+    },
+    /// One piece transfer. The payload is logical (see module docs):
+    /// `size` bytes are credited to the contribution books, no data
+    /// bytes travel.
+    Piece {
+        /// Piece index.
+        piece: u32,
+        /// Piece size in bytes, as credited to the transfer ledger.
+        size: u64,
+    },
+    /// The sender revoked our upload slot.
+    Choke,
+    /// The sender granted us an upload slot; requests may flow.
+    Unchoke,
+    /// The sender no longer wants `piece` (it arrived from someone
+    /// else); drop it from our serve queue if still pending.
+    Cancel {
+        /// Piece index.
+        piece: u32,
+    },
+}
+
+impl SwarmFrame {
+    /// Short tag for logs and debug assertions.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SwarmFrame::Bitfield { .. } => "bitfield",
+            SwarmFrame::Have { .. } => "have",
+            SwarmFrame::Request { .. } => "request",
+            SwarmFrame::Piece { .. } => "piece",
+            SwarmFrame::Choke => "choke",
+            SwarmFrame::Unchoke => "unchoke",
+            SwarmFrame::Cancel { .. } => "cancel",
+        }
+    }
 }
 
 /// Why an inbound envelope was rejected.
@@ -96,6 +177,32 @@ pub fn encode_envelope(envelope: &Envelope) -> BytesMut {
             payload.put_slice(&codec::encode(msg));
         }
         Envelope::Bye => payload.put_u8(KIND_BYE),
+        Envelope::Swarm(frame) => match frame {
+            SwarmFrame::Bitfield { piece_count, bits } => {
+                payload.put_u8(KIND_BITFIELD);
+                payload.put_u32_le(*piece_count);
+                payload.put_slice(bits);
+            }
+            SwarmFrame::Have { piece } => {
+                payload.put_u8(KIND_HAVE);
+                payload.put_u32_le(*piece);
+            }
+            SwarmFrame::Request { piece } => {
+                payload.put_u8(KIND_REQUEST);
+                payload.put_u32_le(*piece);
+            }
+            SwarmFrame::Piece { piece, size } => {
+                payload.put_u8(KIND_PIECE);
+                payload.put_u32_le(*piece);
+                payload.put_u64_le(*size);
+            }
+            SwarmFrame::Choke => payload.put_u8(KIND_CHOKE),
+            SwarmFrame::Unchoke => payload.put_u8(KIND_UNCHOKE),
+            SwarmFrame::Cancel { piece } => {
+                payload.put_u8(KIND_CANCEL);
+                payload.put_u32_le(*piece);
+            }
+        },
     }
     codec::frame(&payload)
 }
@@ -135,8 +242,75 @@ pub fn decode_envelope(payload: &[u8]) -> Result<Envelope, WireError> {
                 Err(WireError::Truncated)
             }
         }
+        KIND_BITFIELD => {
+            if body.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let piece_count = body.get_u32_le();
+            let want = (piece_count as usize).div_ceil(8);
+            if body.remaining() != want {
+                return Err(WireError::Truncated);
+            }
+            // trailing padding bits in the last byte must be zero, so
+            // every bitfield has exactly one wire form
+            let bits = body.to_vec();
+            let spare = want * 8 - piece_count as usize;
+            if spare > 0 {
+                let last = bits[want - 1];
+                if last >> (8 - spare) != 0 {
+                    return Err(WireError::Truncated);
+                }
+            }
+            Ok(Envelope::Swarm(SwarmFrame::Bitfield { piece_count, bits }))
+        }
+        KIND_HAVE | KIND_REQUEST | KIND_CANCEL => {
+            if body.remaining() != 4 {
+                return Err(WireError::Truncated);
+            }
+            let piece = body.get_u32_le();
+            Ok(Envelope::Swarm(match kind {
+                KIND_HAVE => SwarmFrame::Have { piece },
+                KIND_REQUEST => SwarmFrame::Request { piece },
+                _ => SwarmFrame::Cancel { piece },
+            }))
+        }
+        KIND_PIECE => {
+            if body.remaining() != 12 {
+                return Err(WireError::Truncated);
+            }
+            let piece = body.get_u32_le();
+            let size = body.get_u64_le();
+            Ok(Envelope::Swarm(SwarmFrame::Piece { piece, size }))
+        }
+        KIND_CHOKE | KIND_UNCHOKE => {
+            if !body.is_empty() {
+                return Err(WireError::Truncated);
+            }
+            Ok(Envelope::Swarm(if kind == KIND_CHOKE {
+                SwarmFrame::Choke
+            } else {
+                SwarmFrame::Unchoke
+            }))
+        }
         other => Err(WireError::BadKind(other)),
     }
+}
+
+/// Pack a presence predicate over `piece_count` pieces into the
+/// LSB-first byte layout [`SwarmFrame::Bitfield`] carries.
+pub fn pack_bits<F: FnMut(usize) -> bool>(piece_count: usize, mut has: F) -> Vec<u8> {
+    let mut bits = vec![0u8; piece_count.div_ceil(8)];
+    for i in 0..piece_count {
+        if has(i) {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bits
+}
+
+/// Whether bit `i` is set in a [`SwarmFrame::Bitfield`] byte layout.
+pub fn bit_set(bits: &[u8], i: usize) -> bool {
+    bits.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0)
 }
 
 #[cfg(test)]
@@ -163,6 +337,19 @@ mod tests {
             Envelope::Hello { peer: PeerId(42) },
             Envelope::Records(sample_msg()),
             Envelope::Bye,
+            Envelope::Swarm(SwarmFrame::Bitfield {
+                piece_count: 10,
+                bits: vec![0b1010_0101, 0b0000_0011],
+            }),
+            Envelope::Swarm(SwarmFrame::Have { piece: 7 }),
+            Envelope::Swarm(SwarmFrame::Request { piece: 123_456 }),
+            Envelope::Swarm(SwarmFrame::Piece {
+                piece: 3,
+                size: 262_144,
+            }),
+            Envelope::Swarm(SwarmFrame::Choke),
+            Envelope::Swarm(SwarmFrame::Unchoke),
+            Envelope::Swarm(SwarmFrame::Cancel { piece: 11 }),
         ];
         let mut dec = FrameDecoder::new();
         for env in &envs {
@@ -199,7 +386,7 @@ mod tests {
             Err(WireError::BadHandshake)
         );
         assert_eq!(
-            decode_envelope(&[KIND_HELLO, 0xBC, 1, 0, 0, 0, 0, 0xFF]),
+            decode_envelope(&[KIND_HELLO, 0xBC, NODE_PROTOCOL_VERSION, 0, 0, 0, 0, 0xFF]),
             Err(WireError::BadHandshake)
         );
         assert_eq!(decode_envelope(&[KIND_BYE, 1]), Err(WireError::Truncated));
@@ -207,5 +394,66 @@ mod tests {
             decode_envelope(&[KIND_RECORDS, 1, 2, 3]),
             Err(WireError::Codec(_))
         ));
+    }
+
+    #[test]
+    fn hostile_swarm_payloads_error_not_panic() {
+        // bitfield body shorter than its own piece count claims
+        assert_eq!(
+            decode_envelope(&[KIND_BITFIELD, 16, 0, 0, 0, 0xFF]),
+            Err(WireError::Truncated)
+        );
+        // huge piece count with no bytes must not allocate or panic
+        assert_eq!(
+            decode_envelope(&[KIND_BITFIELD, 0xFF, 0xFF, 0xFF, 0xFF]),
+            Err(WireError::Truncated)
+        );
+        // non-zero padding bits past piece_count are rejected
+        assert_eq!(
+            decode_envelope(&[KIND_BITFIELD, 3, 0, 0, 0, 0b0000_1000]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            decode_envelope(&[KIND_HAVE, 1, 2]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            decode_envelope(&[KIND_REQUEST, 1, 2, 3, 4, 5]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            decode_envelope(&[KIND_CANCEL, 1, 2]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            decode_envelope(&[KIND_PIECE, 1, 2, 3, 4]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(decode_envelope(&[KIND_CHOKE, 0]), Err(WireError::Truncated));
+        assert_eq!(
+            decode_envelope(&[KIND_UNCHOKE, 0]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn bit_packing_helpers_roundtrip() {
+        let have = [0usize, 3, 8, 12];
+        let bits = pack_bits(13, |i| have.contains(&i));
+        for i in 0..13 {
+            assert_eq!(bit_set(&bits, i), have.contains(&i), "piece {i}");
+        }
+        // out-of-range queries are false, never a panic
+        assert!(!bit_set(&bits, 200));
+        // packed form decodes as a valid Bitfield frame
+        let mut payload = vec![KIND_BITFIELD, 13, 0, 0, 0];
+        payload.extend_from_slice(&bits);
+        assert_eq!(
+            decode_envelope(&payload).unwrap(),
+            Envelope::Swarm(SwarmFrame::Bitfield {
+                piece_count: 13,
+                bits
+            })
+        );
     }
 }

@@ -1,12 +1,12 @@
 //! Simulation parameters.
 
 use crate::adversary::AdversaryModel;
-use bartercast_util::units::Bytes;
-use bartercast_bt::BtConfig;
+use bartercast_bt::{BtConfig, RatioPolicy};
 use bartercast_core::message::BarterCastConfig;
 use bartercast_core::metric::ReputationMetric;
 use bartercast_core::policy::ReputationPolicy;
 use bartercast_graph::maxflow::Method;
+use bartercast_util::units::Bytes;
 use bartercast_util::units::Seconds;
 
 /// A peer's long-term behaviour class (§5.1): lazy freeriders
@@ -37,6 +37,13 @@ pub struct SimConfig {
     pub seed_time: Seconds,
     /// The reputation policy every obeying peer enforces (§4.2).
     pub policy: ReputationPolicy,
+    /// Optional private-tracker ratio enforcement. When set it
+    /// replaces `policy` in choke decisions — the third policy beside
+    /// rank and ban, admitting a candidate only while its lifetime
+    /// share ratio (as recorded by the evaluator's subjective
+    /// contribution graph) stays above the minimum, with a grace
+    /// allowance for fresh peers.
+    pub ratio: Option<RatioPolicy>,
     /// BarterCast message parameters (paper: `Nh = Nr = 10`).
     pub bartercast: BarterCastConfig,
     /// BitTorrent protocol constants.
@@ -104,6 +111,7 @@ impl Default for SimConfig {
             freerider_fraction: 0.5,
             seed_time: Seconds::from_hours(10),
             policy: ReputationPolicy::None,
+            ratio: None,
             bartercast: BarterCastConfig::default(),
             bt: BtConfig {
                 regular_slots: 4,
@@ -146,6 +154,12 @@ impl SimConfig {
                 || self.round.0.is_multiple_of(self.bt.unchoke_period.0),
             "unchoke period and round should nest"
         );
+        if let Some(r) = &self.ratio {
+            assert!(
+                r.min_ratio.is_finite() && r.min_ratio > 0.0,
+                "ratio policy needs a positive finite minimum share ratio"
+            );
+        }
     }
 }
 

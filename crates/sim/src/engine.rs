@@ -153,8 +153,7 @@ impl Simulation {
                     engine,
                 );
                 if let Some(a) = config.audit {
-                    peer.auditor =
-                        Some(bartercast_core::audit::Auditor::new(a.factor, a.slack));
+                    peer.auditor = Some(bartercast_core::audit::Auditor::new(a.factor, a.slack));
                 }
                 peer
             })
@@ -164,11 +163,7 @@ impl Simulation {
         // install-time buddy list).
         let all_ids: Vec<PeerId> = peers.iter().map(|p| p.id).collect();
         for peer in peers.iter_mut() {
-            let mut boot: Vec<PeerId> = all_ids
-                .iter()
-                .copied()
-                .filter(|&q| q != peer.id)
-                .collect();
+            let mut boot: Vec<PeerId> = all_ids.iter().copied().filter(|&q| q != peer.id).collect();
             boot.shuffle(&mut rng);
             boot.truncate(10);
             peer.pss.bootstrap(boot);
@@ -186,7 +181,10 @@ impl Simulation {
         let horizon_days = trace.horizon.as_days();
         let sample_days = (config.reputation_sample_interval.as_days()).max(1e-3);
         Simulation {
-            speed: GroupSeries::new(horizon_days.max(1e-3), (horizon_days / 7.0).clamp(1e-3, 1.0)),
+            speed: GroupSeries::new(
+                horizon_days.max(1e-3),
+                (horizon_days / 7.0).clamp(1e-3, 1.0),
+            ),
             reputation: GroupSeries::new(horizon_days.max(1e-3), sample_days),
             overall_speed_sharers: Running::new(),
             overall_speed_freeriders: Running::new(),
@@ -275,8 +273,7 @@ impl Simulation {
     /// Track peak concurrent online membership per swarm.
     fn sample_swarm_peaks(&mut self) {
         for s in 0..self.swarms.len() {
-            let online = self
-                .swarms[s]
+            let online = self.swarms[s]
                 .members()
                 .filter(|m| self.peers[m.index()].online)
                 .count();
@@ -337,6 +334,9 @@ impl Simulation {
     fn choke_phase(&mut self) {
         let epoch = self.now.0 / self.config.reputation_refresh.0.max(1);
         let policy = self.config.policy;
+        // an active ratio policy replaces the reputation policy in
+        // choke decisions (the third policy beside rank/ban)
+        let ratio = self.config.ratio;
         for s in 0..self.swarms.len() {
             let member_ids: Vec<PeerId> = self.swarms[s].members().collect();
             for &pid in &member_ids {
@@ -370,11 +370,20 @@ impl Simulation {
                 }
                 // deterministic candidate order
                 candidates.sort_by_key(|c| c.peer);
-                // reputations first (separate borrow of self.peers[i])
-                let reps =
-                    crate::sweep::score_candidates(&mut self.peers[i], &policy, &candidates, epoch);
+                // scores first (separate borrow of self.peers[i])
+                let scores = crate::sweep::score_candidates(
+                    &mut self.peers[i],
+                    &policy,
+                    ratio.as_ref(),
+                    &candidates,
+                    epoch,
+                );
                 let role = self.swarms[s].member(pid).unwrap().role();
-                let slot = if role == bartercast_bt::Role::Leecher { 0 } else { 1 };
+                let slot = if role == bartercast_bt::Role::Leecher {
+                    0
+                } else {
+                    1
+                };
                 self.contention[slot].0 += candidates.len() as u64;
                 if !candidates.is_empty() {
                     self.contention[slot].1 += 1;
@@ -382,9 +391,16 @@ impl Simulation {
                 if candidates.len() > self.config.bt.regular_slots {
                     self.contention[slot].2 += 1;
                 }
+                let dyn_policy: &dyn bartercast_bt::ChokePolicy = match ratio.as_ref() {
+                    Some(r) => r,
+                    None => &policy,
+                };
                 let member = self.swarms[s].member_mut(pid).unwrap();
-                let unchoked = member.choker.unchoke(role, &candidates, &policy, |q| {
-                    reps.get(&q).copied().unwrap_or(0.0)
+                let unchoked = member.choker.unchoke(role, &candidates, dyn_policy, |q| {
+                    scores
+                        .get(&q)
+                        .copied()
+                        .unwrap_or(bartercast_bt::PeerScore::NEUTRAL)
                 });
                 member.unchoked = unchoked;
                 // reset the rate window for the next period
@@ -431,7 +447,9 @@ impl Simulation {
         }
         // 2. uplink shares
         for f in flows.iter_mut() {
-            let share = self.peers[f.up].up_bw.split(uploads_per_peer[f.up] as usize);
+            let share = self.peers[f.up]
+                .up_bw
+                .split(uploads_per_peer[f.up] as usize);
             f.bytes = share.over(dt).0;
         }
         // 3. downlink caps (proportional scaling)
@@ -513,8 +531,7 @@ impl Simulation {
         for (&(d, s), &(bytes, ref providers)) in received.iter() {
             let pid = self.peers[d].id;
             let salt = self.rng.gen::<u64>() | 1;
-            let done =
-                self.swarms[s].credit_download_salted(pid, providers, Bytes(bytes), salt);
+            let done = self.swarms[s].credit_download_salted(pid, providers, Bytes(bytes), salt);
             self.pieces_transferred += done.len() as u64;
             if !done.is_empty() && self.swarms[s].member(pid).unwrap().bitfield.is_complete() {
                 completions.push((d, s));
@@ -550,10 +567,10 @@ impl Simulation {
             }
             // actively leeching somewhere?
             let pid = self.peers[i].id;
-            let leeching = self.swarms.iter().any(|sw| {
-                sw.member(pid)
-                    .is_some_and(|m| !m.bitfield.is_complete())
-            });
+            let leeching = self
+                .swarms
+                .iter()
+                .any(|sw| sw.member(pid).is_some_and(|m| !m.bitfield.is_complete()));
             if !leeching {
                 continue;
             }
@@ -764,16 +781,18 @@ impl Simulation {
             .swarm_stats
             .iter()
             .enumerate()
-            .map(|(s, &(completions, total_secs, peak))| crate::metrics::SwarmOutcome {
-                swarm: s,
-                completions,
-                mean_completion_hours: if completions > 0 {
-                    total_secs as f64 / completions as f64 / 3600.0
-                } else {
-                    0.0
+            .map(
+                |(s, &(completions, total_secs, peak))| crate::metrics::SwarmOutcome {
+                    swarm: s,
+                    completions,
+                    mean_completion_hours: if completions > 0 {
+                        total_secs as f64 / completions as f64 / 3600.0
+                    } else {
+                        0.0
+                    },
+                    peak_members: peak,
                 },
-                peak_members: peak,
-            })
+            )
             .collect();
         SimReport {
             horizon: self.trace.horizon,
@@ -868,7 +887,10 @@ mod tests {
         // (archival seeders upload), but total down >= |sum of negative|
         let down: f64 = report.outcomes.iter().map(|o| o.downloaded_gb).sum();
         assert!(down > 0.0);
-        assert!(up <= 1e-9, "regular peers can't have net-positive total vs archival seeders: {up}");
+        assert!(
+            up <= 1e-9,
+            "regular peers can't have net-positive total vs archival seeders: {up}"
+        );
     }
 
     #[test]
@@ -912,6 +934,35 @@ mod tests {
                 assert_eq!(p.behaviour, Behaviour::Freerider);
             }
         }
+    }
+
+    #[test]
+    fn ratio_policy_runs_and_suppresses_freeriders() {
+        let mut cfg = small_config();
+        cfg.ratio = Some(bartercast_bt::RatioPolicy {
+            min_ratio: 0.3,
+            // tight grace so the policy actually bites inside a 1-day run
+            grace: bartercast_util::units::Bytes::from_mb(256),
+        });
+        cfg.validate();
+        let gated = Simulation::new(small_trace(4), cfg.clone()).run();
+        assert!(gated.pieces_transferred > 0, "swarm must still move data");
+        // deterministic like every other policy
+        let again = Simulation::new(small_trace(4), cfg).run();
+        assert_eq!(gated.pieces_transferred, again.pieces_transferred);
+        assert_eq!(
+            gated.overall_speed_freeriders,
+            again.overall_speed_freeriders
+        );
+        // qualitative: ratio enforcement must not *help* freeriders
+        // relative to the plain tit-for-tat baseline
+        let baseline = Simulation::new(small_trace(4), small_config()).run();
+        assert!(
+            gated.overall_speed_freeriders <= baseline.overall_speed_freeriders + 1e-9,
+            "ratio gating made freeriders faster: {} vs baseline {}",
+            gated.overall_speed_freeriders,
+            baseline.overall_speed_freeriders
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl SimReport {
         let tail_mean = |series: &BucketSeries| -> Option<f64> {
             let means = series.means();
             let counts = series.counts();
-            let from = counts.len().saturating_sub(counts.len() / 3).min(counts.len() - 1);
+            let from = counts
+                .len()
+                .saturating_sub(counts.len() / 3)
+                .min(counts.len() - 1);
             // means() skips empty buckets, so re-anchor by bucket time
             let width = counts.len() as f64;
             let horizon = self.horizon.as_days();

@@ -3,9 +3,9 @@
 use crate::adversary::Conduct;
 use crate::config::Behaviour;
 use bartercast_core::audit::Auditor;
-use bartercast_core::ReputationEngine;
 use bartercast_core::history::PrivateHistory;
 use bartercast_core::message::{BarterCastConfig, BarterCastMessage};
+use bartercast_core::ReputationEngine;
 use bartercast_gossip::{PssConfig, PssNode};
 use bartercast_util::units::{Bandwidth, Bytes, PeerId, Seconds};
 use bartercast_util::FxHashMap;
@@ -144,10 +144,7 @@ impl SimPeer {
                 self.rep_cache.insert(t, (epoch, v));
             }
         }
-        targets
-            .iter()
-            .map(|t| self.rep_cache[t].1)
-            .collect()
+        targets.iter().map(|t| self.rep_cache[t].1).collect()
     }
 
     /// Net ground-truth contribution (upload − download) in bytes,
@@ -183,7 +180,10 @@ mod tests {
         assert_eq!(p.real_up, Bytes::from_mb(10));
         assert_eq!(p.real_down, Bytes::from_mb(30));
         assert_eq!(p.history.total_up(), Bytes::from_mb(10));
-        assert_eq!(p.engine.graph().edge(PeerId(2), PeerId(0)), Bytes::from_mb(30));
+        assert_eq!(
+            p.engine.graph().edge(PeerId(2), PeerId(0)),
+            Bytes::from_mb(30)
+        );
         assert_eq!(p.net_contribution(), (10.0 - 30.0) * 1024.0 * 1024.0);
     }
 

@@ -211,9 +211,12 @@ fn run_scale_ordered(config: &ScaleConfig, reverse: bool) -> ScaleReport {
 
     // private histories for everyone (cheap), full state only for the
     // probes — each probe self-contained (own engine, transport, RNG)
-    let mut histories: Vec<PrivateHistory> =
-        (0..n).map(|i| PrivateHistory::new(PeerId(i as u32))).collect();
-    let probe_ids: Vec<usize> = (0..config.probes).map(|i| i * (n / config.probes)).collect();
+    let mut histories: Vec<PrivateHistory> = (0..n)
+        .map(|i| PrivateHistory::new(PeerId(i as u32)))
+        .collect();
+    let probe_ids: Vec<usize> = (0..config.probes)
+        .map(|i| i * (n / config.probes))
+        .collect();
     let transport_config = TransportConfig {
         min_delay: Seconds(0),
         max_delay: Seconds(600),
@@ -534,11 +537,10 @@ fn shard_scale_records(
 /// gates fail before timings are reported.
 pub fn run_shard_scale(config: &ShardScaleConfig) -> ShardScaleReport {
     assert!(config.peers >= 10 && config.shards >= 1);
-    let mut service = ShardedEngine::new(config.shards).with_partitioner(Arc::new(
-        ContiguousCommunities {
+    let mut service =
+        ShardedEngine::new(config.shards).with_partitioner(Arc::new(ContiguousCommunities {
             community_size: config.community_size.max(1) as u32,
-        },
-    ));
+        }));
 
     let ingest_start = Instant::now();
     let mut records = 0u64;
@@ -626,7 +628,11 @@ mod tests {
     fn study_runs_and_discriminates() {
         let report = run_scale(&tiny());
         assert_eq!(report.peers, 500);
-        assert!(report.mean_graph_edges > 50.0, "graphs too sparse: {}", report.mean_graph_edges);
+        assert!(
+            report.mean_graph_edges > 50.0,
+            "graphs too sparse: {}",
+            report.mean_graph_edges
+        );
         assert!(report.messages > 0);
         assert!(
             report.pairwise_accuracy > 0.7,
@@ -716,11 +722,20 @@ mod tests {
             four.checksum, one.checksum,
             "4-shard sweep drifted from the monolithic checksum"
         );
-        assert_eq!(four.records, one.records, "record stream must not depend on shards");
+        assert_eq!(
+            four.records, one.records,
+            "record stream must not depend on shards"
+        );
         assert_eq!(four.authoritative_edges, one.authoritative_edges);
-        assert!(four.locality > 0.9, "planted communities should keep records local: {}", four.locality);
+        assert!(
+            four.locality > 0.9,
+            "planted communities should keep records local: {}",
+            four.locality
+        );
         assert!(four.records_per_sec > 0.0);
-        assert!(four.sweep_makespan_ms <= one.sweep_makespan_ms + 1e-6 || four.sweep_makespan_ms >= 0.0);
+        assert!(
+            four.sweep_makespan_ms <= one.sweep_makespan_ms + 1e-6 || four.sweep_makespan_ms >= 0.0
+        );
     }
 
     #[test]
@@ -733,7 +748,9 @@ mod tests {
 
     #[test]
     fn contiguous_communities_keep_blocks_together() {
-        let part = ContiguousCommunities { community_size: 100 };
+        let part = ContiguousCommunities {
+            community_size: 100,
+        };
         for base in [0u32, 100, 1900] {
             let s = part.shard_of(PeerId(base), 4);
             for k in 1..100 {
@@ -741,9 +758,6 @@ mod tests {
             }
         }
         // communities round-robin across shards
-        assert_ne!(
-            part.shard_of(PeerId(0), 4),
-            part.shard_of(PeerId(100), 4)
-        );
+        assert_ne!(part.shard_of(PeerId(0), 4), part.shard_of(PeerId(100), 4));
     }
 }

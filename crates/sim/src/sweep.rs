@@ -26,7 +26,8 @@ use crate::config::SimConfig;
 use crate::engine::Simulation;
 use crate::metrics::SimReport;
 use crate::peer::SimPeer;
-use bartercast_bt::choke::Candidate;
+use bartercast_bt::choke::{Candidate, PeerScore};
+use bartercast_bt::RatioPolicy;
 use bartercast_core::policy::ReputationPolicy;
 use bartercast_core::ShardedEngine;
 use bartercast_graph::boundedk::layered_dag_cost;
@@ -147,22 +148,47 @@ pub fn system_reputation_sums(
     sums
 }
 
-/// Policy-facing reputation scores for a choke round's candidates, as
-/// a `candidate -> score` map. `ReputationPolicy::None` never consults
-/// the engine; everything else scores all candidates through the
-/// peer's epoch-cached batch path, sharing one two-hop traversal.
+/// Policy-facing scores for a choke round's candidates, as a
+/// `candidate -> PeerScore` map. A plain `ReputationPolicy::None` run
+/// never consults the engine and returns an empty map (the choker
+/// substitutes [`PeerScore::NEUTRAL`]); rank/ban score all candidates
+/// through the peer's epoch-cached batch path, sharing one two-hop
+/// traversal; an active [`RatioPolicy`] instead reads the lifetime
+/// `up`/`down` totals the peer's subjective contribution graph holds
+/// for each candidate — the decentralised stand-in for a private
+/// tracker's ledger.
 pub fn score_candidates(
     peer: &mut SimPeer,
     policy: &ReputationPolicy,
+    ratio: Option<&RatioPolicy>,
     candidates: &[Candidate],
     epoch: u64,
-) -> FxHashMap<PeerId, f64> {
-    if matches!(policy, ReputationPolicy::None) {
+) -> FxHashMap<PeerId, PeerScore> {
+    let needs_reputation = ratio.is_none() && !matches!(policy, ReputationPolicy::None);
+    if !needs_reputation && ratio.is_none() {
         return FxHashMap::default();
     }
     let candidate_ids: Vec<PeerId> = candidates.iter().map(|c| c.peer).collect();
-    let values = peer.reputations_of(&candidate_ids, epoch);
-    candidate_ids.into_iter().zip(values).collect()
+    let reputations = if needs_reputation {
+        peer.reputations_of(&candidate_ids, epoch)
+    } else {
+        vec![0.0; candidate_ids.len()]
+    };
+    let graph = peer.engine.graph();
+    candidate_ids
+        .iter()
+        .zip(reputations)
+        .map(|(&q, reputation)| {
+            (
+                q,
+                PeerScore {
+                    reputation,
+                    up: graph.total_up(q),
+                    down: graph.total_down(q),
+                },
+            )
+        })
+        .collect()
 }
 
 fn gather_serial(peers: &mut [SimPeer], indices: &[usize], target_ids: &[PeerId]) -> Vec<Vec<f64>> {
@@ -784,7 +810,10 @@ mod tests {
             .collect();
         let serial = shard_makespan_ms(&tasks, 4, 1);
         let total: f64 = tasks.iter().map(|&(_, us)| us).sum();
-        assert!((serial - total / 1e3).abs() < 1e-9, "one worker does it all");
+        assert!(
+            (serial - total / 1e3).abs() < 1e-9,
+            "one worker does it all"
+        );
         let two = shard_makespan_ms(&tasks, 4, 2);
         let four = shard_makespan_ms(&tasks, 4, 4);
         assert!(two <= serial && four <= two, "{serial} {two} {four}");

@@ -1,0 +1,812 @@
+//! The BitTorrent-style piece-transfer workload over the reactor.
+//!
+//! [`SwarmWorkload`] implements the reactor's
+//! [`Workload`](bartercast_node::Workload) hook: it keeps the node's
+//! bitfield, a per-peer protocol view, and the shared
+//! [`Choker`](bartercast_bt::Choker), and answers frames and choke
+//! rounds with batched [`WorkloadIo`] output. Completed piece
+//! transfers are the **only** writes into the node's BarterCast state:
+//! the uploader calls
+//! [`NodeState::record_piece_upload`](bartercast_node::NodeState::record_piece_upload)
+//! at send time, the downloader
+//! [`record_piece_download`](bartercast_node::NodeState::record_piece_download)
+//! at receipt, and the reactor's existing gossip spreads the resulting
+//! history records over the wire. Each choke round then reads the
+//! *live* engine back — Equation-1 reputations and graph totals feed
+//! the [`ChokePolicy`](bartercast_bt::ChokePolicy) in use — closing
+//! the loop the trace simulator can only approximate.
+//!
+//! ## Loss robustness
+//!
+//! Every frame can be dropped by the transport, so no state transition
+//! may depend on exactly-once delivery:
+//!
+//! * `Unchoke` is re-sent every round to every unchoked peer (and
+//!   receiving a `Piece` implies the sender unchoked us);
+//! * pending requests time out after a few rounds and the piece
+//!   becomes requestable again;
+//! * the full bitfield is re-advertised periodically, bounding how
+//!   long a lost `Have` can misrepresent interest.
+//!
+//! ## Scarcity model
+//!
+//! A choke policy can only suppress freeriders when upload capacity
+//! is contended. Three knobs create that contention: the leecher
+//! upload budget sits below the unchoke slot count (the policy's
+//! ordering decides who eats the shortfall), the seeder budget sits
+//! *above* it (content injection must outpace replication, or every
+//! node's surplus capacity drains to the freeriders — the only peers
+//! who always want something), and leechers top their request
+//! pipelines up with bounded duplicate requests (cancelled on first
+//! arrival) so the policy-ordered budget sweep always has reputable
+//! demand to prefer. Reputation policies act at leechers only: a
+//! pure seeder is a flow sink where every Equation-1 reputation is
+//! negative and sinking, so seeders fall back to §4.1 round-robin
+//! (the ratio policy, whose signal is role-independent, applies at
+//! both roles).
+//!
+//! ## Determinism
+//!
+//! The workload holds no RNG. Piece selection is rarest-first with a
+//! per-node *deterministic* tie-break (a hash of piece index and node
+//! id) over the deterministic view state; serve order rotates by
+//! round number over the id-ordered peer map; the optimistic-unchoke
+//! rotation lives in the shared `Choker`. Driven on virtual time, two
+//! identical runs make identical decisions.
+
+use crate::config::{PeerBehaviour, SwarmParams, SwarmPolicy};
+use crate::ledger::SwarmLedger;
+use bartercast_bt::choke::{Candidate, PeerScore};
+use bartercast_bt::{Bitfield, ChokePolicy, Choker, Role};
+use bartercast_core::policy::ReputationPolicy;
+use bartercast_node::wire::{bit_set, pack_bits};
+use bartercast_node::{NodeState, SwarmFrame, Workload, WorkloadIo};
+use bartercast_util::units::{Bytes, PeerId, Seconds};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Cap on queued inbound requests per peer; beyond it requests are
+/// dropped (the requester re-requests after its timeout).
+const REQUEST_QUEUE_CAP: usize = 64;
+
+/// What this node believes about one connected peer.
+#[derive(Debug)]
+struct PeerView {
+    /// Their advertised pieces.
+    have: Bitfield,
+    /// We granted them an upload slot last round.
+    we_unchoke: bool,
+    /// They granted us one (set by `Unchoke` or any `Piece`).
+    they_unchoke: bool,
+    /// Our outstanding requests to them: piece -> round sent.
+    pending: BTreeMap<u32, u64>,
+    /// Their outstanding requests to us, in arrival order.
+    queued: VecDeque<u32>,
+    /// Exponentially-decayed bytes they delivered to us (halved every
+    /// choke round; the tit-for-tat rate key).
+    recv_window: u64,
+    /// Exponentially-decayed bytes we served them.
+    sent_window: u64,
+}
+
+impl PeerView {
+    fn new(piece_count: usize) -> Self {
+        PeerView {
+            have: Bitfield::new(piece_count),
+            we_unchoke: false,
+            they_unchoke: false,
+            pending: BTreeMap::new(),
+            queued: VecDeque::new(),
+            recv_window: 0,
+            sent_window: 0,
+        }
+    }
+}
+
+/// The piece-transfer workload attached to one reactor.
+pub struct SwarmWorkload {
+    me: PeerId,
+    params: SwarmParams,
+    have: Bitfield,
+    peers: BTreeMap<PeerId, PeerView>,
+    choker: Choker,
+    round: u64,
+    bootstrap: Vec<PeerId>,
+    ledger: Arc<Mutex<SwarmLedger>>,
+}
+
+impl SwarmWorkload {
+    /// Build a workload for `me`. `bootstrap` are the peers dialed at
+    /// start (and re-dialed while missing); the shared `ledger`
+    /// records ground truth for the harness.
+    pub fn new(
+        me: PeerId,
+        params: SwarmParams,
+        bootstrap: Vec<PeerId>,
+        ledger: Arc<Mutex<SwarmLedger>>,
+    ) -> Self {
+        params.validate();
+        let have = if params.seed_initial {
+            Bitfield::full(params.piece_count)
+        } else {
+            Bitfield::new(params.piece_count)
+        };
+        SwarmWorkload {
+            me,
+            choker: Choker::new(params.bt),
+            have,
+            peers: BTreeMap::new(),
+            round: 0,
+            bootstrap,
+            params,
+            ledger,
+        }
+    }
+
+    fn freerider(&self) -> bool {
+        self.params.behaviour == PeerBehaviour::Freerider
+    }
+
+    /// Our bitfield advert. Freeriders hide their pieces: an empty
+    /// advert means nobody queues requests a freerider would ignore.
+    fn bitfield_frame(&self) -> SwarmFrame {
+        let hide = self.freerider();
+        let n = self.params.piece_count;
+        SwarmFrame::Bitfield {
+            piece_count: n as u32,
+            bits: pack_bits(n, |i| !hide && self.have.has(i)),
+        }
+    }
+
+    /// How many known peers advertise piece `i` (rarest-first key).
+    fn availability(&self, i: usize) -> usize {
+        self.peers.values().filter(|v| v.have.has(i)).count()
+    }
+
+    /// Deterministic per-node tie-break among equally-rare pieces
+    /// (splitmix-style hash of piece index and node id). Without it
+    /// every leecher would chase the lowest index, all piece sets
+    /// would stay identical, and no leecher would ever have anything
+    /// to trade — the tie-break spreads symmetric peers across
+    /// distinct pieces while staying a pure function of the inputs.
+    fn tie_break(&self, i: usize) -> u64 {
+        let mut x = ((i as u64) << 32) ^ (self.me.0 as u64) ^ 0x9e37_79b9_7f4a_7c15;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// How many peers `piece` is currently requested from.
+    fn inflight_count(&self, piece: u32) -> usize {
+        self.peers
+            .values()
+            .filter(|v| v.pending.contains_key(&piece))
+            .count()
+    }
+
+    /// Top up the request pipeline to `peer` with rarest-first picks.
+    ///
+    /// Preferred picks are pieces nobody is already fetching; when
+    /// those run out the pipeline tops up with *duplicate* requests
+    /// (a piece already pending at one other peer), cancelled on
+    /// first arrival via [`SwarmFrame::Cancel`]. Without duplication
+    /// a leecher's outstanding requests spread so thin across its
+    /// upload slots that serve-time queues sit empty, and the
+    /// policy-ordered budget has nothing to prefer — persistent
+    /// demand at every unchoking peer is what lets strict priority
+    /// actually starve the low-ranked.
+    fn refill_requests(&mut self, peer: PeerId, io: &mut WorkloadIo) {
+        for max_copies in [0usize, 1] {
+            loop {
+                let Some(view) = self.peers.get(&peer) else {
+                    return;
+                };
+                if !view.they_unchoke || view.pending.len() >= self.params.pipeline {
+                    return;
+                }
+                let pick = self
+                    .have
+                    .iter_missing()
+                    .filter(|&i| view.have.has(i))
+                    .filter(|&i| !view.pending.contains_key(&(i as u32)))
+                    .filter(|&i| self.inflight_count(i as u32) <= max_copies)
+                    .min_by_key(|&i| (self.availability(i), self.tie_break(i), i));
+                let Some(piece) = pick else { break };
+                let round = self.round;
+                self.peers
+                    .get_mut(&peer)
+                    .expect("view exists")
+                    .pending
+                    .insert(piece as u32, round);
+                io.send(
+                    peer,
+                    SwarmFrame::Request {
+                        piece: piece as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handle a completed piece arriving from `peer`.
+    fn on_piece(
+        &mut self,
+        peer: PeerId,
+        piece: u32,
+        size: u64,
+        now: Seconds,
+        state: &mut NodeState,
+        io: &mut WorkloadIo,
+    ) {
+        if piece as usize >= self.params.piece_count {
+            return;
+        }
+        {
+            let Some(view) = self.peers.get_mut(&peer) else {
+                return;
+            };
+            // data implies an upload slot, even if the Unchoke was lost
+            view.they_unchoke = true;
+            view.pending.remove(&piece);
+            view.recv_window += size;
+        }
+        if self.have.set(piece as usize) {
+            // first copy of this piece: withdraw any duplicate
+            // requests still pending elsewhere, then account it in
+            // the BarterCast state (the sole source of contribution
+            // edges) and the ground-truth ledger
+            let stale: Vec<PeerId> = self
+                .peers
+                .iter()
+                .filter(|(&q, v)| q != peer && v.pending.contains_key(&piece))
+                .map(|(&q, _)| q)
+                .collect();
+            for q in stale {
+                self.peers
+                    .get_mut(&q)
+                    .expect("view exists")
+                    .pending
+                    .remove(&piece);
+                io.send(q, SwarmFrame::Cancel { piece });
+            }
+            state.record_piece_download(peer, Bytes(size), now);
+            let mut ledger = self.ledger.lock().expect("ledger lock");
+            ledger.record_receipt(peer, self.me, Bytes(size));
+            if self.have.is_complete() {
+                ledger.record_completion(self.me, self.round);
+            }
+            drop(ledger);
+            if !self.freerider() {
+                let targets: Vec<PeerId> = self.peers.keys().copied().collect();
+                for q in targets {
+                    io.send(q, SwarmFrame::Have { piece });
+                }
+            }
+        }
+        self.refill_requests(peer, io);
+    }
+
+    /// The live engine's view of one peer, as the choke policies
+    /// consume it: Equation-1 reputation plus the subjective graph's
+    /// lifetime transfer totals.
+    fn peer_score(&self, state: &mut NodeState, peer: PeerId) -> PeerScore {
+        let reputation = state.reputation(self.me, peer);
+        let graph = state.engine().graph();
+        PeerScore {
+            reputation,
+            up: graph.total_up(peer),
+            down: graph.total_down(peer),
+        }
+    }
+
+    /// Serve queued requests from last round's unchoke set, up to the
+    /// per-round upload budget.
+    ///
+    /// The budget sweep order is where upload *scarcity* meets the
+    /// live engine: a leecher lets the policy order the unchoked
+    /// peers ([`ChokePolicy::order_candidates`] — rank puts high
+    /// reputations first, so freeriders only collect what is left
+    /// after reputable peers' requests are drained), while a seeder
+    /// keeps the plain round-rotated order — a pure seeder's
+    /// Equation-1 view is uniformly negative (nothing ever flows
+    /// *toward* it), so reputation ordering carries no signal there
+    /// and §4.1 round-robin seeding applies instead.
+    fn serve_requests(&mut self, now: Seconds, state: &mut NodeState, io: &mut WorkloadIo) {
+        if self.freerider() {
+            return;
+        }
+        let seeding = self.have.is_complete();
+        let mut budget = if seeding {
+            self.params.seed_upload_pieces_per_round
+        } else {
+            self.params.upload_pieces_per_round
+        };
+        let mut order: Vec<PeerId> = self
+            .peers
+            .iter()
+            .filter(|(_, v)| v.we_unchoke && !v.queued.is_empty())
+            .map(|(&p, _)| p)
+            .collect();
+        if order.is_empty() {
+            return;
+        }
+        let offset = (self.round as usize) % order.len();
+        order.rotate_left(offset);
+        if !seeding {
+            let scores: BTreeMap<PeerId, PeerScore> = order
+                .iter()
+                .map(|&p| (p, self.peer_score(state, p)))
+                .collect();
+            order = self
+                .params
+                .policy
+                .as_dyn()
+                .order_candidates(&order, &mut |q| {
+                    scores.get(&q).copied().unwrap_or(PeerScore::NEUTRAL)
+                });
+        }
+        while budget > 0 {
+            let mut any = false;
+            for &peer in &order {
+                // a leecher drains each preferred peer's queue before
+                // conceding budget down the order (strict priority —
+                // a low-ranked peer only eats budget the preferred
+                // peers left on the table); a seeder spreads one
+                // piece per peer per sweep
+                while budget > 0 {
+                    let Some(view) = self.peers.get_mut(&peer) else {
+                        break;
+                    };
+                    let Some(piece) = view.queued.pop_front() else {
+                        break;
+                    };
+                    if !self.have.has(piece as usize) {
+                        continue;
+                    }
+                    let size = self.params.piece_size;
+                    view.sent_window += size.0;
+                    state.record_piece_upload(peer, size, now);
+                    self.ledger
+                        .lock()
+                        .expect("ledger lock")
+                        .record_serve(self.me, peer, size);
+                    io.send(
+                        peer,
+                        SwarmFrame::Piece {
+                            piece,
+                            size: size.0,
+                        },
+                    );
+                    budget -= 1;
+                    any = true;
+                    if seeding {
+                        break;
+                    }
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    /// Recompute the unchoke set through the live reputation engine
+    /// and notify peers of slot changes.
+    fn recompute_unchokes(&mut self, state: &mut NodeState, io: &mut WorkloadIo) {
+        let unchoked: Vec<PeerId> = if self.freerider() {
+            Vec::new() // lazy freeriders never grant slots
+        } else {
+            let candidates: Vec<Candidate> = self
+                .peers
+                .iter()
+                .filter(|(_, v)| v.have.interested_in(&self.have))
+                .map(|(&p, v)| Candidate {
+                    peer: p,
+                    rate_to_me: v.recv_window,
+                    rate_from_me: v.sent_window,
+                })
+                .collect();
+            let graph_totals: BTreeMap<PeerId, PeerScore> = candidates
+                .iter()
+                .map(|c| (c.peer, self.peer_score(state, c.peer)))
+                .collect();
+            let role = if self.have.is_complete() {
+                Role::Seeder
+            } else {
+                Role::Leecher
+            };
+            // Equation-1 policies act where reciprocity exists — at
+            // leechers. A complete node is a pure flow sink: nothing
+            // ever flows *toward* it, so every reputation it computes
+            // is negative and sinking — rank would prefer whoever it
+            // served least and ban would eventually refuse the entire
+            // swarm, stalling content injection. Seeders therefore
+            // fall back to §4.1 round-robin. The ratio policy keeps
+            // applying at both roles: its signal (gossip-derived
+            // global up/down totals) does not depend on flows toward
+            // the evaluator.
+            let policy: &dyn ChokePolicy = match (&role, &self.params.policy) {
+                (Role::Seeder, SwarmPolicy::Reputation(_)) => &ReputationPolicy::None,
+                _ => self.params.policy.as_dyn(),
+            };
+            self.choker.unchoke(role, &candidates, policy, |q| {
+                graph_totals.get(&q).copied().unwrap_or(PeerScore::NEUTRAL)
+            })
+        };
+        for (&peer, view) in self.peers.iter_mut() {
+            let grant = unchoked.contains(&peer);
+            if grant {
+                // re-sent every round: a lost Unchoke must not starve
+                // the peer for a whole optimistic period
+                io.send(peer, SwarmFrame::Unchoke);
+            } else if view.we_unchoke {
+                io.send(peer, SwarmFrame::Choke);
+                view.queued.clear();
+            }
+            view.we_unchoke = grant;
+        }
+    }
+}
+
+impl Workload for SwarmWorkload {
+    fn on_start(&mut self, _now: Seconds, _state: &mut NodeState, io: &mut WorkloadIo) {
+        for &peer in &self.bootstrap {
+            io.dial(peer);
+        }
+    }
+
+    fn on_established(
+        &mut self,
+        peer: PeerId,
+        _now: Seconds,
+        _state: &mut NodeState,
+        io: &mut WorkloadIo,
+    ) {
+        self.peers
+            .insert(peer, PeerView::new(self.params.piece_count));
+        io.send(peer, self.bitfield_frame());
+    }
+
+    fn on_closed(
+        &mut self,
+        peer: PeerId,
+        _now: Seconds,
+        _state: &mut NodeState,
+        _io: &mut WorkloadIo,
+    ) {
+        // pending requests die with the view; their pieces become
+        // requestable from someone else immediately
+        self.peers.remove(&peer);
+    }
+
+    fn on_frame(
+        &mut self,
+        peer: PeerId,
+        frame: SwarmFrame,
+        now: Seconds,
+        state: &mut NodeState,
+        io: &mut WorkloadIo,
+    ) {
+        match frame {
+            SwarmFrame::Bitfield { piece_count, bits } => {
+                if piece_count as usize == self.params.piece_count {
+                    if let Some(view) = self.peers.get_mut(&peer) {
+                        let mut have = Bitfield::new(piece_count as usize);
+                        for i in 0..piece_count as usize {
+                            if bit_set(&bits, i) {
+                                have.set(i);
+                            }
+                        }
+                        view.have = have;
+                    }
+                    self.refill_requests(peer, io);
+                }
+            }
+            SwarmFrame::Have { piece } => {
+                if (piece as usize) < self.params.piece_count {
+                    if let Some(view) = self.peers.get_mut(&peer) {
+                        view.have.set(piece as usize);
+                    }
+                    self.refill_requests(peer, io);
+                }
+            }
+            SwarmFrame::Request { piece } => {
+                if self.freerider() || (piece as usize) >= self.params.piece_count {
+                    return;
+                }
+                if !self.have.has(piece as usize) {
+                    return;
+                }
+                if let Some(view) = self.peers.get_mut(&peer) {
+                    if view.we_unchoke
+                        && view.queued.len() < REQUEST_QUEUE_CAP
+                        && !view.queued.contains(&piece)
+                    {
+                        view.queued.push_back(piece);
+                    }
+                }
+            }
+            SwarmFrame::Piece { piece, size } => {
+                self.on_piece(peer, piece, size, now, state, io);
+            }
+            SwarmFrame::Choke => {
+                if let Some(view) = self.peers.get_mut(&peer) {
+                    view.they_unchoke = false;
+                    // outstanding requests will never be served;
+                    // release the pieces for other peers
+                    view.pending.clear();
+                }
+            }
+            SwarmFrame::Cancel { piece } => {
+                if let Some(view) = self.peers.get_mut(&peer) {
+                    view.queued.retain(|&q| q != piece);
+                }
+            }
+            SwarmFrame::Unchoke => {
+                if let Some(view) = self.peers.get_mut(&peer) {
+                    view.they_unchoke = true;
+                }
+                self.refill_requests(peer, io);
+            }
+        }
+    }
+
+    fn on_choke_round(&mut self, now: Seconds, state: &mut NodeState, io: &mut WorkloadIo) {
+        self.round += 1;
+        // expire stale requests so lost Request/Piece frames recover
+        let timeout = self.params.request_timeout_rounds;
+        let round = self.round;
+        for view in self.peers.values_mut() {
+            view.pending.retain(|_, sent| round - *sent < timeout);
+        }
+        // serve last round's grants, then reassign slots from the live
+        // reputation engine
+        self.serve_requests(now, state, io);
+        self.recompute_unchokes(state, io);
+        for view in self.peers.values_mut() {
+            // decay rather than reset: with a scarce upload budget a
+            // given pair rarely exchanges twice in one round, and a
+            // hard reset would leave almost every tit-for-tat rate at
+            // zero — reciprocation history has to outlive the round
+            // for the rate ranking to mean anything
+            view.recv_window /= 2;
+            view.sent_window /= 2;
+        }
+        // refill pipelines after the timeout sweep
+        let targets: Vec<PeerId> = self.peers.keys().copied().collect();
+        for peer in &targets {
+            self.refill_requests(*peer, io);
+        }
+        // periodic loss repair: re-advertise the bitfield and re-dial
+        // bootstrap peers we lost
+        if self
+            .round
+            .is_multiple_of(self.params.bitfield_refresh_rounds)
+        {
+            for &peer in &targets {
+                io.send(peer, self.bitfield_frame());
+            }
+            for &peer in &self.bootstrap {
+                if peer != self.me && !self.peers.contains_key(&peer) {
+                    io.dial(peer);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwarmPolicy;
+    use bartercast_core::policy::ReputationPolicy;
+    use bartercast_core::{PrivateHistory, ReputationEngine};
+
+    fn state_for(me: PeerId) -> NodeState {
+        let history = PrivateHistory::new(me);
+        let engine = ReputationEngine::from_private(&history);
+        NodeState::new(history, engine)
+    }
+
+    fn params(seed_initial: bool, behaviour: PeerBehaviour) -> SwarmParams {
+        SwarmParams {
+            piece_count: 8,
+            piece_size: Bytes::from_kb(16),
+            seed_initial,
+            behaviour,
+            policy: SwarmPolicy::Reputation(ReputationPolicy::None),
+            ..SwarmParams::default()
+        }
+    }
+
+    fn ledger() -> Arc<Mutex<SwarmLedger>> {
+        Arc::new(Mutex::new(SwarmLedger::default()))
+    }
+
+    #[test]
+    fn establishes_advertises_and_requests() {
+        let me = PeerId(1);
+        let seeder = PeerId(0);
+        let mut w = SwarmWorkload::new(
+            me,
+            params(false, PeerBehaviour::Cooperator),
+            vec![seeder],
+            ledger(),
+        );
+        let mut state = state_for(me);
+        let mut io = WorkloadIo::default();
+        w.on_start(Seconds(0), &mut state, &mut io);
+        assert_eq!(io.dials, vec![seeder]);
+
+        let mut io = WorkloadIo::default();
+        w.on_established(seeder, Seconds(0), &mut state, &mut io);
+        assert!(matches!(io.frames[0].1, SwarmFrame::Bitfield { .. }));
+
+        // seeder's full bitfield arrives; no requests yet (choked)
+        let full = SwarmFrame::Bitfield {
+            piece_count: 8,
+            bits: pack_bits(8, |_| true),
+        };
+        let mut io = WorkloadIo::default();
+        w.on_frame(seeder, full, Seconds(1), &mut state, &mut io);
+        assert!(io.frames.is_empty(), "must not request while choked");
+
+        // unchoke fills the pipeline
+        let mut io = WorkloadIo::default();
+        w.on_frame(seeder, SwarmFrame::Unchoke, Seconds(1), &mut state, &mut io);
+        let requests = io
+            .frames
+            .iter()
+            .filter(|(p, f)| *p == seeder && matches!(f, SwarmFrame::Request { .. }))
+            .count();
+        assert_eq!(requests, w.params.pipeline);
+    }
+
+    #[test]
+    fn piece_receipt_records_history_and_rerequests() {
+        let me = PeerId(1);
+        let seeder = PeerId(0);
+        let shared = ledger();
+        let mut w = SwarmWorkload::new(
+            me,
+            params(false, PeerBehaviour::Cooperator),
+            vec![seeder],
+            Arc::clone(&shared),
+        );
+        let mut state = state_for(me);
+        let mut io = WorkloadIo::default();
+        w.on_established(seeder, Seconds(0), &mut state, &mut io);
+        w.on_frame(
+            seeder,
+            SwarmFrame::Bitfield {
+                piece_count: 8,
+                bits: pack_bits(8, |_| true),
+            },
+            Seconds(0),
+            &mut state,
+            &mut io,
+        );
+        let mut io = WorkloadIo::default();
+        w.on_frame(seeder, SwarmFrame::Unchoke, Seconds(0), &mut state, &mut io);
+        let first = io
+            .frames
+            .iter()
+            .find_map(|(_, f)| match f {
+                SwarmFrame::Request { piece } => Some(*piece),
+                _ => None,
+            })
+            .expect("a request");
+
+        let mut io = WorkloadIo::default();
+        let size = Bytes::from_kb(16).0;
+        w.on_frame(
+            seeder,
+            SwarmFrame::Piece { piece: first, size },
+            Seconds(2),
+            &mut state,
+            &mut io,
+        );
+        assert!(w.have.has(first as usize));
+        // history took the download, with piece provenance
+        assert_eq!(state.history().get(seeder).unwrap().down, Bytes(size));
+        assert!(state.history().all_from_pieces());
+        // ledger matched
+        assert_eq!(shared.lock().unwrap().progress_of(me).pieces, 1);
+        // Have broadcast + pipeline refilled
+        assert!(io
+            .frames
+            .iter()
+            .any(|(_, f)| matches!(f, SwarmFrame::Have { piece } if *piece == first)));
+        assert!(io
+            .frames
+            .iter()
+            .any(|(_, f)| matches!(f, SwarmFrame::Request { .. })));
+    }
+
+    #[test]
+    fn freerider_never_serves_and_hides_pieces() {
+        let me = PeerId(2);
+        let other = PeerId(1);
+        let mut w = SwarmWorkload::new(
+            me,
+            params(true, PeerBehaviour::Freerider),
+            vec![other],
+            ledger(),
+        );
+        let mut state = state_for(me);
+        let mut io = WorkloadIo::default();
+        w.on_established(other, Seconds(0), &mut state, &mut io);
+        // advert is empty despite a full bitfield
+        match &io.frames[0].1 {
+            SwarmFrame::Bitfield { bits, .. } => {
+                assert!(bits.iter().all(|&b| b == 0), "freerider must hide pieces")
+            }
+            f => panic!("expected bitfield, got {f:?}"),
+        }
+        // a request is ignored even though we hold the piece
+        let mut io = WorkloadIo::default();
+        w.on_frame(
+            other,
+            SwarmFrame::Request { piece: 0 },
+            Seconds(1),
+            &mut state,
+            &mut io,
+        );
+        w.on_choke_round(Seconds(10), &mut state, &mut io);
+        assert!(
+            !io.frames
+                .iter()
+                .any(|(_, f)| matches!(f, SwarmFrame::Piece { .. } | SwarmFrame::Unchoke)),
+            "freerider must not serve or unchoke: {:?}",
+            io.frames
+        );
+    }
+
+    #[test]
+    fn request_timeout_releases_pieces_for_rerequest() {
+        let me = PeerId(1);
+        let seeder = PeerId(0);
+        let mut p = params(false, PeerBehaviour::Cooperator);
+        p.pipeline = 1;
+        p.request_timeout_rounds = 2;
+        let mut w = SwarmWorkload::new(me, p, vec![seeder], ledger());
+        let mut state = state_for(me);
+        let mut io = WorkloadIo::default();
+        w.on_established(seeder, Seconds(0), &mut state, &mut io);
+        w.on_frame(
+            seeder,
+            SwarmFrame::Bitfield {
+                piece_count: 8,
+                bits: pack_bits(8, |_| true),
+            },
+            Seconds(0),
+            &mut state,
+            &mut io,
+        );
+        let mut io = WorkloadIo::default();
+        w.on_frame(seeder, SwarmFrame::Unchoke, Seconds(0), &mut state, &mut io);
+        assert_eq!(
+            io.frames
+                .iter()
+                .filter(|(_, f)| matches!(f, SwarmFrame::Request { .. }))
+                .count(),
+            1
+        );
+        // the request (and its piece) is lost; two rounds later the
+        // slot frees and a fresh request goes out
+        let mut io = WorkloadIo::default();
+        w.on_choke_round(Seconds(10), &mut state, &mut io);
+        w.on_choke_round(Seconds(20), &mut state, &mut io);
+        let rerequests = io
+            .frames
+            .iter()
+            .filter(|(_, f)| matches!(f, SwarmFrame::Request { .. }))
+            .count();
+        assert!(rerequests >= 1, "timeout must re-request: {:?}", io.frames);
+    }
+}

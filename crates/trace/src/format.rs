@@ -64,7 +64,11 @@ pub fn write_trace(trace: &Trace) -> String {
             p.up_bw.0
         );
         for s in &p.sessions {
-            let _ = writeln!(out, "session peer={} start={} end={}", p.peer.0, s.start.0, s.end.0);
+            let _ = writeln!(
+                out,
+                "session peer={} start={} end={}",
+                p.peer.0, s.start.0, s.end.0
+            );
         }
         for r in &p.requests {
             let _ = writeln!(
@@ -153,10 +157,13 @@ fn parse_kv<'a, I: Iterator<Item = &'a str>>(
 }
 
 fn get(kv: &[(&str, &str)], key: &str, line: usize) -> Result<u64, ParseError> {
-    let (_, v) = kv.iter().find(|(k, _)| *k == key).ok_or_else(|| ParseError {
-        line,
-        message: format!("missing field '{key}'"),
-    })?;
+    let (_, v) = kv
+        .iter()
+        .find(|(k, _)| *k == key)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("missing field '{key}'"),
+        })?;
     v.parse().map_err(|_| ParseError {
         line,
         message: format!("field '{key}' is not a number: '{v}'"),

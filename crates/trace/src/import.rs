@@ -167,9 +167,7 @@ pub fn import_tracker_log(text: &str, config: &ImportConfig) -> Result<Trace, Im
     for e in &mut events {
         e.time = e.time.saturating_sub(t0);
     }
-    let horizon = Seconds(
-        events.last().expect("non-empty").time.0 + config.session_grace.0 + 1,
-    );
+    let horizon = Seconds(events.last().expect("non-empty").time.0 + config.session_grace.0 + 1);
 
     // per-peer event times -> sessions
     let mut peer_times: Vec<Vec<Seconds>> = vec![Vec::new(); peers.len()];
@@ -286,7 +284,7 @@ mod tests {
         assert_eq!(alice.sessions.len(), 2);
         assert_eq!(alice.requests.len(), 1);
         assert_eq!(alice.requests[0].time, Seconds(0)); // normalized to t0
-        // bob's single short session
+                                                        // bob's single short session
         let bob = trace.peer(PeerId(2)).unwrap();
         assert_eq!(bob.sessions.len(), 1);
         assert_eq!(bob.requests.len(), 1);

@@ -178,7 +178,10 @@ impl Trace {
             }
             for r in &p.requests {
                 if self.swarm(r.swarm).is_none() {
-                    return Err(format!("peer {} requests unknown swarm {}", p.peer, r.swarm));
+                    return Err(format!(
+                        "peer {} requests unknown swarm {}",
+                        p.peer, r.swarm
+                    ));
                 }
             }
             if p.up_bw.0 == 0 || p.down_bw.0 == 0 {

@@ -148,7 +148,10 @@ impl TraceBuilder {
     /// identical traces.
     pub fn build(&self, seed: u64) -> Trace {
         let cfg = &self.config;
-        assert!(cfg.peers >= 2, "need at least an initial seeder and a leecher");
+        assert!(
+            cfg.peers >= 2,
+            "need at least an initial seeder and a leecher"
+        );
         assert!(cfg.swarms >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -156,7 +159,11 @@ impl TraceBuilder {
         let swarms: Vec<SwarmTrace> = (0..cfg.swarms)
             .map(|i| {
                 let small = rng.gen_bool(cfg.small_file_prob);
-                let (lo, hi) = if small { (30.0, 120.0) } else { (600.0, 2500.0) };
+                let (lo, hi) = if small {
+                    (30.0, 120.0)
+                } else {
+                    (600.0, 2500.0)
+                };
                 let mb = log_uniform(&mut rng, lo, hi);
                 SwarmTrace {
                     swarm: SwarmId(i as u32),
@@ -200,8 +207,7 @@ impl TraceBuilder {
                     peer,
                     sessions,
                     requests,
-                    connectable: is_initial_seeder
-                        || !rng.gen_bool(cfg.unconnectable_fraction),
+                    connectable: is_initial_seeder || !rng.gen_bool(cfg.unconnectable_fraction),
                     down_bw,
                     up_bw,
                 }
@@ -310,8 +316,7 @@ fn random_requests(rng: &mut StdRng, cfg: &SynthConfig) -> Vec<FileRequest> {
     let mean = cfg.requests_per_peer;
     // Poisson-ish: sample count from a geometric-like distribution
     // around the mean, clamped to the number of swarms.
-    let count = ((mean * rng.gen_range(0.5..1.5)).round() as usize)
-        .clamp(1, cfg.swarms);
+    let count = ((mean * rng.gen_range(0.5..1.5)).round() as usize).clamp(1, cfg.swarms);
     // choose distinct swarms with Zipf-like popularity: low swarm ids
     // are requested far more often, so popular swarms build up the
     // concurrent membership real trackers show while niche swarms stay

@@ -27,7 +27,10 @@ impl CsvWriter<BufWriter<File>> {
 impl<W: Write> CsvWriter<W> {
     /// Wrap a writer and emit the header row.
     pub fn new(mut out: W, header: &[&str]) -> io::Result<Self> {
-        assert!(!header.is_empty(), "CSV header must have at least one column");
+        assert!(
+            !header.is_empty(),
+            "CSV header must have at least one column"
+        );
         writeln!(out, "{}", encode_row(header.iter().map(|s| s.to_string())))?;
         Ok(CsvWriter {
             out,

@@ -32,7 +32,10 @@ const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
 /// small margin when degenerate).
 pub fn line_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "plot area too small");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -83,12 +86,7 @@ pub fn line_plot(title: &str, series: &[Series], width: usize, height: usize) ->
 
 /// Render an empirical CDF staircase (Figure 4b style).
 pub fn cdf_plot(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
-    line_plot(
-        title,
-        &[Series::new("cdf", points.to_vec())],
-        width,
-        height,
-    )
+    line_plot(title, &[Series::new("cdf", points.to_vec())], width, height)
 }
 
 fn min_max(iter: impl Iterator<Item = f64>) -> (f64, f64) {

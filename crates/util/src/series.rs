@@ -29,8 +29,8 @@ impl BucketSeries {
     /// Add a sample at time `t`; samples beyond the horizon clamp into
     /// the last bucket, negative times into the first.
     pub fn push(&mut self, t: f64, value: f64) {
-        let idx = ((t / self.bucket_width).floor() as i64)
-            .clamp(0, self.buckets.len() as i64 - 1) as usize;
+        let idx = ((t / self.bucket_width).floor() as i64).clamp(0, self.buckets.len() as i64 - 1)
+            as usize;
         self.buckets[idx].push(value);
     }
 

@@ -42,7 +42,9 @@ impl From<u32> for PeerId {
 ///
 /// This is the paper's "total number of bytes transferred from one peer
 /// to another" (§3.1) — the capacity unit of the contribution graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(pub u64);
 
 impl Bytes {
@@ -174,7 +176,9 @@ impl fmt::Display for Bytes {
 }
 
 /// Bandwidth in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Bandwidth(pub u64);
 
 impl Bandwidth {
@@ -241,7 +245,9 @@ impl fmt::Display for Bandwidth {
 }
 
 /// A point or span in simulated time, in whole seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Seconds(pub u64);
 
 impl Seconds {

@@ -20,7 +20,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
     let trace = TraceBuilder::new(SynthConfig::default()).build(seed);
-    trace.validate().expect("generator must produce valid traces");
+    trace
+        .validate()
+        .expect("generator must produce valid traces");
 
     // round-trip through the interchange format
     let text = write_trace(&trace);

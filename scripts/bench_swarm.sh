@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the live-reputation swarm workload once per choke policy (none,
+# rank, ban, ratio) and emit BENCH_swarm.json at the repository root,
+# plus one swarm_<policy>.csv per policy — the per-peer download
+# tables behind the paper's Fig 2–3 comparison, measured over the
+# wire instead of in the simulator.
+#
+# Every row is correctness-gated: cooperators must complete, every
+# contribution edge must trace to a ledger-backed piece transfer, and
+# no protocol errors may occur; violations exit non-zero instead of
+# emitting numbers from a broken run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p bench --bin bench_swarm -- BENCH_swarm.json

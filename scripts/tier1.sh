@@ -49,6 +49,17 @@ cargo test -q -p bartercast-node --test lifecycle
 # shedding counted on both sides, and a sane shed rate (sheds some,
 # still serves a healthy share).
 cargo test -q -p bartercast-node --test loadgen
+# Swarm determinism gate: the same 8-node lossy piece-transfer swarm
+# — mid-run whitewash, a non-connectable node, a session-capped node
+# — run twice in virtual time must produce bitwise-identical download
+# totals, contribution graphs, and NodeStats.
+cargo test -q -p bartercast-swarm --test determinism
+# Wire-level policy gate: the paper's qualitative Fig 2–3 result over
+# the reactor runtime — under rank/ban/ratio, freerider completion is
+# measurably suppressed versus cooperators by the time every
+# cooperator finishes, with piece transfers (checked against the
+# ground-truth ledger) as the sole source of contribution edges.
+cargo test -q -p bartercast-swarm --test policies
 # The vendored proptest never writes regression files; any
 # proptest-regressions entry appearing in the tree means a test pulled
 # in the real crate or something is scribbling where it shouldn't.
@@ -66,5 +77,5 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 # warnings-as-errors lint pass across all its targets. The node crate
 # gets the same treatment — its cluster tests run above, but fmt is
 # not otherwise enforced.
-cargo fmt -p bench -p bartercast-node --check
-cargo clippy -p bench -p bartercast-node --all-targets -- -D warnings
+cargo fmt -p bench -p bartercast-node -p bartercast-swarm --check
+cargo clippy -p bench -p bartercast-node -p bartercast-swarm --all-targets -- -D warnings

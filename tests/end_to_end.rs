@@ -48,7 +48,10 @@ fn full_pipeline_produces_consistent_report() {
     // conservation: regular peers cannot collectively upload more than
     // they and the archival seeders downloaded
     let net_sum: f64 = report.outcomes.iter().map(|o| o.net_contribution_gb).sum();
-    assert!(net_sum <= 1e-9, "net contribution sum must be <= 0, got {net_sum}");
+    assert!(
+        net_sum <= 1e-9,
+        "net contribution sum must be <= 0, got {net_sum}"
+    );
 }
 
 #[test]

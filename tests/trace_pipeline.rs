@@ -42,7 +42,8 @@ fn trace_edits_are_validated() {
     let trace = TraceBuilder::new(tiny()).build(4);
     let mut text = write_trace(&trace);
     // corrupt a swarm's seeder reference
-    text = text.replace("swarm id=0", "swarm id=0 ")
+    text = text
+        .replace("swarm id=0", "swarm id=0 ")
         .replacen("seeder=0", "seeder=9999", 1);
     let parsed = parse_trace(&text).expect("syntactically fine");
     assert!(parsed.validate().is_err(), "dangling seeder must be caught");

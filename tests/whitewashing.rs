@@ -2,9 +2,7 @@
 //! resets, and stranger policies interacting with the reputation
 //! engine.
 
-use bartercast::core::identity::{
-    IdentityRegistry, MachineId, StrangerEstimator, StrangerPolicy,
-};
+use bartercast::core::identity::{IdentityRegistry, MachineId, StrangerEstimator, StrangerPolicy};
 use bartercast::core::{PrivateHistory, ReputationEngine};
 use bartercast::util::units::{Bytes, PeerId, Seconds};
 
@@ -20,7 +18,10 @@ fn whitewashing_resets_reputation_but_costs_history() {
     sharer_history.record_upload(old_id, Bytes::from_gb(5), Seconds(10));
     let mut engine = ReputationEngine::from_private(&sharer_history);
     let before = engine.reputation(sharer, old_id);
-    assert!(before < -0.5, "heavy taker must be strongly negative: {before}");
+    assert!(
+        before < -0.5,
+        "heavy taker must be strongly negative: {before}"
+    );
 
     // whitewash: fresh machine id => fresh identity => neutral standing
     let new_id = registry.whitewash(freerider_machine, MachineId(0xBEEF));

@@ -1,7 +1,9 @@
 //! Cross-crate wire-protocol integration: private history → record
 //! selection → binary codec → subjective graph → reputation.
 
-use bartercast::core::{codec, BarterCastConfig, BarterCastMessage, PrivateHistory, ReputationEngine};
+use bartercast::core::{
+    codec, BarterCastConfig, BarterCastMessage, PrivateHistory, ReputationEngine,
+};
 use bartercast::util::units::{Bytes, PeerId, Seconds};
 use proptest::prelude::*;
 

@@ -230,8 +230,8 @@ pub mod prop {
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
     };
 }
 
@@ -326,13 +326,16 @@ macro_rules! proptest {
                             .wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15)),
                     );
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Render inputs before the body runs: bodies may
+                    // consume the generated values, so the failure
+                    // report cannot borrow them afterwards.
+                    let inputs = ::std::format!("{:#?}", ($(&$arg,)+));
                     let outcome: ::std::result::Result<(), $crate::TestCaseError> =
                         (|| { $body; ::std::result::Result::Ok(()) })();
                     if let ::std::result::Result::Err(e) = outcome {
                         panic!(
-                            "proptest case {case} of {} failed: {e}\ninputs: {:#?}",
+                            "proptest case {case} of {} failed: {e}\ninputs: {inputs}",
                             stringify!($name),
-                            ($(&$arg,)+)
                         );
                     }
                 }
