@@ -50,6 +50,8 @@ struct Row {
     converge_ms: f64,
     records_per_sec: f64,
     bytes_per_record: f64,
+    duplicate_ratio: f64,
+    exchange_bytes_saved: u64,
     frames_dropped: u64,
     stats: NodeStats,
 }
@@ -59,7 +61,8 @@ impl Row {
         format!(
             "    {{\"transport\": \"{}\", \"n\": {}, \"skipped\": {}, \
              \"converge_ms\": {:.3}, \"records_per_sec\": {:.1}, \
-             \"bytes_per_record\": {:.2}, \"frames_dropped\": {}, \
+             \"bytes_per_record\": {:.2}, \"duplicate_ratio\": {:.4}, \
+             \"exchange_bytes_saved\": {}, \"frames_dropped\": {}, \
              \"node\": {{{}}}}}",
             self.transport,
             self.n,
@@ -67,6 +70,8 @@ impl Row {
             self.converge_ms,
             self.records_per_sec,
             self.bytes_per_record,
+            self.duplicate_ratio,
+            self.exchange_bytes_saved,
             self.frames_dropped,
             self.stats.json_fields()
         )
@@ -79,12 +84,14 @@ impl Row {
         }
         eprintln!(
             "{:18}  n={}  converged in {:8.1} ms   {:9.0} records/s   {:6.1} bytes/record   \
-             reconnects={}  shed={}/{}  dropped_frames={}",
+             dup_ratio={:.3}  saved={}B  reconnects={}  shed={}/{}  dropped_frames={}",
             self.transport,
             self.n,
             self.converge_ms,
             self.records_per_sec,
             self.bytes_per_record,
+            self.duplicate_ratio,
+            self.exchange_bytes_saved,
             self.stats.reconnects,
             self.stats.shed_accept,
             self.stats.shed_session,
@@ -121,35 +128,30 @@ impl OverloadRow {
     }
 
     fn json(&self) -> String {
-        let (records_per_sec, p50, p99, established, shed, failed, completed) = match &self.report {
-            Some(r) => (
-                r.records_per_sec(),
-                r.p50_session_ms,
-                r.p99_session_ms,
-                r.established,
-                r.shed,
-                r.failed,
-                r.completed,
-            ),
-            None => (0.0, 0.0, 0.0, 0, 0, 0, 0),
-        };
+        let r = self.report.unwrap_or_default();
         format!(
             "    {{\"transport\": \"{}\", \"skipped\": {}, \"dialers\": {}, \
              \"max_sessions\": {}, \"records_per_sec\": {:.1}, \
              \"p50_session_ms\": {:.3}, \"p99_session_ms\": {:.3}, \
              \"established\": {}, \"shed\": {}, \"failed\": {}, \"completed\": {}, \
+             \"frames_sent\": {}, \"records_sent\": {}, \
+             \"frames_received\": {}, \"records_received\": {}, \
              \"mem_per_session_bytes\": {}, \"note\": \"{}\", \"node\": {{{}}}}}",
             self.transport,
             self.skipped,
             self.dialers,
             self.max_sessions,
-            records_per_sec,
-            p50,
-            p99,
-            established,
-            shed,
-            failed,
-            completed,
+            r.records_per_sec(),
+            r.p50_session_ms,
+            r.p99_session_ms,
+            r.established,
+            r.shed,
+            r.failed,
+            r.completed,
+            r.frames_sent,
+            r.records_sent,
+            r.frames_received,
+            r.records_received,
             self.mem_per_session_bytes,
             self.note,
             self.stats.json_fields()
@@ -196,6 +198,10 @@ fn sum_stats(all: &[NodeStats]) -> NodeStats {
         total.shed_accept += s.shed_accept;
         total.shed_session += s.shed_session;
         total.protocol_errors += s.protocol_errors;
+        total.digests_sent += s.digests_sent;
+        total.deltas_sent += s.deltas_sent;
+        total.full_syncs += s.full_syncs;
+        total.records_suppressed += s.records_suppressed;
     }
     total
 }
@@ -208,13 +214,24 @@ fn finish(
     stats: NodeStats,
 ) -> Row {
     let secs = elapsed.as_secs_f64().max(1e-9);
+    // bytes per *applied* record: wire cost divided by records that
+    // actually changed a receiver's graph. Dividing by records_sent
+    // would hide redundant pushes (the sender's cost per attempt stays
+    // flat no matter how much of it is waste); this denominator charges
+    // duplicates to the protocol that sent them.
+    let applied = stats
+        .records_received
+        .saturating_sub(stats.records_duplicate);
     Row {
         transport,
         n,
         skipped: false,
         converge_ms: secs * 1e3,
         records_per_sec: stats.records_received as f64 / secs,
-        bytes_per_record: stats.bytes_sent as f64 / (stats.records_sent.max(1)) as f64,
+        bytes_per_record: stats.bytes_sent as f64 / (applied.max(1)) as f64,
+        duplicate_ratio: stats.records_duplicate as f64 / (stats.records_received.max(1)) as f64,
+        exchange_bytes_saved: stats.records_suppressed
+            * bartercast_core::codec::RECORD_WIRE_BYTES as u64,
         frames_dropped,
         stats,
     }
@@ -369,6 +386,8 @@ fn main() {
             converge_ms: 0.0,
             records_per_sec: 0.0,
             bytes_per_record: 0.0,
+            duplicate_ratio: 0.0,
+            exchange_bytes_saved: 0,
             frames_dropped: 0,
             stats: NodeStats::default(),
         });

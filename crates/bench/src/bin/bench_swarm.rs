@@ -44,6 +44,8 @@ struct Row {
     suppression_ratio: f64,
     pieces_per_vsec: f64,
     records_received: u64,
+    duplicate_ratio: f64,
+    exchange_bytes_saved: u64,
 }
 
 impl Row {
@@ -52,7 +54,8 @@ impl Row {
             "    {{\"policy\": \"{}\", \"virtual_ms\": {:.1}, \
              \"wall_ms\": {:.1}, \"coop_completeness\": {:.4}, \
              \"free_completeness\": {:.4}, \"suppression_ratio\": {:.4}, \
-             \"pieces_per_vsec\": {:.2}, \"records_received\": {}}}",
+             \"pieces_per_vsec\": {:.2}, \"records_received\": {}, \
+             \"duplicate_ratio\": {:.4}, \"exchange_bytes_saved\": {}}}",
             self.policy,
             self.virtual_ms,
             self.wall_ms,
@@ -60,7 +63,9 @@ impl Row {
             self.free_completeness,
             self.suppression_ratio,
             self.pieces_per_vsec,
-            self.records_received
+            self.records_received,
+            self.duplicate_ratio,
+            self.exchange_bytes_saved
         )
     }
 }
@@ -123,6 +128,9 @@ fn run_policy(name: &str, policy: SwarmPolicy, csv_dir: &std::path::Path) -> Row
         .unwrap_or(0.0);
     let elapsed = cluster.elapsed().as_secs_f64();
     let pieces: u64 = cluster.ledger().progress.values().map(|p| p.pieces).sum();
+    let records_received: u64 = stats.values().map(|s| s.records_received).sum();
+    let duplicates: u64 = stats.values().map(|s| s.records_duplicate).sum();
+    let suppressed: u64 = stats.values().map(|s| s.records_suppressed).sum();
     Row {
         policy: name.to_string(),
         virtual_ms: elapsed * 1e3,
@@ -131,7 +139,9 @@ fn run_policy(name: &str, policy: SwarmPolicy, csv_dir: &std::path::Path) -> Row
         free_completeness: free,
         suppression_ratio: report.freerider_completion_ratio().unwrap_or(f64::NAN),
         pieces_per_vsec: pieces as f64 / elapsed,
-        records_received: stats.values().map(|s| s.records_received).sum(),
+        records_received,
+        duplicate_ratio: duplicates as f64 / records_received.max(1) as f64,
+        exchange_bytes_saved: suppressed * bartercast_core::codec::RECORD_WIRE_BYTES as u64,
     }
 }
 

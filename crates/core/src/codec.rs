@@ -26,8 +26,9 @@
 //! buffering the payload, so a hostile length prefix can neither panic
 //! nor force an unbounded allocation.
 
+use crate::frontier::{DeltaMsg, Frontier};
 use crate::message::{BarterCastMessage, TransferRecord};
-use bartercast_util::units::{Bytes, PeerId};
+use bartercast_util::units::{Bytes, PeerId, Seconds};
 use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 
@@ -38,6 +39,12 @@ pub const VERSION: u8 = 1;
 /// Upper bound on records per message (a frame claiming more is
 /// rejected before any allocation).
 pub const MAX_RECORDS: usize = 1024;
+/// Fixed wire size of one v1 record (`peer u32 + up u64 + down u64`).
+/// Bench reports use this to convert suppressed record counts into an
+/// `exchange_bytes_saved` estimate.
+pub const RECORD_WIRE_BYTES: usize = 20;
+/// Version byte opening digest/delta bodies.
+pub const FRONTIER_VERSION: u8 = 1;
 
 /// Upper bound on a stream frame's payload, in bytes. A full-size
 /// message body is `8 + 20 ·`[`MAX_RECORDS`]` = 20488` bytes; the cap
@@ -88,18 +95,25 @@ impl std::error::Error for DecodeError {}
 /// assert_eq!(codec::decode(&frame).unwrap(), msg);
 /// ```
 pub fn encode(msg: &BarterCastMessage) -> BytesMut {
-    let mut buf = BytesMut::with_capacity(8 + msg.records.len() * 20);
-    buf.put_u8(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u32_le(msg.sender.0);
-    debug_assert!(msg.records.len() <= MAX_RECORDS);
-    buf.put_u16_le(msg.records.len() as u16);
-    for r in &msg.records {
-        buf.put_u32_le(r.peer.0);
-        buf.put_u64_le(r.up.0);
-        buf.put_u64_le(r.down.0);
-    }
+    let mut buf = BytesMut::with_capacity(8 + msg.records.len() * RECORD_WIRE_BYTES);
+    encode_into(msg, &mut buf);
     buf
+}
+
+/// Serialize a message by *appending* to `out` — the allocation-free
+/// sibling of [`encode`] for callers recycling buffers through a
+/// [`BufPool`].
+pub fn encode_into(msg: &BarterCastMessage, out: &mut BytesMut) {
+    out.put_u8(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(msg.sender.0);
+    debug_assert!(msg.records.len() <= MAX_RECORDS);
+    out.put_u16_le(msg.records.len() as u16);
+    for r in &msg.records {
+        out.put_u32_le(r.peer.0);
+        out.put_u64_le(r.up.0);
+        out.put_u64_le(r.down.0);
+    }
 }
 
 /// Parse a frame produced by [`encode`].
@@ -150,6 +164,225 @@ pub fn frame(payload: &[u8]) -> BytesMut {
 /// Encode a message and wrap it in a stream frame in one step.
 pub fn encode_framed(msg: &BarterCastMessage) -> BytesMut {
     frame(&encode(msg))
+}
+
+/// Append an LEB128 unsigned varint (7 data bits per byte, high bit =
+/// continuation). Digest/delta bodies use varints because their fields
+/// — peer ids, record counts, byte totals — are small in practice, and
+/// the whole point of those envelopes is to be cheap on the wire.
+pub fn put_uvarint<B: BufMut>(out: &mut B, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(b);
+            return;
+        }
+        out.put_u8(b | 0x80);
+    }
+}
+
+/// Read an LEB128 unsigned varint, rejecting encodings that run past
+/// 64 bits (a hostile stream of continuation bytes errors instead of
+/// spinning or wrapping).
+pub fn get_uvarint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    while shift < 64 {
+        if buf.is_empty() {
+            return Err(DecodeError::Truncated);
+        }
+        let b = buf.get_u8();
+        let chunk = (b & 0x7f) as u64;
+        if shift == 63 && chunk > 1 {
+            return Err(DecodeError::Truncated);
+        }
+        v |= chunk << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+    Err(DecodeError::Truncated)
+}
+
+fn get_peer(buf: &mut &[u8]) -> Result<PeerId, DecodeError> {
+    let raw = get_uvarint(buf)?;
+    if raw > u32::MAX as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(PeerId(raw as u32))
+}
+
+fn put_frontier<B: BufMut>(out: &mut B, f: &Frontier) {
+    put_uvarint(out, f.count as u64);
+    put_uvarint(out, f.max_ts.0);
+    out.put_u64_le(f.checksum);
+}
+
+fn get_frontier(buf: &mut &[u8]) -> Result<Frontier, DecodeError> {
+    let count = get_uvarint(buf)?;
+    if count > u32::MAX as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    let max_ts = Seconds(get_uvarint(buf)?);
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(Frontier {
+        count: count as u32,
+        max_ts,
+        checksum: buf.get_u64_le(),
+    })
+}
+
+/// Serialize a `Digest` body: the sender asks the receiver to compare
+/// `claim` — the frontier the sender last saw from the receiver —
+/// against the receiver's current advertised slice.
+///
+/// ```text
+/// [frontier version u8 = 1] [sender uvarint]
+/// [count uvarint] [max_ts uvarint] [checksum u64 LE]
+/// ```
+pub fn encode_digest_into(sender: PeerId, claim: &Frontier, out: &mut BytesMut) {
+    out.put_u8(FRONTIER_VERSION);
+    put_uvarint(out, sender.0 as u64);
+    put_frontier(out, claim);
+}
+
+/// Parse a `Digest` body. Trailing bytes are rejected — a digest is a
+/// fixed sequence of fields, so anything extra means a framing bug or
+/// a hostile peer.
+pub fn decode_digest(mut buf: &[u8]) -> Result<(PeerId, Frontier), DecodeError> {
+    if buf.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != FRONTIER_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let sender = get_peer(&mut buf)?;
+    let claim = get_frontier(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((sender, claim))
+}
+
+/// Serialize a `Delta` body: the records the digest sender lacked plus
+/// the responder's fresh frontier stamp.
+///
+/// ```text
+/// [frontier version u8 = 1] [full u8 ∈ {0,1}] [sender uvarint]
+/// [stamp: count uvarint, max_ts uvarint, checksum u64 LE]
+/// [record count uvarint]
+/// repeated: [peer uvarint] [up uvarint] [down uvarint]
+/// ```
+pub fn encode_delta_into(delta: &DeltaMsg, out: &mut BytesMut) {
+    out.put_u8(FRONTIER_VERSION);
+    out.put_u8(delta.full as u8);
+    put_uvarint(out, delta.sender.0 as u64);
+    put_frontier(out, &delta.stamp);
+    debug_assert!(delta.records.len() <= MAX_RECORDS);
+    put_uvarint(out, delta.records.len() as u64);
+    for r in &delta.records {
+        put_uvarint(out, r.peer.0 as u64);
+        put_uvarint(out, r.up.0);
+        put_uvarint(out, r.down.0);
+    }
+}
+
+/// Parse a `Delta` body. Same defensive posture as [`decode`]: record
+/// counts are bounded before any allocation, flags outside `{0,1}`
+/// and trailing bytes are refused.
+pub fn decode_delta(mut buf: &[u8]) -> Result<DeltaMsg, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != FRONTIER_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let full = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::Truncated),
+    };
+    let sender = get_peer(&mut buf)?;
+    let stamp = get_frontier(&mut buf)?;
+    let count = get_uvarint(&mut buf)? as usize;
+    if count > MAX_RECORDS {
+        return Err(DecodeError::TooManyRecords(count));
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let peer = get_peer(&mut buf)?;
+        let up = Bytes(get_uvarint(&mut buf)?);
+        let down = Bytes(get_uvarint(&mut buf)?);
+        records.push(TransferRecord { peer, up, down });
+    }
+    if !buf.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(DeltaMsg {
+        sender,
+        full,
+        stamp,
+        records,
+    })
+}
+
+/// A free-list of reusable output buffers.
+///
+/// Wire encoders append into a [`BytesMut`] taken from the pool; once
+/// the frame is flushed the buffer returns, keeping its allocation.
+/// Steady-state exchange — digests, deltas, control frames — therefore
+/// allocates nothing once the pool is warm. The pool is deliberately
+/// dumb: a bounded LIFO stack, no sizing classes, because every frame
+/// here is small (≤ [`MAX_FRAME_BYTES`]).
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<BytesMut>,
+    /// Buffers handed out minus buffers returned, for leak assertions.
+    outstanding: usize,
+}
+
+/// Upper bound on buffers the pool retains; beyond it, returned
+/// buffers are simply dropped.
+const POOL_CAP: usize = 64;
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// Take a cleared buffer, reusing a pooled allocation when one is
+    /// available.
+    pub fn take(&mut self) -> BytesMut {
+        self.outstanding += 1;
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool. Contents are cleared; capacity is
+    /// kept.
+    pub fn put(&mut self, mut buf: BytesMut) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if self.free.len() < POOL_CAP {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Buffers taken and not yet returned.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
 }
 
 /// Incremental decoder for length-delimited stream frames.
@@ -429,6 +662,130 @@ mod tests {
         // a valid frame after the garbage is still refused
         dec.feed(&encode_framed(&sample()));
         assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn uvarint_roundtrips_interesting_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_uvarint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut r: &[u8] = &buf;
+            assert_eq!(get_uvarint(&mut r), Ok(v), "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_overlong_and_truncated_input() {
+        // eleven continuation bytes: past the 64-bit ceiling
+        let mut r: &[u8] = &[0x80u8; 11];
+        assert_eq!(get_uvarint(&mut r), Err(DecodeError::Truncated));
+        // a 10th byte whose payload overflows bit 63
+        let mut r: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert_eq!(get_uvarint(&mut r), Err(DecodeError::Truncated));
+        // continuation bit set with nothing following
+        let mut r: &[u8] = &[0x80];
+        assert_eq!(get_uvarint(&mut r), Err(DecodeError::Truncated));
+    }
+
+    fn sample_delta() -> crate::frontier::DeltaMsg {
+        crate::frontier::DeltaMsg {
+            sender: PeerId(42),
+            full: false,
+            stamp: crate::frontier::Frontier {
+                count: 3,
+                max_ts: bartercast_util::units::Seconds(1234),
+                checksum: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            records: sample().records,
+        }
+    }
+
+    #[test]
+    fn digest_roundtrip_and_trailing_garbage_rejected() {
+        let claim = sample_delta().stamp;
+        let mut buf = BytesMut::new();
+        encode_digest_into(PeerId(7), &claim, &mut buf);
+        assert_eq!(decode_digest(&buf), Ok((PeerId(7), claim)));
+        let mut long = buf.to_vec();
+        long.push(0);
+        assert_eq!(decode_digest(&long), Err(DecodeError::Truncated));
+        for cut in 0..buf.len() {
+            assert!(decode_digest(&buf[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_and_hostile_bodies_rejected() {
+        let delta = sample_delta();
+        let mut buf = BytesMut::new();
+        encode_delta_into(&delta, &mut buf);
+        assert_eq!(decode_delta(&buf), Ok(delta.clone()));
+        for cut in 0..buf.len() {
+            assert!(decode_delta(&buf[..cut]).is_err(), "prefix {cut}");
+        }
+        // bad frontier version
+        let mut bad = buf.to_vec();
+        bad[0] = 9;
+        assert_eq!(decode_delta(&bad), Err(DecodeError::BadVersion(9)));
+        // flag outside {0,1}
+        let mut bad = buf.to_vec();
+        bad[1] = 2;
+        assert_eq!(decode_delta(&bad), Err(DecodeError::Truncated));
+        // record-count bomb with no payload behind it
+        let mut bomb = BytesMut::new();
+        bomb.put_u8(FRONTIER_VERSION);
+        bomb.put_u8(0);
+        put_uvarint(&mut bomb, 42);
+        put_frontier(&mut bomb, &delta.stamp);
+        put_uvarint(&mut bomb, (MAX_RECORDS + 1) as u64);
+        assert_eq!(
+            decode_delta(&bomb),
+            Err(DecodeError::TooManyRecords(MAX_RECORDS + 1))
+        );
+    }
+
+    #[test]
+    fn full_flag_survives_roundtrip() {
+        let mut delta = sample_delta();
+        delta.full = true;
+        delta.records.clear();
+        let mut buf = BytesMut::new();
+        encode_delta_into(&delta, &mut buf);
+        assert_eq!(decode_delta(&buf), Ok(delta));
+    }
+
+    #[test]
+    fn buf_pool_recycles_allocations() {
+        let mut pool = BufPool::new();
+        let mut a = pool.take();
+        a.put_slice(&[0u8; 256]);
+        assert_eq!(pool.outstanding(), 1);
+        pool.put(a);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.take();
+        assert!(b.is_empty(), "recycled buffer is cleared");
+        assert!(b.capacity() >= 256, "recycled buffer keeps its allocation");
+        pool.put(b);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let msg = sample();
+        let mut buf = BytesMut::new();
+        encode_into(&msg, &mut buf);
+        assert_eq!(buf, encode(&msg));
     }
 
     #[test]

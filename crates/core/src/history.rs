@@ -62,6 +62,11 @@ pub struct PrivateHistory {
     /// [`TransferTotals`] stays the small `Copy` value every caller
     /// compares. Only peers with at least one piece transfer appear.
     provenance: FxHashMap<PeerId, PieceProvenance>,
+    /// Monotone write counter, bumped on every mutating call. Callers
+    /// that derive something from the table (advertised record slices,
+    /// encoded exchange messages, frontiers) key their memos on this
+    /// so invalidation rides the existing write path for free.
+    version: u64,
 }
 
 impl PrivateHistory {
@@ -71,12 +76,19 @@ impl PrivateHistory {
             owner,
             entries: FxHashMap::default(),
             provenance: FxHashMap::default(),
+            version: 0,
         }
     }
 
     /// The peer this history belongs to.
     pub fn owner(&self) -> PeerId {
         self.owner
+    }
+
+    /// Monotone write counter: advances on every mutating call, so a
+    /// memo keyed on it is stale iff the table changed underneath it.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Record that the owner uploaded `amount` to `peer` at time `now`.
@@ -87,6 +99,7 @@ impl PrivateHistory {
         let e = self.entries.entry(peer).or_default();
         e.up += amount;
         e.last_seen = e.last_seen.max(now);
+        self.version += 1;
     }
 
     /// Record that the owner downloaded `amount` from `peer` at `now`.
@@ -97,6 +110,7 @@ impl PrivateHistory {
         let e = self.entries.entry(peer).or_default();
         e.down += amount;
         e.last_seen = e.last_seen.max(now);
+        self.version += 1;
     }
 
     /// Record one completed piece *upload* of `amount` bytes to
@@ -160,6 +174,7 @@ impl PrivateHistory {
         }
         let e = self.entries.entry(peer).or_default();
         e.last_seen = e.last_seen.max(now);
+        self.version += 1;
     }
 
     /// Totals with `peer`, if any transfer or meeting happened.
@@ -222,6 +237,7 @@ impl PrivateHistory {
         let before = self.entries.len();
         self.entries.retain(|p, _| keep.contains(p));
         self.provenance.retain(|p, _| keep.contains(p));
+        self.version += 1;
         before - self.entries.len()
     }
 
@@ -383,6 +399,31 @@ mod tests {
         h.record_download(p(2), Bytes::from_mb(2), Seconds(2));
         assert_eq!(h.prune(0), 2);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn version_advances_on_every_mutation() {
+        let mut h = PrivateHistory::new(p(0));
+        let v0 = h.version();
+        h.record_upload(p(1), Bytes::from_mb(1), Seconds(1));
+        let v1 = h.version();
+        assert!(v1 > v0);
+        h.record_download(p(2), Bytes::from_mb(1), Seconds(2));
+        let v2 = h.version();
+        assert!(v2 > v1);
+        h.touch(p(3), Seconds(3));
+        let v3 = h.version();
+        assert!(v3 > v2);
+        h.prune(1);
+        assert!(h.version() > v3);
+        // read-only calls leave it alone
+        let frozen = h.version();
+        let _ = h.select_peers(4, 4);
+        let _ = h.get(p(1));
+        assert_eq!(h.version(), frozen);
+        // self-transfers are ignored entirely, version included
+        h.record_upload(p(0), Bytes::from_mb(1), Seconds(9));
+        assert_eq!(h.version(), frozen);
     }
 
     #[test]

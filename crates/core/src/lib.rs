@@ -29,6 +29,7 @@
 
 pub mod audit;
 pub mod codec;
+pub mod frontier;
 pub mod history;
 pub mod identity;
 pub mod message;
@@ -38,6 +39,7 @@ pub mod repcache;
 pub mod shard;
 
 pub use audit::Auditor;
+pub use frontier::{DeltaMsg, Frontier, SliceRecord, SyncPlan};
 pub use history::{PieceProvenance, PrivateHistory, TransferTotals};
 pub use message::{BarterCastConfig, BarterCastMessage, TransferRecord};
 pub use metric::{reputation_from_flows, ReputationMetric};

@@ -1,0 +1,220 @@
+//! Round-trip fuzzing for the digest/delta sync codec.
+//!
+//! Mirrors `codec_fuzz.rs` for the protocol-v3 bodies: arbitrary
+//! `Digest` and `Delta` payloads must encode/decode bit-identically,
+//! and hostile inputs — truncations, single-byte corruption, random
+//! garbage — must come back as typed [`DecodeError`]s, never panics.
+//! Digest/delta frames arrive from untrusted peers just like record
+//! batches do.
+
+#![recursion_limit = "256"]
+
+use bartercast_core::codec::{self, BufPool, DecodeError, MAX_RECORDS};
+use bartercast_core::{DeltaMsg, Frontier, TransferRecord};
+use bartercast_util::units::{Bytes, PeerId, Seconds};
+use proptest::prelude::*;
+
+/// An arbitrary frontier: unconstrained count, timestamp, checksum.
+fn frontier_strategy() -> impl Strategy<Value = Frontier> {
+    (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(count, ts, sum)| Frontier {
+        count,
+        max_ts: Seconds(ts),
+        checksum: sum,
+    })
+}
+
+/// An arbitrary delta: any sender/flag/stamp, up to a full batch of
+/// records with unconstrained counters (varint encoding must handle
+/// `u64::MAX` as readily as zero).
+fn delta_strategy() -> impl Strategy<Value = DeltaMsg> {
+    (
+        0u32..u32::MAX,
+        any::<bool>(),
+        frontier_strategy(),
+        prop::collection::vec((0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX), 0..64),
+    )
+        .prop_map(|(sender, full, stamp, records)| DeltaMsg {
+            sender: PeerId(sender),
+            full,
+            stamp,
+            records: records
+                .into_iter()
+                .map(|(p, up, down)| TransferRecord {
+                    peer: PeerId(p),
+                    up: Bytes(up),
+                    down: Bytes(down),
+                })
+                .collect(),
+        })
+}
+
+fn encode_digest(sender: PeerId, claim: &Frontier) -> Vec<u8> {
+    let mut pool = BufPool::new();
+    let mut buf = pool.take();
+    codec::encode_digest_into(sender, claim, &mut buf);
+    let bytes = buf.to_vec();
+    pool.put(buf);
+    bytes
+}
+
+fn encode_delta(delta: &DeltaMsg) -> Vec<u8> {
+    let mut pool = BufPool::new();
+    let mut buf = pool.take();
+    codec::encode_delta_into(delta, &mut buf);
+    let bytes = buf.to_vec();
+    pool.put(buf);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn digest_roundtrip_is_bit_identical(
+        sender in 0u32..u32::MAX,
+        claim in frontier_strategy(),
+    ) {
+        let frame = encode_digest(PeerId(sender), &claim);
+        let (back_sender, back_claim) =
+            codec::decode_digest(&frame).expect("own digest must decode");
+        prop_assert_eq!(back_sender, PeerId(sender));
+        prop_assert_eq!(back_claim, claim);
+        // re-encoding the decoded digest reproduces the exact bytes
+        let frame2 = encode_digest(back_sender, &back_claim);
+        prop_assert_eq!(&frame[..], &frame2[..]);
+    }
+
+    #[test]
+    fn delta_roundtrip_is_bit_identical(delta in delta_strategy()) {
+        let frame = encode_delta(&delta);
+        let back = codec::decode_delta(&frame).expect("own delta must decode");
+        prop_assert_eq!(&back, &delta);
+        let frame2 = encode_delta(&back);
+        prop_assert_eq!(&frame[..], &frame2[..]);
+    }
+
+    #[test]
+    fn pooled_buffers_do_not_leak_prior_frames(
+        delta in delta_strategy(),
+        sender in 0u32..u32::MAX,
+        claim in frontier_strategy(),
+    ) {
+        // a buffer recycled through the pool must produce the same
+        // bytes as a fresh one — stale contents from the previous
+        // frame never bleed into the next encode
+        let mut pool = BufPool::new();
+        let mut buf = pool.take();
+        codec::encode_delta_into(&delta, &mut buf);
+        pool.put(buf);
+        let mut reused = pool.take();
+        codec::encode_digest_into(PeerId(sender), &claim, &mut reused);
+        prop_assert_eq!(&reused[..], &encode_digest(PeerId(sender), &claim)[..]);
+        pool.put(reused);
+    }
+
+    #[test]
+    fn every_digest_truncation_errors_not_panics(
+        sender in 0u32..u32::MAX,
+        claim in frontier_strategy(),
+    ) {
+        let frame = encode_digest(PeerId(sender), &claim);
+        for cut in 0..frame.len() {
+            // fields parse left-to-right and the full frame consumes
+            // every byte, so no strict prefix can also be complete
+            prop_assert!(
+                codec::decode_digest(&frame[..cut]).is_err(),
+                "prefix {cut}/{} decoded",
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_delta_truncation_errors_not_panics(delta in delta_strategy()) {
+        let frame = encode_delta(&delta);
+        for cut in 0..frame.len() {
+            prop_assert!(
+                codec::decode_delta(&frame[..cut]).is_err(),
+                "prefix {cut}/{} decoded",
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        delta in delta_strategy(),
+        pos_seed in 0usize..4096,
+        byte in 0u8..=255,
+    ) {
+        let mut frame = encode_delta(&delta);
+        let pos = pos_seed % frame.len();
+        frame[pos] = byte;
+        // corrupted frames either fail with a typed error or decode to
+        // some (different) delta; both are fine — panicking is not
+        let _ = codec::decode_delta(&frame);
+        let _ = codec::decode_digest(&frame);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(garbage in prop::collection::vec(0u8..=255, 0..256)) {
+        match codec::decode_delta(&garbage) {
+            Ok(d) => {
+                // lucky garbage must at least be self-consistent
+                prop_assert!(d.records.len() <= MAX_RECORDS);
+                prop_assert_eq!(garbage[0], codec::FRONTIER_VERSION);
+            }
+            Err(
+                DecodeError::Truncated
+                | DecodeError::BadVersion(_)
+                | DecodeError::TooManyRecords(_),
+            ) => {}
+            Err(e @ (DecodeError::BadMagic(_) | DecodeError::FrameTooLarge(_))) => {
+                // digest/delta bodies have no magic byte and no inner
+                // length prefix; those variants belong to the records
+                // codec and the stream decoder respectively
+                prop_assert!(false, "delta decode returned {e}");
+            }
+        }
+        let _ = codec::decode_digest(&garbage);
+    }
+
+    #[test]
+    fn uvarint_roundtrips_and_rejects_overlong_runs(
+        v in 0u64..u64::MAX,
+        pad in 1usize..12,
+    ) {
+        let mut wire = bytes::BytesMut::new();
+        codec::put_uvarint(&mut wire, v);
+        prop_assert!(wire.len() <= 10);
+        let mut cursor = &wire[..];
+        prop_assert_eq!(codec::get_uvarint(&mut cursor), Ok(v));
+        prop_assert!(cursor.is_empty());
+        // a hostile run of continuation bytes must error, not spin
+        let hostile = vec![0x80u8; pad.max(10)];
+        let mut cursor = &hostile[..];
+        prop_assert_eq!(codec::get_uvarint(&mut cursor), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn stream_decoder_poisoned_by_delta_body_stays_poisoned(delta in delta_strategy()) {
+        // a digest/delta body mis-fed to the records stream decoder
+        // (framing bug, hostile peer) must poison it exactly like any
+        // other corrupt frame: the error is sticky and later feeds are
+        // dropped rather than buffered
+        let body = encode_delta(&delta);
+        let framed = codec::frame(&body);
+        let mut dec = codec::FrameDecoder::new();
+        dec.feed(&framed);
+        let first = dec.next_message();
+        prop_assert!(
+            first.is_err(),
+            "delta body decoded as a records frame: {:?}",
+            first
+        );
+        let err = first.unwrap_err();
+        prop_assert_eq!(dec.next_message(), Err(err));
+        dec.feed(&framed);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+}

@@ -63,7 +63,7 @@ impl Default for LoadGenConfig {
 }
 
 /// What the run measured.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LoadGenReport {
     /// Dialers that got a connection object at all.
     pub dialed: usize,
@@ -77,8 +77,20 @@ pub struct LoadGenReport {
     pub failed: usize,
     /// Dialers that ran their whole script including the Bye echo.
     pub completed: usize,
-    /// Transfer records delivered to the target.
+    /// Frames the dialers actually put on the wire (handshake and
+    /// teardown included), counted at send time.
+    pub frames_sent: u64,
+    /// Transfer records actually put on the wire toward the target,
+    /// counted at send time — partial progress of shed and failed
+    /// dialers included, unlike a `completed × frames × records`
+    /// estimate.
     pub records_sent: u64,
+    /// Frames received back from the target (hellos, gossip, digests,
+    /// byes).
+    pub frames_received: u64,
+    /// Transfer records received back from the target (its `Records`
+    /// pushes and `Delta` replies).
+    pub records_received: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Median dial-to-done latency of completed sessions, milliseconds.
@@ -118,6 +130,12 @@ struct Dialer {
     state: DialerState,
     started: Instant,
     finished: Option<Instant>,
+    /// Per-dialer wire accounting, counted at actual send/receive so
+    /// partial progress of shed and failed dialers is preserved.
+    frames_sent: u64,
+    records_sent: u64,
+    frames_received: u64,
+    records_received: u64,
 }
 
 impl Dialer {
@@ -130,7 +148,7 @@ impl Dialer {
 
     /// One scan: read what's there, advance the script, write what
     /// fits. Returns whether progress was made.
-    fn pump(&mut self, frame: &[u8], frames_per_dialer: usize, now: Instant) -> bool {
+    fn pump(&mut self, frame: &[u8], config: &LoadGenConfig, now: Instant) -> bool {
         if self.terminal() {
             return false;
         }
@@ -170,6 +188,7 @@ impl Dialer {
                 }
             };
             progress = true;
+            self.frames_received += 1;
             match (wire::decode_envelope(&payload), &self.state) {
                 (Ok(Envelope::Hello { .. }), DialerState::WaitHello) => {
                     self.state = DialerState::Stream { sent: 0 };
@@ -179,7 +198,14 @@ impl Dialer {
                     self.finished = Some(now);
                     return true;
                 }
-                (Ok(Envelope::Records(_)), _) => {} // target gossip; ignore
+                (Ok(Envelope::Records(msg)), _) => {
+                    // target gossip; count it, don't act on it
+                    self.records_received += msg.len() as u64;
+                }
+                (Ok(Envelope::Digest { .. }), _) => {} // anti-entropy probe; ignore
+                (Ok(Envelope::Delta(delta)), _) => {
+                    self.records_received += delta.records.len() as u64;
+                }
                 (Ok(Envelope::Bye), _) => {
                     // early Bye (target draining): count as failed script
                     self.fail(now);
@@ -202,10 +228,12 @@ impl Dialer {
         // outbound script
         if let DialerState::Stream { sent } = self.state {
             let mut sent = sent;
-            while sent < frames_per_dialer {
+            while sent < config.frames_per_dialer {
                 match self.conn.try_send(frame) {
                     Ok(true) => {
                         sent += 1;
+                        self.frames_sent += 1;
+                        self.records_sent += config.records_per_frame as u64;
                         progress = true;
                     }
                     Ok(false) => break,
@@ -215,10 +243,11 @@ impl Dialer {
                     }
                 }
             }
-            if sent >= frames_per_dialer {
+            if sent >= config.frames_per_dialer {
                 match self.conn.try_send(&wire::encode_envelope(&Envelope::Bye)) {
                     Ok(true) => {
                         self.state = DialerState::WaitBye;
+                        self.frames_sent += 1;
                         progress = true;
                     }
                     Ok(false) => self.state = DialerState::Stream { sent },
@@ -282,19 +311,28 @@ pub fn run_loadgen(
             match transport.connect(id, target) {
                 Ok(conn) => {
                     dialed += 1;
-                    let hello = wire::encode_envelope(&Envelope::Hello { peer: id });
+                    let hello = wire::encode_envelope(&Envelope::Hello {
+                        peer: id,
+                        version: wire::NODE_PROTOCOL_VERSION,
+                    });
                     let mut d = Dialer {
                         conn,
                         decoder: FrameDecoder::new(),
                         state: DialerState::WaitHello,
                         started: now,
                         finished: None,
+                        frames_sent: 0,
+                        records_sent: 0,
+                        frames_received: 0,
+                        records_received: 0,
                     };
                     // a send error here means the target already closed
                     // the freshly-accepted conn (its shed path racing
                     // our Hello); keep the dialer — its pump will read
                     // the EOF and classify it as shed
-                    let _ = d.conn.try_send(&hello);
+                    if let Ok(true) = d.conn.try_send(&hello) {
+                        d.frames_sent += 1;
+                    }
                     dialers.push(d);
                     continue;
                 }
@@ -304,7 +342,7 @@ pub fn run_loadgen(
         // scan every live dialer
         let mut progress = batch > 0;
         for d in dialers.iter_mut() {
-            if d.pump(&frame, config.frames_per_dialer, now) {
+            if d.pump(&frame, &config, now) {
                 progress = true;
             }
         }
@@ -323,8 +361,16 @@ pub fn run_loadgen(
     let mut shed = 0usize;
     let mut failed = failed_dials;
     let mut completed = 0usize;
+    let mut frames_sent = 0u64;
+    let mut records_sent = 0u64;
+    let mut frames_received = 0u64;
+    let mut records_received = 0u64;
     let mut latencies_ms: Vec<f64> = Vec::new();
     for d in &dialers {
+        frames_sent += d.frames_sent;
+        records_sent += d.records_sent;
+        frames_received += d.frames_received;
+        records_received += d.records_received;
         match d.state {
             DialerState::Done => {
                 established += 1;
@@ -356,7 +402,10 @@ pub fn run_loadgen(
         shed,
         failed,
         completed,
-        records_sent: (completed * config.frames_per_dialer * config.records_per_frame) as u64,
+        frames_sent,
+        records_sent,
+        frames_received,
+        records_received,
         elapsed,
         p50_session_ms: pct(0.50),
         p99_session_ms: pct(0.99),
@@ -409,6 +458,11 @@ mod tests {
         assert_eq!(report.completed, 32, "all scripts must finish: {report:?}");
         assert_eq!(report.shed, 0);
         assert_eq!(report.records_sent, 32 * 2 * 4);
+        // per completed dialer: Hello + 2 Records + Bye out, the
+        // passive target's Hello + Bye echo back
+        assert_eq!(report.frames_sent, 32 * 4);
+        assert_eq!(report.frames_received, 32 * 2);
+        assert_eq!(report.records_received, 0, "target stayed passive");
         assert!(report.p99_session_ms >= report.p50_session_ms);
         let stats = node.shutdown();
         assert_eq!(stats.sessions_opened, 32);

@@ -52,10 +52,13 @@ use crate::timer::{TimerKind, TimerWheel};
 use crate::transport::{
     wait_readiness, Conn, FdInterest, Listener, ReadySource, Transport, WakeQueue, LISTENER_TOKEN,
 };
+use crate::wire;
 use crate::workload::{Workload, WorkloadIo};
+use bartercast_core::codec::BufPool;
+use bartercast_core::frontier::{self, SliceRecord};
 use bartercast_core::message::BarterCastConfig;
 use bartercast_core::repcache::ReputationEngine;
-use bartercast_core::{BarterCastMessage, PrivateHistory};
+use bartercast_core::{BarterCastMessage, DeltaMsg, Frontier, PrivateHistory, SyncPlan};
 use bartercast_gossip::{PssConfig, PssNode};
 use bartercast_util::units::{Bytes, PeerId, Seconds};
 use rand::rngs::StdRng;
@@ -97,6 +100,12 @@ pub struct NodeConfig {
     /// How long a graceful shutdown waits for sessions to drain and
     /// `Bye` before force-closing the stragglers.
     pub drain_timeout: Duration,
+    /// Every Nth exchange tick pushes the full advertised slice instead
+    /// of sending digests — the fallback that bounds any staleness the
+    /// watermark delta cannot see (slice-membership swaps stamped in
+    /// the past, lost `Digest`/`Delta` frames). `0` disables the
+    /// fallback entirely (digests only).
+    pub full_sync_every: u64,
     /// Per-session protocol timeouts.
     pub session: SessionConfig,
     /// Top-`Nh`/`Nr` selection for outgoing BarterCast messages.
@@ -122,6 +131,7 @@ impl Default for NodeConfig {
             accept_burst: 128,
             tick_granularity: Duration::from_millis(1),
             drain_timeout: Duration::from_secs(1),
+            full_sync_every: 16,
             session: SessionConfig::default(),
             bartercast: BarterCastConfig::default(),
             pss: PssConfig::default(),
@@ -160,13 +170,88 @@ struct Backoff {
 pub struct NodeState {
     pub(crate) history: PrivateHistory,
     pub(crate) engine: ReputationEngine,
+    /// Freshest frontier stamp each peer has reported for *its own*
+    /// advertised slice (carried on its `Delta` replies) — the claim
+    /// our next digest to that peer sends back.
+    pub(crate) frontiers: HashMap<PeerId, Frontier>,
+    /// Advertised-slice memo keyed on the history write version, so
+    /// digest-heavy steady state never recomputes the §3.4 selection.
+    slice_memo: Option<SliceMemo>,
+}
+
+/// The advertised slice and its frontier, valid for one history
+/// version. Invalidation rides the history's existing write path: any
+/// mutation bumps [`PrivateHistory::version`].
+struct SliceMemo {
+    version: u64,
+    slice: Vec<SliceRecord>,
+    frontier: Frontier,
 }
 
 impl NodeState {
     /// Build a state directly from its parts — for driving a
     /// [`Workload`] without a reactor (unit tests, tools).
     pub fn new(history: PrivateHistory, engine: ReputationEngine) -> NodeState {
-        NodeState { history, engine }
+        NodeState {
+            history,
+            engine,
+            frontiers: HashMap::new(),
+            slice_memo: None,
+        }
+    }
+
+    /// Rebuild the advertised-slice memo if the history has been
+    /// written since it was last built.
+    fn refresh_slice(&mut self, config: BarterCastConfig) {
+        let version = self.history.version();
+        if self.slice_memo.as_ref().map(|m| m.version) == Some(version) {
+            return;
+        }
+        let slice = frontier::advertised_slice(&self.history, config);
+        let frontier = frontier::frontier_of(&slice);
+        self.slice_memo = Some(SliceMemo {
+            version,
+            slice,
+            frontier,
+        });
+    }
+
+    /// The full exchange message for the current advertised slice.
+    pub(crate) fn full_message(&mut self, config: BarterCastConfig) -> BarterCastMessage {
+        self.refresh_slice(config);
+        let memo = self.slice_memo.as_ref().expect("memo refreshed");
+        frontier::message_from_slice(self.history.owner(), &memo.slice)
+    }
+
+    /// The full slice as a stamped `Delta` push — what v3 peers get on
+    /// establishment and fallback ticks instead of a bare `Records`
+    /// frame, so they can seed their frontier cache from the stamp.
+    pub(crate) fn full_delta(&mut self, config: BarterCastConfig) -> DeltaMsg {
+        self.refresh_slice(config);
+        let memo = self.slice_memo.as_ref().expect("memo refreshed");
+        DeltaMsg {
+            sender: self.history.owner(),
+            full: true,
+            stamp: memo.frontier,
+            records: frontier::message_from_slice(self.history.owner(), &memo.slice).records,
+        }
+    }
+
+    /// Answer a digest claiming `claim`: returns our fresh frontier
+    /// stamp, the sync plan, and the slice length (the baseline the
+    /// suppression accounting subtracts the plan's records from).
+    pub(crate) fn sync_plan(
+        &mut self,
+        config: BarterCastConfig,
+        claim: Frontier,
+    ) -> (Frontier, SyncPlan, usize) {
+        self.refresh_slice(config);
+        let memo = self.slice_memo.as_ref().expect("memo refreshed");
+        (
+            memo.frontier,
+            frontier::plan_sync(&memo.slice, memo.frontier, claim),
+            memo.slice.len(),
+        )
     }
 
     /// The subjective contribution graph as a sorted edge list
@@ -259,6 +344,36 @@ pub struct Reactor {
     /// Clock instant at construction; workload callbacks see time as
     /// whole seconds since this.
     boot: Instant,
+    /// Reusable frame-encoding buffers: steady-state exchange traffic
+    /// allocates nothing fresh.
+    pool: BufPool,
+    /// Monotone exchange-tick counter driving the full-sync fallback
+    /// cadence and the per-peer digest backoff.
+    tick_no: u64,
+    /// Encode-once memo of the full-slice frames, keyed on the history
+    /// version; `None` bytes mean the slice is empty.
+    full_cache: Option<FullCache>,
+    /// Last tick a digest went to each peer.
+    digest_tick: HashMap<PeerId, u64>,
+    /// Consecutive digests to a peer without a `Delta` reply — the
+    /// in-sync streak capping the digest cadence at every other tick.
+    sync_streak: HashMap<PeerId, u32>,
+    /// History version last pushed in full to each peer. Survives the
+    /// session (it is knowledge about the *peer*, not the connection):
+    /// a reconnect whose slice has not changed opens with a digest
+    /// instead of re-pushing records the peer already holds.
+    pushed: HashMap<PeerId, u64>,
+}
+
+/// The full slice of one history version, encoded once per wire shape
+/// and fanned out as shared bytes to every session that needs it:
+/// a bare `Records` frame for v2 peers, and a stamped full `Delta` for
+/// v3 peers (the stamp seeds the receiver's frontier cache, so the
+/// digest round that follows concludes in-sync).
+struct FullCache {
+    version: u64,
+    bytes: Option<(Arc<[u8]>, u32)>,
+    delta_bytes: Option<(Arc<[u8]>, u32)>,
 }
 
 impl Reactor {
@@ -302,7 +417,7 @@ impl Reactor {
             rng: StdRng::seed_from_u64(config.seed ^ (((id.0 as u64) << 32) | 0xA5A5)),
             backoff: HashMap::new(),
             ever_connected: HashSet::new(),
-            state: Arc::new(Mutex::new(NodeState { history, engine })),
+            state: Arc::new(Mutex::new(NodeState::new(history, engine))),
             counters: Arc::new(NodeCounters::default()),
             config,
             targeted,
@@ -311,6 +426,12 @@ impl Reactor {
             workload: None,
             choke_interval: Duration::from_secs(10),
             boot: now,
+            pool: BufPool::new(),
+            tick_no: 0,
+            full_cache: None,
+            digest_tick: HashMap::new(),
+            sync_streak: HashMap::new(),
+            pushed: HashMap::new(),
         })
     }
 
@@ -354,14 +475,19 @@ impl Reactor {
         for (peer, frame) in io.frames {
             if let Some(&token) = self.by_peer.get(&peer) {
                 if let Some(session) = self.sessions.get_mut(&token) {
-                    session.enqueue_frame(frame, self.config.outbound_queue, &self.counters);
+                    session.enqueue_frame(
+                        frame,
+                        &mut self.pool,
+                        self.config.outbound_queue,
+                        &self.counters,
+                    );
                     self.ready.insert(token);
                 }
             }
         }
         for peer in io.dials {
             if peer != self.id && !self.by_peer.contains_key(&peer) && !self.draining {
-                self.dial(peer, now, None);
+                self.dial(peer, now);
             }
         }
     }
@@ -441,7 +567,7 @@ impl Reactor {
                 }
                 TimerKind::DialRetry { peer } => {
                     if !self.draining && !self.by_peer.contains_key(&peer) {
-                        self.dial(peer, now, None);
+                        self.dial(peer, now);
                         progress = true;
                     }
                 }
@@ -482,7 +608,7 @@ impl Reactor {
                         NodeCounters::inc(&self.counters.shed_accept);
                         drop(conn);
                     } else {
-                        self.adopt(conn, Direction::Responder, None, now);
+                        self.adopt(conn, Direction::Responder, now);
                     }
                     progress = true;
                 }
@@ -511,7 +637,7 @@ impl Reactor {
         self.ready.retain(|t| *t == LISTENER_TOKEN);
         for token in tokens {
             if let Some(session) = self.sessions.get_mut(&token) {
-                if session.pump(self.id, now, &self.counters, &mut events) {
+                if session.pump(self.id, now, &mut self.pool, &self.counters, &mut events) {
                     progress = true;
                 }
                 // a frame still in simulated flight needs a self-wake
@@ -640,22 +766,13 @@ impl Reactor {
     /// Take ownership of a connection as a new session: assign a token,
     /// register its waker, count it live, and schedule its handshake
     /// deadline.
-    fn adopt(
-        &mut self,
-        mut conn: Box<dyn Conn>,
-        direction: Direction,
-        preload: Option<BarterCastMessage>,
-        now: Instant,
-    ) {
+    fn adopt(&mut self, mut conn: Box<dyn Conn>, direction: Direction, now: Instant) {
         let token = self.next_token;
         self.next_token += 1;
         if self.targeted {
             conn.register_waker(&self.wake, token);
         }
         let mut session = Session::new(token, conn, direction, now);
-        if let Some(msg) = preload {
-            session.preload(msg);
-        }
         if self.draining {
             session.begin_drain();
         }
@@ -681,12 +798,14 @@ impl Reactor {
             .map(|(p, _)| *p)
         {
             self.by_peer.remove(&peer);
+            self.digest_tick.remove(&peer);
+            self.sync_streak.remove(&peer);
         }
     }
 
-    /// Dial `target` (respecting backoff); on success the new session
-    /// carries `preload` out with its first established pump.
-    fn dial(&mut self, target: PeerId, now: Instant, preload: Option<BarterCastMessage>) {
+    /// Dial `target` (respecting backoff); the handshake's
+    /// `Established` event opens the first anti-entropy round.
+    fn dial(&mut self, target: PeerId, now: Instant) {
         let entry = self.backoff.entry(target).or_default();
         if let Some(not_before) = entry.not_before {
             if now < not_before {
@@ -701,7 +820,7 @@ impl Reactor {
                 // success of the *dial*; the handshake may still fail,
                 // in which case Closed{clean: false} re-arms backoff
                 self.backoff.entry(target).or_default().not_before = None;
-                self.adopt(conn, Direction::Initiator, preload, now);
+                self.adopt(conn, Direction::Initiator, now);
             }
             Err(_) => {
                 NodeCounters::inc(&self.counters.sessions_failed);
@@ -729,32 +848,147 @@ impl Reactor {
         }
     }
 
-    /// One exchange: build the BarterCast message once, then deliver it
-    /// to each sampled neighbor — over a live session when one exists,
-    /// otherwise by dialing (subject to backoff).
+    /// One exchange tick: sample `fanout` neighbors and run one
+    /// anti-entropy round with each — a digest to v3 peers (unless the
+    /// backoff says they answered nothing lately), the encode-once full
+    /// slice on fallback ticks and to v2 peers, a dial when no session
+    /// exists yet.
     fn exchange_tick(&mut self, now: Instant) {
         self.pss.tick();
-        let msg = {
-            let st = self.state.lock().expect("state lock");
-            BarterCastMessage::from_history(&st.history, self.config.bartercast)
-        };
-        if msg.is_empty() {
+        self.tick_no += 1;
+        if self.full_message_bytes().is_none() {
             return; // nothing to gossip yet
         }
+        let full_tick = self.config.full_sync_every > 0
+            && self.tick_no.is_multiple_of(self.config.full_sync_every);
         let targets = self.pss.sample_many(&mut self.rng, self.config.fanout);
         for target in targets {
             if target == self.id {
                 continue;
             }
-            if let Some(&token) = self.by_peer.get(&target) {
-                if let Some(session) = self.sessions.get_mut(&token) {
-                    session.enqueue(msg.clone(), self.config.outbound_queue, &self.counters);
+            match self.by_peer.get(&target).copied() {
+                Some(token) => self.sync_with(token, target, full_tick),
+                None => self.dial(target, now),
+            }
+        }
+    }
+
+    /// Run one sync round over an established session: a full shared-
+    /// bytes push for v2 peers and fallback ticks (stamped `Delta` for
+    /// v3 peers, bare `Records` for v2), a digest otherwise.
+    fn sync_with(&mut self, token: u64, target: PeerId, full_tick: bool) {
+        let Some(session) = self.sessions.get(&token) else {
+            return;
+        };
+        if !session.is_established() {
+            return;
+        }
+        let v3 = session.peer_version() >= wire::NODE_PROTOCOL_VERSION;
+        if full_tick || !v3 {
+            let shared = if v3 {
+                self.full_delta_bytes()
+            } else {
+                self.full_message_bytes()
+            };
+            if let Some((bytes, records)) = shared {
+                let cap = self.config.outbound_queue;
+                let session = self.sessions.get_mut(&token).expect("session exists");
+                let queued = if v3 {
+                    session.enqueue_shared_delta(bytes, records, cap, &self.counters)
+                } else {
+                    session.enqueue_shared_records(bytes, records, cap, &self.counters)
+                };
+                if queued {
+                    NodeCounters::inc(&self.counters.full_syncs);
+                    if let Some(cache) = &self.full_cache {
+                        self.pushed.insert(target, cache.version);
+                    }
                     self.ready.insert(token);
-                    continue;
                 }
             }
-            self.dial(target, now, Some(msg.clone()));
+            return;
         }
+        if !self.should_digest(target) {
+            return;
+        }
+        let claim = {
+            let st = self.state.lock().expect("state lock");
+            st.frontiers.get(&target).copied().unwrap_or_default()
+        };
+        let cap = self.config.outbound_queue;
+        let session = self.sessions.get_mut(&token).expect("session exists");
+        if session.enqueue_digest(self.id, claim, &mut self.pool, cap, &self.counters) {
+            self.digest_tick.insert(target, self.tick_no);
+            let streak = self.sync_streak.entry(target).or_insert(0);
+            *streak = streak.saturating_add(1);
+            self.ready.insert(token);
+        }
+    }
+
+    /// Digest backoff: at most one digest per peer per tick, and a peer
+    /// that answered nothing twice in a row (already in sync) is probed
+    /// every other tick instead of every tick. Any `Delta` reply resets
+    /// the streak so a peer with news is probed eagerly again. The
+    /// cadence is kept this tight on purpose: a digest costs ~30 bytes,
+    /// and probing lazily would delay reputation propagation — the
+    /// savings live in the suppressed record payloads, not here.
+    fn should_digest(&self, peer: PeerId) -> bool {
+        let last = match self.digest_tick.get(&peer) {
+            Some(&t) => t,
+            None => return true,
+        };
+        if last == self.tick_no {
+            return false;
+        }
+        let streak = self.sync_streak.get(&peer).copied().unwrap_or(0);
+        streak < 2 || self.tick_no - last >= 2
+    }
+
+    /// Rebuild the encode-once full-slice frames if the history has
+    /// been written since they were last encoded.
+    fn refresh_full_cache(&mut self) {
+        let mut st = self.state.lock().expect("state lock");
+        let version = st.history.version();
+        if self.full_cache.as_ref().map(|c| c.version) == Some(version) {
+            return;
+        }
+        let delta = st.full_delta(self.config.bartercast);
+        let (bytes, delta_bytes) = if delta.records.is_empty() {
+            (None, None)
+        } else {
+            let records = delta.records.len() as u32;
+            let msg = st.full_message(self.config.bartercast);
+            let records_frame = wire::encode_envelope(&wire::Envelope::Records(msg));
+            let delta_frame = wire::encode_envelope(&wire::Envelope::Delta(delta));
+            (
+                Some((Arc::from(&records_frame[..]), records)),
+                Some((Arc::from(&delta_frame[..]), records)),
+            )
+        };
+        self.full_cache = Some(FullCache {
+            version,
+            bytes,
+            delta_bytes,
+        });
+    }
+
+    /// The full `Records` frame for the current history, encoded once
+    /// per history version and shared (`Arc`) across every v2 session
+    /// it fans out to. `None` while the history is empty.
+    fn full_message_bytes(&mut self) -> Option<(Arc<[u8]>, u32)> {
+        self.refresh_full_cache();
+        self.full_cache
+            .as_ref()
+            .and_then(|c| c.bytes.as_ref().map(|(b, n)| (Arc::clone(b), *n)))
+    }
+
+    /// The stamped full `Delta` frame for the current history — the v3
+    /// sibling of [`Reactor::full_message_bytes`].
+    fn full_delta_bytes(&mut self) -> Option<(Arc<[u8]>, u32)> {
+        self.refresh_full_cache();
+        self.full_cache
+            .as_ref()
+            .and_then(|c| c.delta_bytes.as_ref().map(|(b, n)| (Arc::clone(b), *n)))
     }
 
     fn apply_events(&mut self, events: Vec<SessionEvent>, now: Instant) {
@@ -763,6 +997,8 @@ impl Reactor {
                 SessionEvent::Established { token, remote, .. } => {
                     self.by_peer.entry(remote).or_insert(token);
                     self.backoff.remove(&remote);
+                    self.digest_tick.remove(&remote);
+                    self.sync_streak.remove(&remote);
                     if !self.ever_connected.insert(remote) {
                         NodeCounters::inc(&self.counters.reconnects);
                     }
@@ -771,6 +1007,24 @@ impl Reactor {
                     // became the peer's primary (duplicate dials race;
                     // the loser idles out without a notification)
                     if self.by_peer.get(&remote) == Some(&token) {
+                        // both sides open anti-entropy as soon as the
+                        // handshake lands — this replaces the old
+                        // dial-time message preload. First contact is a
+                        // full push from each direction (the peer holds
+                        // nothing of ours to dedup against, and the
+                        // stamp seeds the frontier the digest rounds
+                        // then confirm); a reconnect whose slice was
+                        // already pushed at this version opens with a
+                        // digest instead, pulling any news without
+                        // re-sending records the peer has.
+                        if !self.draining {
+                            let version = {
+                                let st = self.state.lock().expect("state lock");
+                                st.history.version()
+                            };
+                            let fresh = self.pushed.get(&remote) != Some(&version);
+                            self.sync_with(token, remote, fresh);
+                        }
                         self.with_workload(now, |w, secs, state, io| {
                             w.on_established(remote, secs, state, io)
                         });
@@ -783,6 +1037,65 @@ impl Reactor {
                         NodeCounters::add(&self.counters.records_duplicate, msg.len() as u64);
                     }
                     let _ = from; // history stays private: only direct transfers enter it
+                }
+                SessionEvent::Digest { token, from, claim } => {
+                    let (ours, plan, slice_len, version) = {
+                        let mut st = self.state.lock().expect("state lock");
+                        let (ours, plan, slice_len) = st.sync_plan(self.config.bartercast, claim);
+                        (ours, plan, slice_len, st.history.version())
+                    };
+                    // in sync, or about to be sent the rest: either
+                    // way the peer holds our slice at this version, so
+                    // a later reconnect opens with a digest instead of
+                    // a redundant full push. Optimistic under loss —
+                    // the digest round repairs a dropped reply.
+                    self.pushed.insert(from, version);
+                    match plan {
+                        SyncPlan::InSync => {
+                            // the whole slice stayed off the wire
+                            NodeCounters::add(&self.counters.records_suppressed, slice_len as u64);
+                        }
+                        SyncPlan::Send { full, records } => {
+                            let suppressed = slice_len.saturating_sub(records.len());
+                            NodeCounters::add(&self.counters.records_suppressed, suppressed as u64);
+                            if full {
+                                NodeCounters::inc(&self.counters.full_syncs);
+                            }
+                            let msg = DeltaMsg {
+                                sender: self.id,
+                                full,
+                                stamp: ours,
+                                records,
+                            };
+                            let cap = self.config.outbound_queue;
+                            if let Some(session) = self.sessions.get_mut(&token) {
+                                if session.enqueue_delta(&msg, &mut self.pool, cap, &self.counters)
+                                {
+                                    self.ready.insert(token);
+                                }
+                            }
+                        }
+                    }
+                }
+                SessionEvent::Delta { from, msg, .. } => {
+                    let n = msg.records.len() as u64;
+                    {
+                        let mut st = self.state.lock().expect("state lock");
+                        if n > 0 {
+                            let exchange = BarterCastMessage {
+                                sender: msg.sender,
+                                records: msg.records,
+                            };
+                            let changed = st.engine.absorb_message(&exchange);
+                            if changed == 0 {
+                                NodeCounters::add(&self.counters.records_duplicate, n);
+                            }
+                        }
+                        // the peer's fresh stamp is our next claim
+                        st.frontiers.insert(from, msg.stamp);
+                    }
+                    // news arrived: probe this peer eagerly again
+                    self.sync_streak.remove(&from);
                 }
                 SessionEvent::Frame { token, from, frame } => {
                     if self.by_peer.get(&from) == Some(&token) {

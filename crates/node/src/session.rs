@@ -36,10 +36,11 @@
 use crate::stats::NodeCounters;
 use crate::transport::Conn;
 use crate::wire::{self, Envelope, SwarmFrame};
-use bartercast_core::codec::FrameDecoder;
-use bartercast_core::BarterCastMessage;
+use bartercast_core::codec::{BufPool, FrameDecoder};
+use bartercast_core::{BarterCastMessage, DeltaMsg, Frontier};
 use bartercast_util::units::PeerId;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which side of the connection this session is.
@@ -64,6 +65,9 @@ pub enum SessionEvent {
         remote: PeerId,
         /// Which side we are.
         direction: Direction,
+        /// Protocol version the peer advertised; v2 peers never
+        /// receive `Digest`/`Delta` envelopes.
+        version: u8,
     },
     /// A `Records` envelope arrived.
     Records {
@@ -73,6 +77,26 @@ pub enum SessionEvent {
         from: PeerId,
         /// The decoded BarterCast message.
         msg: BarterCastMessage,
+    },
+    /// A `Digest` envelope arrived: the peer wants whatever its claim
+    /// is missing from our advertised slice.
+    Digest {
+        /// Reactor-assigned session id.
+        token: u64,
+        /// Peer the session is established with.
+        from: PeerId,
+        /// The frontier of *our* records as the peer last saw them.
+        claim: Frontier,
+    },
+    /// A `Delta` envelope arrived: records we were missing plus the
+    /// peer's fresh frontier stamp (cache it for the next digest).
+    Delta {
+        /// Reactor-assigned session id.
+        token: u64,
+        /// Peer the session is established with.
+        from: PeerId,
+        /// The decoded delta.
+        msg: DeltaMsg,
     },
     /// A swarm-workload frame arrived; the reactor routes it to the
     /// attached [`Workload`](crate::workload::Workload), if any.
@@ -126,6 +150,50 @@ enum SessionState {
     Closed { clean: bool },
 }
 
+/// What an outbound frame carries, for send-time accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    /// Full `Records` push.
+    Records,
+    /// Delta anti-entropy request.
+    Digest,
+    /// Delta anti-entropy reply.
+    Delta,
+    /// Swarm piece transfer.
+    Piece,
+    /// Everything else (hello, bye, swarm control).
+    Control,
+}
+
+/// Pre-encoded frame bytes: either a tick-wide shared encoding (the
+/// encode-once fan-out path — many sessions hold the same `Arc`) or a
+/// session-owned buffer recycled through the reactor's [`BufPool`].
+#[derive(Debug, Clone)]
+enum FrameBytes {
+    Shared(Arc<[u8]>),
+    Pooled(bytes::BytesMut),
+}
+
+impl FrameBytes {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            FrameBytes::Shared(b) => b,
+            FrameBytes::Pooled(b) => b,
+        }
+    }
+}
+
+/// One queued outbound frame. Frames are encoded at enqueue time —
+/// once — and the queue holds bytes, not envelopes, so retrying after
+/// backpressure re-sends the same buffer instead of re-encoding.
+#[derive(Debug, Clone)]
+struct OutFrame {
+    bytes: FrameBytes,
+    /// Transfer records inside, for `records_sent` accounting.
+    records: u32,
+    kind: FrameKind,
+}
+
 /// One connection's entire life, as pumpable state.
 pub struct Session {
     token: u64,
@@ -133,8 +201,10 @@ pub struct Session {
     direction: Direction,
     state: SessionState,
     decoder: FrameDecoder,
-    outbound: VecDeque<Envelope>,
+    outbound: VecDeque<OutFrame>,
     remote: Option<PeerId>,
+    /// Protocol version from the peer's `Hello` (0 until it arrives).
+    peer_version: u8,
     started_at: Instant,
     last_activity: Instant,
     hello_sent: bool,
@@ -159,6 +229,7 @@ impl Session {
             decoder: FrameDecoder::new(),
             outbound: VecDeque::new(),
             remote: None,
+            peer_version: 0,
             started_at: now,
             last_activity: now,
             hello_sent: false,
@@ -176,6 +247,12 @@ impl Session {
     /// The peer on the other end, once the handshake has completed.
     pub fn remote(&self) -> Option<PeerId> {
         self.remote
+    }
+
+    /// Protocol version the peer's `Hello` advertised (0 before the
+    /// handshake completes).
+    pub fn peer_version(&self) -> u8 {
+        self.peer_version
     }
 
     /// Which side of the connection we are.
@@ -206,17 +283,115 @@ impl Session {
         self.conn.wants_write() || !self.outbound.is_empty()
     }
 
-    /// Queue a message before establishment (initiator dials): it rides
-    /// the outbound queue and goes out once the handshake completes, so
-    /// the first exchange takes the same path as every later one.
-    pub fn preload(&mut self, msg: BarterCastMessage) {
-        self.outbound.push_back(Envelope::Records(msg));
-    }
-
     /// Queue a message for sending, shedding (and counting) if the
     /// bounded queue is full. Returns whether the message was queued.
-    pub fn enqueue(&mut self, msg: BarterCastMessage, cap: usize, counters: &NodeCounters) -> bool {
-        self.enqueue_envelope(Envelope::Records(msg), cap, counters)
+    /// The message is encoded once, into a buffer from `pool`.
+    pub fn enqueue(
+        &mut self,
+        msg: &BarterCastMessage,
+        pool: &mut BufPool,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
+        if !self.is_established() || self.outbound.len() >= cap {
+            NodeCounters::inc(&counters.shed_session);
+            return false;
+        }
+        let mut buf = pool.take();
+        wire::encode_records_frame_into(msg, &mut buf);
+        self.outbound.push_back(OutFrame {
+            bytes: FrameBytes::Pooled(buf),
+            records: msg.len() as u32,
+            kind: FrameKind::Records,
+        });
+        true
+    }
+
+    /// Queue an already-encoded `Records` frame whose bytes are shared
+    /// across every session targeted this tick — the encode-once
+    /// fan-out path. `records` is the record count inside, for
+    /// accounting at actual send time.
+    pub fn enqueue_shared_records(
+        &mut self,
+        bytes: Arc<[u8]>,
+        records: u32,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
+        if !self.is_established() || self.outbound.len() >= cap {
+            NodeCounters::inc(&counters.shed_session);
+            return false;
+        }
+        self.outbound.push_back(OutFrame {
+            bytes: FrameBytes::Shared(bytes),
+            records,
+            kind: FrameKind::Records,
+        });
+        true
+    }
+
+    /// Queue an already-encoded full `Delta` frame whose bytes are
+    /// shared across every v3 session targeted this tick — the stamped
+    /// sibling of [`Session::enqueue_shared_records`]. Carrying the
+    /// sender's frontier stamp lets the receiver seed its claim cache,
+    /// so the digest round that follows a full push concludes in-sync
+    /// instead of re-fetching the slice.
+    pub fn enqueue_shared_delta(
+        &mut self,
+        bytes: Arc<[u8]>,
+        records: u32,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
+        if !self.is_established() || self.outbound.len() >= cap {
+            NodeCounters::inc(&counters.shed_session);
+            return false;
+        }
+        self.outbound.push_back(OutFrame {
+            bytes: FrameBytes::Shared(bytes),
+            records,
+            kind: FrameKind::Delta,
+        });
+        true
+    }
+
+    /// Queue a `Digest` envelope: ask the peer for whatever `claim` is
+    /// missing.
+    pub fn enqueue_digest(
+        &mut self,
+        sender: PeerId,
+        claim: Frontier,
+        pool: &mut BufPool,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
+        self.enqueue_envelope(
+            &Envelope::Digest { sender, claim },
+            FrameKind::Digest,
+            0,
+            pool,
+            cap,
+            counters,
+        )
+    }
+
+    /// Queue a `Delta` reply.
+    pub fn enqueue_delta(
+        &mut self,
+        msg: &DeltaMsg,
+        pool: &mut BufPool,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
+        let records = msg.records.len() as u32;
+        self.enqueue_envelope(
+            &Envelope::Delta(msg.clone()),
+            FrameKind::Delta,
+            records,
+            pool,
+            cap,
+            counters,
+        )
     }
 
     /// Queue a swarm frame for sending, shedding (and counting) if the
@@ -224,18 +399,38 @@ impl Session {
     pub fn enqueue_frame(
         &mut self,
         frame: SwarmFrame,
+        pool: &mut BufPool,
         cap: usize,
         counters: &NodeCounters,
     ) -> bool {
-        self.enqueue_envelope(Envelope::Swarm(frame), cap, counters)
+        let kind = if matches!(frame, SwarmFrame::Piece { .. }) {
+            FrameKind::Piece
+        } else {
+            FrameKind::Control
+        };
+        self.enqueue_envelope(&Envelope::Swarm(frame), kind, 0, pool, cap, counters)
     }
 
-    fn enqueue_envelope(&mut self, env: Envelope, cap: usize, counters: &NodeCounters) -> bool {
+    fn enqueue_envelope(
+        &mut self,
+        env: &Envelope,
+        kind: FrameKind,
+        records: u32,
+        pool: &mut BufPool,
+        cap: usize,
+        counters: &NodeCounters,
+    ) -> bool {
         if !self.is_established() || self.outbound.len() >= cap {
             NodeCounters::inc(&counters.shed_session);
             return false;
         }
-        self.outbound.push_back(env);
+        let mut buf = pool.take();
+        wire::encode_envelope_into(env, &mut buf);
+        self.outbound.push_back(OutFrame {
+            bytes: FrameBytes::Pooled(buf),
+            records,
+            kind,
+        });
         true
     }
 
@@ -270,23 +465,39 @@ impl Session {
         });
     }
 
-    fn send_envelope(&mut self, counters: &NodeCounters, env: &Envelope) -> std::io::Result<bool> {
-        let frame = wire::encode_envelope(env);
-        match self.conn.try_send(&frame)? {
-            true => {
-                NodeCounters::add(&counters.bytes_sent, frame.len() as u64);
-                match env {
-                    Envelope::Records(msg) => {
-                        NodeCounters::add(&counters.records_sent, msg.len() as u64);
-                    }
-                    Envelope::Swarm(SwarmFrame::Piece { .. }) => {
-                        NodeCounters::inc(&counters.pieces_sent);
-                    }
-                    _ => {}
-                }
-                Ok(true)
+    /// Encode and send a control envelope (hello/bye) through a pooled
+    /// buffer. On backpressure the buffer returns to the pool and the
+    /// caller retries on the next pump — control frames are tiny and
+    /// rare, so re-encoding then is cheaper than holding the buffer.
+    fn send_control(
+        &mut self,
+        counters: &NodeCounters,
+        pool: &mut BufPool,
+        env: &Envelope,
+    ) -> std::io::Result<bool> {
+        let mut buf = pool.take();
+        wire::encode_envelope_into(env, &mut buf);
+        let sent = self.conn.try_send(&buf)?;
+        if sent {
+            NodeCounters::add(&counters.bytes_sent, buf.len() as u64);
+        }
+        pool.put(buf);
+        Ok(sent)
+    }
+
+    fn account_sent(frame: &OutFrame, counters: &NodeCounters) {
+        NodeCounters::add(&counters.bytes_sent, frame.bytes.as_slice().len() as u64);
+        match frame.kind {
+            FrameKind::Records => {
+                NodeCounters::add(&counters.records_sent, frame.records as u64);
             }
-            false => Ok(false), // backpressure; frame not consumed
+            FrameKind::Delta => {
+                NodeCounters::add(&counters.records_sent, frame.records as u64);
+                NodeCounters::inc(&counters.deltas_sent);
+            }
+            FrameKind::Digest => NodeCounters::inc(&counters.digests_sent),
+            FrameKind::Piece => NodeCounters::inc(&counters.pieces_sent),
+            FrameKind::Control => {}
         }
     }
 
@@ -297,6 +508,7 @@ impl Session {
         &mut self,
         local: PeerId,
         now: Instant,
+        pool: &mut BufPool,
         counters: &NodeCounters,
         events: &mut Vec<SessionEvent>,
     ) -> bool {
@@ -316,7 +528,11 @@ impl Session {
 
         // 2. our Hello opens the conversation, exactly once
         if !self.hello_sent {
-            match self.send_envelope(counters, &Envelope::Hello { peer: local }) {
+            let hello = Envelope::Hello {
+                peer: local,
+                version: wire::NODE_PROTOCOL_VERSION,
+            };
+            match self.send_control(counters, pool, &hello) {
                 Ok(true) => {
                     self.hello_sent = true;
                     progress = true;
@@ -376,8 +592,9 @@ impl Session {
                 }
             };
             match (self.state, env) {
-                (SessionState::Handshake, Envelope::Hello { peer }) => {
+                (SessionState::Handshake, Envelope::Hello { peer, version }) => {
                     self.remote = Some(peer);
+                    self.peer_version = version;
                     self.counted_open = true;
                     NodeCounters::inc(&counters.sessions_opened);
                     self.state = if self.drain_requested {
@@ -389,6 +606,7 @@ impl Session {
                         token: self.token,
                         remote: peer,
                         direction: self.direction,
+                        version,
                     });
                 }
                 (SessionState::Handshake, _) => {
@@ -402,6 +620,38 @@ impl Session {
                     events.push(SessionEvent::Records {
                         token: self.token,
                         from: self.remote.expect("established session has a remote"),
+                        msg,
+                    });
+                }
+                (
+                    SessionState::Exchange | SessionState::Draining,
+                    Envelope::Digest { sender, claim },
+                ) => {
+                    let from = self.remote.expect("established session has a remote");
+                    if sender != from {
+                        // a digest must speak for the session peer;
+                        // anything else is identity confusion
+                        NodeCounters::inc(&counters.protocol_errors);
+                        self.close(false, counters, events);
+                        return true;
+                    }
+                    events.push(SessionEvent::Digest {
+                        token: self.token,
+                        from,
+                        claim,
+                    });
+                }
+                (SessionState::Exchange | SessionState::Draining, Envelope::Delta(msg)) => {
+                    let from = self.remote.expect("established session has a remote");
+                    if msg.sender != from {
+                        NodeCounters::inc(&counters.protocol_errors);
+                        self.close(false, counters, events);
+                        return true;
+                    }
+                    NodeCounters::add(&counters.records_received, msg.records.len() as u64);
+                    events.push(SessionEvent::Delta {
+                        token: self.token,
+                        from,
                         msg,
                     });
                 }
@@ -419,7 +669,7 @@ impl Session {
                     // peer is done; answer in kind (best-effort — it may
                     // already be gone) so both logs agree, then close
                     if !self.bye_sent {
-                        let _ = self.send_envelope(counters, &Envelope::Bye);
+                        let _ = self.send_control(counters, pool, &Envelope::Bye);
                     }
                     self.close(true, counters, events);
                     return true;
@@ -442,12 +692,18 @@ impl Session {
             return true;
         }
 
-        // 5. write queued envelopes until the connection pushes back
+        // 5. write queued frames until the connection pushes back. The
+        // bytes were encoded at enqueue time; a frame refused by
+        // backpressure stays at the front untouched.
         if matches!(self.state, SessionState::Exchange | SessionState::Draining) {
-            while let Some(env) = self.outbound.front().cloned() {
-                match self.send_envelope(counters, &env) {
+            while let Some(front) = self.outbound.front() {
+                match self.conn.try_send(front.bytes.as_slice()) {
                     Ok(true) => {
-                        self.outbound.pop_front();
+                        let frame = self.outbound.pop_front().expect("front exists");
+                        Self::account_sent(&frame, counters);
+                        if let FrameBytes::Pooled(buf) = frame.bytes {
+                            pool.put(buf);
+                        }
                         progress = true;
                     }
                     Ok(false) => break,
@@ -462,7 +718,7 @@ impl Session {
         // 6. complete a drain: queue empty → Bye → flushed → closed
         if self.state == SessionState::Draining && self.outbound.is_empty() {
             if !self.bye_sent {
-                match self.send_envelope(counters, &Envelope::Bye) {
+                match self.send_control(counters, pool, &Envelope::Bye) {
                     Ok(true) => {
                         self.bye_sent = true;
                         progress = true;
@@ -548,6 +804,7 @@ mod tests {
     fn pump_until_quiet(
         a: &mut Session,
         b: &mut Session,
+        pool: &mut BufPool,
         counters: &NodeCounters,
         events_a: &mut Vec<SessionEvent>,
         events_b: &mut Vec<SessionEvent>,
@@ -556,8 +813,8 @@ mod tests {
         let mut idle_rounds = 0;
         while idle_rounds < 5 && Instant::now() < deadline {
             let now = Instant::now();
-            let pa = a.pump(PeerId(0), now, counters, events_a);
-            let pb = b.pump(PeerId(1), now, counters, events_b);
+            let pa = a.pump(PeerId(0), now, pool, counters, events_a);
+            let pb = b.pump(PeerId(1), now, pool, counters, events_b);
             if pa || pb {
                 idle_rounds = 0;
             } else {
@@ -572,23 +829,27 @@ mod tests {
         let t = MemTransport::new(MemConfig::default());
         let (conn_a, conn_b) = pair(&t);
         let counters = NodeCounters::default();
+        let mut pool = BufPool::new();
         let now = Instant::now();
         let mut a = Session::new(10, conn_a, Direction::Initiator, now);
         let mut b = Session::new(20, conn_b, Direction::Responder, now);
         let (mut ev_a, mut ev_b) = (Vec::new(), Vec::new());
 
-        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
         assert!(a.is_established() && b.is_established());
-        assert!(a.enqueue(msg(0, 5, 100), 8, &counters));
-        assert!(b.enqueue(msg(1, 6, 200), 8, &counters));
-        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        assert_eq!(a.peer_version(), wire::NODE_PROTOCOL_VERSION);
+        assert_eq!(b.peer_version(), wire::NODE_PROTOCOL_VERSION);
+        assert!(a.enqueue(&msg(0, 5, 100), &mut pool, 8, &counters));
+        assert!(b.enqueue(&msg(1, 6, 200), &mut pool, 8, &counters));
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
 
         assert!(matches!(
             ev_a[0],
             SessionEvent::Established {
                 token: 10,
                 remote: PeerId(1),
-                direction: Direction::Initiator
+                direction: Direction::Initiator,
+                version: wire::NODE_PROTOCOL_VERSION,
             }
         ));
         assert!(
@@ -599,7 +860,8 @@ mod tests {
             SessionEvent::Established {
                 token: 20,
                 remote: PeerId(0),
-                direction: Direction::Responder
+                direction: Direction::Responder,
+                version: wire::NODE_PROTOCOL_VERSION,
             }
         ));
         assert!(
@@ -608,7 +870,7 @@ mod tests {
 
         // a graceful drain from one side closes both cleanly
         a.begin_drain();
-        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
         assert!(a.is_closed() && b.is_closed());
         assert!(matches!(
             ev_a.last().unwrap(),
@@ -633,6 +895,7 @@ mod tests {
         let t = MemTransport::new(MemConfig::default());
         let (conn_a, _mute) = pair(&t);
         let counters = NodeCounters::default();
+        let mut pool = BufPool::new();
         let config = SessionConfig {
             handshake_timeout: Duration::from_millis(50),
             ..SessionConfig::default()
@@ -640,7 +903,7 @@ mod tests {
         let t0 = Instant::now();
         let mut s = Session::new(1, conn_a, Direction::Initiator, t0);
         let mut events = Vec::new();
-        s.pump(PeerId(0), t0, &counters, &mut events);
+        s.pump(PeerId(0), t0, &mut pool, &counters, &mut events);
         // before the deadline: still waiting, and a re-check is scheduled
         let next = s
             .check_deadlines(
@@ -675,24 +938,26 @@ mod tests {
         let t = MemTransport::new(MemConfig::default());
         let (conn_a, conn_b) = pair(&t);
         let counters = NodeCounters::default();
+        let mut pool = BufPool::new();
         let now = Instant::now();
         let mut a = Session::new(1, conn_a, Direction::Initiator, now);
         let mut b = Session::new(2, conn_b, Direction::Responder, now);
         let (mut ev_a, mut ev_b) = (Vec::new(), Vec::new());
-        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
         assert!(a.is_established() && b.is_established());
 
-        assert!(a.enqueue_frame(SwarmFrame::Request { piece: 4 }, 8, &counters));
-        assert!(a.enqueue(msg(0, 5, 100), 8, &counters));
+        assert!(a.enqueue_frame(SwarmFrame::Request { piece: 4 }, &mut pool, 8, &counters));
+        assert!(a.enqueue(&msg(0, 5, 100), &mut pool, 8, &counters));
         assert!(b.enqueue_frame(
             SwarmFrame::Piece {
                 piece: 4,
                 size: 16384
             },
+            &mut pool,
             8,
             &counters
         ));
-        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
 
         assert!(ev_b.iter().any(|e| matches!(
             e,
@@ -728,15 +993,113 @@ mod tests {
         let t = MemTransport::new(MemConfig::default());
         let (conn_a, conn_b) = pair(&t);
         let counters = NodeCounters::default();
+        let mut pool = BufPool::new();
         let now = Instant::now();
         let mut a = Session::new(1, conn_a, Direction::Initiator, now);
         let mut b = Session::new(2, conn_b, Direction::Responder, now);
         let (mut ev_a, mut ev_b) = (Vec::new(), Vec::new());
-        pump_until_quiet(&mut a, &mut b, &counters, &mut ev_a, &mut ev_b);
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
         assert!(a.is_established());
-        assert!(a.enqueue(msg(0, 1, 1), 2, &counters));
-        assert!(a.enqueue(msg(0, 1, 2), 2, &counters));
-        assert!(!a.enqueue(msg(0, 1, 3), 2, &counters), "cap is 2");
+        assert!(a.enqueue(&msg(0, 1, 1), &mut pool, 2, &counters));
+        assert!(a.enqueue(&msg(0, 1, 2), &mut pool, 2, &counters));
+        assert!(
+            !a.enqueue(&msg(0, 1, 3), &mut pool, 2, &counters),
+            "cap is 2"
+        );
         assert_eq!(counters.snapshot().shed_session, 1);
+    }
+
+    /// Digest/Delta envelopes flow between paired sessions, counters
+    /// advance, and pooled buffers all come home once the wire is
+    /// quiet.
+    #[test]
+    fn digest_and_delta_roundtrip_between_sessions() {
+        let t = MemTransport::new(MemConfig::default());
+        let (conn_a, conn_b) = pair(&t);
+        let counters = NodeCounters::default();
+        let mut pool = BufPool::new();
+        let now = Instant::now();
+        let mut a = Session::new(1, conn_a, Direction::Initiator, now);
+        let mut b = Session::new(2, conn_b, Direction::Responder, now);
+        let (mut ev_a, mut ev_b) = (Vec::new(), Vec::new());
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
+        assert!(a.is_established() && b.is_established());
+
+        // a (PeerId 0) digests b with an empty claim …
+        assert!(a.enqueue_digest(PeerId(0), Frontier::default(), &mut pool, 8, &counters));
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
+        assert!(ev_b.iter().any(|e| matches!(
+            e,
+            SessionEvent::Digest {
+                from: PeerId(0),
+                claim: Frontier { count: 0, .. },
+                ..
+            }
+        )));
+        // … and b answers with a delta carrying two records
+        let delta = DeltaMsg {
+            sender: PeerId(1),
+            full: true,
+            stamp: Frontier {
+                count: 2,
+                max_ts: bartercast_util::units::Seconds(7),
+                checksum: 42,
+            },
+            records: vec![
+                TransferRecord {
+                    peer: PeerId(5),
+                    up: Bytes(10),
+                    down: Bytes(20),
+                },
+                TransferRecord {
+                    peer: PeerId(6),
+                    up: Bytes(30),
+                    down: Bytes::ZERO,
+                },
+            ],
+        };
+        assert!(b.enqueue_delta(&delta, &mut pool, 8, &counters));
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
+        assert!(ev_a.iter().any(|e| matches!(
+            e,
+            SessionEvent::Delta { from: PeerId(1), msg, .. } if *msg == delta
+        )));
+
+        let s = counters.snapshot();
+        assert_eq!(s.digests_sent, 1);
+        assert_eq!(s.deltas_sent, 1);
+        assert_eq!(s.records_sent, 2, "delta records count as records");
+        assert_eq!(s.records_received, 2);
+        assert_eq!(pool.outstanding(), 0, "every pooled buffer came home");
+        assert!(pool.pooled() > 0);
+    }
+
+    /// A delta whose sender field does not match the session peer is
+    /// identity confusion: protocol error, unclean close.
+    #[test]
+    fn mismatched_delta_sender_is_a_protocol_error() {
+        let t = MemTransport::new(MemConfig::default());
+        let (conn_a, conn_b) = pair(&t);
+        let counters = NodeCounters::default();
+        let mut pool = BufPool::new();
+        let now = Instant::now();
+        let mut a = Session::new(1, conn_a, Direction::Initiator, now);
+        let mut b = Session::new(2, conn_b, Direction::Responder, now);
+        let (mut ev_a, mut ev_b) = (Vec::new(), Vec::new());
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
+        assert!(b.is_established());
+
+        // b is PeerId(1) but claims to be PeerId(9)
+        let forged = DeltaMsg {
+            sender: PeerId(9),
+            full: false,
+            stamp: Frontier::default(),
+            records: vec![],
+        };
+        assert!(b.enqueue_delta(&forged, &mut pool, 8, &counters));
+        pump_until_quiet(&mut a, &mut b, &mut pool, &counters, &mut ev_a, &mut ev_b);
+        assert!(a.is_closed());
+        assert!(counters.snapshot().protocol_errors >= 1);
+        assert!(!ev_a.iter().any(|e| matches!(e, SessionEvent::Delta { .. })));
     }
 }

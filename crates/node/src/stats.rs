@@ -56,6 +56,16 @@ pub struct NodeCounters {
     pub pieces_sent: AtomicU64,
     /// Swarm pieces received inside `Piece` frames.
     pub pieces_received: AtomicU64,
+    /// `Digest` envelopes sent (delta anti-entropy requests).
+    pub digests_sent: AtomicU64,
+    /// `Delta` envelopes sent (anti-entropy replies).
+    pub deltas_sent: AtomicU64,
+    /// Full-slice syncs decided: scheduled fallback ticks, v2-peer
+    /// pushes, and checksum-mismatch resyncs.
+    pub full_syncs: AtomicU64,
+    /// Records a digest proved the peer already held, so they never
+    /// touched the wire.
+    pub records_suppressed: AtomicU64,
 }
 
 impl NodeCounters {
@@ -100,6 +110,10 @@ impl NodeCounters {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             pieces_sent: self.pieces_sent.load(Ordering::Relaxed),
             pieces_received: self.pieces_received.load(Ordering::Relaxed),
+            digests_sent: self.digests_sent.load(Ordering::Relaxed),
+            deltas_sent: self.deltas_sent.load(Ordering::Relaxed),
+            full_syncs: self.full_syncs.load(Ordering::Relaxed),
+            records_suppressed: self.records_suppressed.load(Ordering::Relaxed),
         }
     }
 }
@@ -139,6 +153,15 @@ pub struct NodeStats {
     pub pieces_sent: u64,
     /// Swarm pieces received.
     pub pieces_received: u64,
+    /// Digest envelopes sent.
+    pub digests_sent: u64,
+    /// Delta envelopes sent.
+    pub deltas_sent: u64,
+    /// Full-slice sync decisions (fallback ticks, v2 pushes,
+    /// checksum-mismatch resyncs).
+    pub full_syncs: u64,
+    /// Records suppressed by digest matching (never sent).
+    pub records_suppressed: u64,
 }
 
 impl NodeStats {
@@ -151,7 +174,9 @@ impl NodeStats {
              \"records_sent\": {}, \"records_received\": {}, \"records_duplicate\": {}, \
              \"bytes_sent\": {}, \"bytes_received\": {}, \"shed_accept\": {}, \
              \"shed_session\": {}, \"protocol_errors\": {}, \
-             \"pieces_sent\": {}, \"pieces_received\": {}",
+             \"pieces_sent\": {}, \"pieces_received\": {}, \
+             \"digests_sent\": {}, \"deltas_sent\": {}, \
+             \"full_syncs\": {}, \"records_suppressed\": {}",
             self.sessions_opened,
             self.sessions_failed,
             self.sessions_closed,
@@ -168,6 +193,10 @@ impl NodeStats {
             self.protocol_errors,
             self.pieces_sent,
             self.pieces_received,
+            self.digests_sent,
+            self.deltas_sent,
+            self.full_syncs,
+            self.records_suppressed,
         )
     }
 }
@@ -204,7 +233,9 @@ mod tests {
         let s = NodeCounters::default().snapshot();
         let obj = format!("{{{}}}", s.json_fields());
         assert!(obj.starts_with('{') && obj.ends_with('}'));
-        assert_eq!(obj.matches(':').count(), 16);
+        assert_eq!(obj.matches(':').count(), 20);
+        assert!(obj.contains("\"digests_sent\": 0"));
+        assert!(obj.contains("\"records_suppressed\": 0"));
         assert!(obj.contains("\"shed_accept\": 0"));
         assert!(obj.contains("\"shed_session\": 0"));
         assert!(obj.contains("\"sessions_peak\": 0"));

@@ -13,6 +13,11 @@
 //!   `bartercast-core` wire codec verbatim as the body.
 //! * [`Envelope::Bye`] — explicit teardown, so the peer can distinguish
 //!   a graceful close from a severed connection.
+//! * [`Envelope::Digest`] (v3) — delta anti-entropy request: a compact
+//!   [`Frontier`] claim ("this is the newest slice of yours I hold"),
+//!   asking the receiver to reply with only what the sender lacks.
+//! * [`Envelope::Delta`] (v3) — the reply: the missing records plus
+//!   the responder's fresh frontier stamp ([`DeltaMsg`]).
 //! * [`Envelope::Swarm`] — one BitTorrent-style swarm frame
 //!   ([`SwarmFrame`]): bitfield/have availability advertisements,
 //!   piece requests and transfers, and choke/unchoke notifications.
@@ -27,15 +32,21 @@
 //! contribution accounting uses the declared size.
 
 use bartercast_core::codec::{self, DecodeError};
-use bartercast_core::BarterCastMessage;
+use bartercast_core::{BarterCastMessage, DeltaMsg, Frontier};
 use bartercast_util::units::PeerId;
 use bytes::{Buf, BufMut, BytesMut};
 use std::fmt;
 
 /// Version of the session protocol (handshake + envelope layout).
 /// Distinct from the record-codec version inside `Records` bodies.
-/// v2 added the swarm frames (kinds 4–10).
-pub const NODE_PROTOCOL_VERSION: u8 = 2;
+/// v2 added the swarm frames (kinds 4–10); v3 added the delta
+/// anti-entropy envelopes (kinds 11–12).
+pub const NODE_PROTOCOL_VERSION: u8 = 3;
+
+/// Oldest protocol version a v3 node still interoperates with. A v2
+/// peer never receives `Digest`/`Delta` — the reactor falls back to
+/// plain `Records` pushes for it — so accepting its handshake is safe.
+pub const MIN_PROTOCOL_VERSION: u8 = 2;
 
 const KIND_HELLO: u8 = 1;
 const KIND_RECORDS: u8 = 2;
@@ -47,6 +58,8 @@ const KIND_PIECE: u8 = 7;
 const KIND_CHOKE: u8 = 8;
 const KIND_UNCHOKE: u8 = 9;
 const KIND_CANCEL: u8 = 10;
+const KIND_DIGEST: u8 = 11;
+const KIND_DELTA: u8 = 12;
 
 /// Magic byte opening a `Hello` body (same value as the record codec's
 /// magic — one constant to grep for on the wire).
@@ -59,11 +72,27 @@ pub enum Envelope {
     Hello {
         /// The sender's identity.
         peer: PeerId,
+        /// The protocol version the sender speaks
+        /// ([`MIN_PROTOCOL_VERSION`]`..=`[`NODE_PROTOCOL_VERSION`]).
+        version: u8,
     },
     /// One BarterCast record exchange.
     Records(BarterCastMessage),
     /// Graceful teardown; no more envelopes follow from the sender.
     Bye,
+    /// Delta anti-entropy request (v3): `claim` is the frontier the
+    /// sender last saw from the receiver; the receiver answers with a
+    /// [`Envelope::Delta`] of what the sender lacks, or stays silent
+    /// when the claim is current.
+    Digest {
+        /// The digest sender's identity (must match the session peer).
+        sender: PeerId,
+        /// Frontier of the receiver's records as cached by the sender.
+        claim: Frontier,
+    },
+    /// Delta anti-entropy reply (v3): missing records plus the
+    /// responder's fresh frontier stamp.
+    Delta(DeltaMsg),
     /// One swarm-workload frame (piece transfer protocol).
     Swarm(SwarmFrame),
 }
@@ -164,47 +193,82 @@ impl std::error::Error for WireError {}
 /// Encode an envelope into a length-prefixed frame ready for
 /// [`Conn::send`](crate::transport::Conn::send).
 pub fn encode_envelope(envelope: &Envelope) -> BytesMut {
-    let mut payload = BytesMut::new();
+    let mut frame = BytesMut::new();
+    encode_envelope_into(envelope, &mut frame);
+    frame
+}
+
+/// Encode an envelope into `out` — cleared first — writing the frame
+/// in a single pass: the length prefix is reserved up front and
+/// backfilled once the payload size is known, so no intermediate
+/// payload buffer exists. Paired with a
+/// [`BufPool`](bartercast_core::codec::BufPool) this makes envelope
+/// encoding allocation-free at steady state.
+pub fn encode_envelope_into(envelope: &Envelope, out: &mut BytesMut) {
+    out.clear();
+    out.put_u32_le(0); // length prefix, backfilled below
     match envelope {
-        Envelope::Hello { peer } => {
-            payload.put_u8(KIND_HELLO);
-            payload.put_u8(HELLO_MAGIC);
-            payload.put_u8(NODE_PROTOCOL_VERSION);
-            payload.put_u32_le(peer.0);
+        Envelope::Hello { peer, version } => {
+            out.put_u8(KIND_HELLO);
+            out.put_u8(HELLO_MAGIC);
+            out.put_u8(*version);
+            out.put_u32_le(peer.0);
         }
         Envelope::Records(msg) => {
-            payload.put_u8(KIND_RECORDS);
-            payload.put_slice(&codec::encode(msg));
+            out.put_u8(KIND_RECORDS);
+            codec::encode_into(msg, out);
         }
-        Envelope::Bye => payload.put_u8(KIND_BYE),
+        Envelope::Bye => out.put_u8(KIND_BYE),
+        Envelope::Digest { sender, claim } => {
+            out.put_u8(KIND_DIGEST);
+            codec::encode_digest_into(*sender, claim, out);
+        }
+        Envelope::Delta(delta) => {
+            out.put_u8(KIND_DELTA);
+            codec::encode_delta_into(delta, out);
+        }
         Envelope::Swarm(frame) => match frame {
             SwarmFrame::Bitfield { piece_count, bits } => {
-                payload.put_u8(KIND_BITFIELD);
-                payload.put_u32_le(*piece_count);
-                payload.put_slice(bits);
+                out.put_u8(KIND_BITFIELD);
+                out.put_u32_le(*piece_count);
+                out.put_slice(bits);
             }
             SwarmFrame::Have { piece } => {
-                payload.put_u8(KIND_HAVE);
-                payload.put_u32_le(*piece);
+                out.put_u8(KIND_HAVE);
+                out.put_u32_le(*piece);
             }
             SwarmFrame::Request { piece } => {
-                payload.put_u8(KIND_REQUEST);
-                payload.put_u32_le(*piece);
+                out.put_u8(KIND_REQUEST);
+                out.put_u32_le(*piece);
             }
             SwarmFrame::Piece { piece, size } => {
-                payload.put_u8(KIND_PIECE);
-                payload.put_u32_le(*piece);
-                payload.put_u64_le(*size);
+                out.put_u8(KIND_PIECE);
+                out.put_u32_le(*piece);
+                out.put_u64_le(*size);
             }
-            SwarmFrame::Choke => payload.put_u8(KIND_CHOKE),
-            SwarmFrame::Unchoke => payload.put_u8(KIND_UNCHOKE),
+            SwarmFrame::Choke => out.put_u8(KIND_CHOKE),
+            SwarmFrame::Unchoke => out.put_u8(KIND_UNCHOKE),
             SwarmFrame::Cancel { piece } => {
-                payload.put_u8(KIND_CANCEL);
-                payload.put_u32_le(*piece);
+                out.put_u8(KIND_CANCEL);
+                out.put_u32_le(*piece);
             }
         },
     }
-    codec::frame(&payload)
+    let payload_len = out.len() - 4;
+    debug_assert!(payload_len <= codec::MAX_FRAME_BYTES);
+    out[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Encode a `Records` frame into `out` without constructing an
+/// [`Envelope`] (which would need an owned message clone).
+pub(crate) fn encode_records_frame_into(msg: &BarterCastMessage, out: &mut BytesMut) {
+    out.clear();
+    out.put_u32_le(0);
+    out.put_u8(KIND_RECORDS);
+    codec::encode_into(msg, out);
+    let payload_len = out.len() - 4;
+    debug_assert!(payload_len <= codec::MAX_FRAME_BYTES);
+    out[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
 }
 
 /// Decode one frame payload (as yielded by
@@ -223,17 +287,23 @@ pub fn decode_envelope(payload: &[u8]) -> Result<Envelope, WireError> {
                 return Err(WireError::BadHandshake);
             }
             let version = body.get_u8();
-            if version != NODE_PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=NODE_PROTOCOL_VERSION).contains(&version) {
                 return Err(WireError::VersionMismatch(version));
             }
             let peer = PeerId(body.get_u32_le());
             if body.remaining() != 0 {
                 return Err(WireError::BadHandshake);
             }
-            Ok(Envelope::Hello { peer })
+            Ok(Envelope::Hello { peer, version })
         }
         KIND_RECORDS => codec::decode(body)
             .map(Envelope::Records)
+            .map_err(WireError::Codec),
+        KIND_DIGEST => codec::decode_digest(body)
+            .map(|(sender, claim)| Envelope::Digest { sender, claim })
+            .map_err(WireError::Codec),
+        KIND_DELTA => codec::decode_delta(body)
+            .map(Envelope::Delta)
             .map_err(WireError::Codec),
         KIND_BYE => {
             if body.is_empty() {
@@ -331,12 +401,37 @@ mod tests {
         }
     }
 
+    fn sample_delta() -> DeltaMsg {
+        DeltaMsg {
+            sender: PeerId(7),
+            full: false,
+            stamp: Frontier {
+                count: 2,
+                max_ts: bartercast_util::units::Seconds(99),
+                checksum: 0x1234_5678_9ABC_DEF0,
+            },
+            records: sample_msg().records,
+        }
+    }
+
     #[test]
     fn all_kinds_roundtrip_through_the_frame_decoder() {
         let envs = [
-            Envelope::Hello { peer: PeerId(42) },
+            Envelope::Hello {
+                peer: PeerId(42),
+                version: NODE_PROTOCOL_VERSION,
+            },
             Envelope::Records(sample_msg()),
             Envelope::Bye,
+            Envelope::Digest {
+                sender: PeerId(5),
+                claim: Frontier::default(),
+            },
+            Envelope::Digest {
+                sender: PeerId(5),
+                claim: sample_delta().stamp,
+            },
+            Envelope::Delta(sample_delta()),
             Envelope::Swarm(SwarmFrame::Bitfield {
                 piece_count: 10,
                 bits: vec![0b1010_0101, 0b0000_0011],
@@ -364,12 +459,37 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected_loudly() {
-        let mut frame = encode_envelope(&Envelope::Hello { peer: PeerId(1) });
+        let hello = Envelope::Hello {
+            peer: PeerId(1),
+            version: NODE_PROTOCOL_VERSION,
+        };
         // payload layout after the 4-byte length prefix: kind, magic, version
+        let mut frame = encode_envelope(&hello);
         frame[6] = NODE_PROTOCOL_VERSION + 1;
         assert_eq!(
             decode_envelope(&frame[4..]),
             Err(WireError::VersionMismatch(NODE_PROTOCOL_VERSION + 1))
+        );
+        let mut frame = encode_envelope(&hello);
+        frame[6] = MIN_PROTOCOL_VERSION - 1;
+        assert_eq!(
+            decode_envelope(&frame[4..]),
+            Err(WireError::VersionMismatch(MIN_PROTOCOL_VERSION - 1))
+        );
+    }
+
+    #[test]
+    fn legacy_v2_handshake_is_still_accepted() {
+        let frame = encode_envelope(&Envelope::Hello {
+            peer: PeerId(9),
+            version: MIN_PROTOCOL_VERSION,
+        });
+        assert_eq!(
+            decode_envelope(&frame[4..]),
+            Ok(Envelope::Hello {
+                peer: PeerId(9),
+                version: MIN_PROTOCOL_VERSION
+            })
         );
     }
 
@@ -392,6 +512,25 @@ mod tests {
         assert_eq!(decode_envelope(&[KIND_BYE, 1]), Err(WireError::Truncated));
         assert!(matches!(
             decode_envelope(&[KIND_RECORDS, 1, 2, 3]),
+            Err(WireError::Codec(_))
+        ));
+        // hostile digest/delta bodies surface as codec errors, never panics
+        assert!(matches!(
+            decode_envelope(&[KIND_DIGEST]),
+            Err(WireError::Codec(_))
+        ));
+        assert!(matches!(
+            decode_envelope(&[KIND_DIGEST, 0xFF, 0xFF, 0xFF]),
+            Err(WireError::Codec(_))
+        ));
+        assert!(matches!(
+            decode_envelope(&[KIND_DELTA, 1, 2]),
+            Err(WireError::Codec(_))
+        ));
+        let mut truncated_delta = encode_envelope(&Envelope::Delta(sample_delta()))[4..].to_vec();
+        truncated_delta.truncate(truncated_delta.len() - 3);
+        assert!(matches!(
+            decode_envelope(&truncated_delta),
             Err(WireError::Codec(_))
         ));
     }

@@ -85,6 +85,69 @@ fn lossy_cluster_is_bitwise_reproducible() {
     }
 }
 
+/// The delta sync path under loss: an 8-node cluster running a tight
+/// full-sync fallback cadence over a lossier transport must still reach
+/// bit-identical convergence across two runs — dropped `Digest` and
+/// `Delta` frames are repaired by the periodic full push, and every
+/// repair decision (backoff streaks, frontier caches, fallback ticks)
+/// is a pure function of the seeds.
+#[test]
+fn lossy_delta_sync_is_bitwise_reproducible() {
+    fn delta_config() -> ClusterConfig {
+        let mut config = ClusterConfig {
+            mem: MemConfig {
+                loss: 0.15,
+                seed: 0xBC0D,
+                ..MemConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        config.node.seed = 0xBC0D;
+        // tight fallback so full syncs actually fire within the horizon
+        config.node.full_sync_every = 4;
+        config
+    }
+
+    type EdgeSets = Vec<Vec<(PeerId, PeerId, Bytes)>>;
+    fn run() -> (Vec<NodeStats>, EdgeSets, u64, Duration) {
+        let mut cluster = DeterministicCluster::boot(delta_config()).expect("boot");
+        assert!(
+            cluster.run_until_converged(Duration::from_secs(60)),
+            "no convergence after {:?} virtual: progress={:?}",
+            cluster.elapsed(),
+            cluster.progress()
+        );
+        let dropped = cluster.transport().frames_dropped();
+        (cluster.stats(), cluster.edges(), dropped, cluster.elapsed())
+    }
+
+    let (stats_a, edges_a, dropped_a, elapsed_a) = run();
+    let (stats_b, edges_b, dropped_b, elapsed_b) = run();
+    assert_eq!(elapsed_a, elapsed_b, "runs converged at different instants");
+    assert_eq!(dropped_a, dropped_b, "loss schedules diverged");
+    for (i, (a, b)) in stats_a.iter().zip(&stats_b).enumerate() {
+        assert_eq!(a, b, "node {i} counters diverged between runs");
+    }
+    assert_eq!(edges_a, edges_b, "converged graphs diverged between runs");
+    for window in edges_a.windows(2) {
+        assert_eq!(window[0], window[1], "nodes converged to different sets");
+    }
+    // the run must actually have exercised the delta machinery AND the
+    // loss injection — otherwise this pins nothing
+    let totals = |f: fn(&NodeStats) -> u64| stats_a.iter().map(f).sum::<u64>();
+    assert!(dropped_a > 0, "no frames dropped; raise the loss rate");
+    assert!(totals(|s| s.digests_sent) > 0, "no digests sent");
+    assert!(totals(|s| s.deltas_sent) > 0, "no deltas sent");
+    assert!(
+        totals(|s| s.full_syncs) > 0,
+        "fallback full sync never fired"
+    );
+    assert!(
+        totals(|s| s.records_suppressed) > 0,
+        "digest rounds never suppressed anything"
+    );
+}
+
 /// Per-instant settling must be independent of *how* the reactors are
 /// pumped: reversing the pump order and throwing in redundant polls
 /// must leave every counter identical once the same virtual horizon is

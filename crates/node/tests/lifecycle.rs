@@ -11,6 +11,7 @@
 //! 3. **dial backoff caps at its maximum** with jitter strictly inside
 //!    the configured bounds, for any failure count.
 
+use bartercast_core::codec::BufPool;
 use bartercast_core::{BarterCastMessage, PrivateHistory, TransferRecord};
 use bartercast_node::backoff_delay;
 use bartercast_node::mem::{MemConfig, MemTransport};
@@ -48,8 +49,11 @@ fn half_open_peer_hits_the_idle_timeout() {
     .unwrap();
 
     let mut conn = transport.connect(PeerId(9), PeerId(0)).unwrap();
-    conn.try_send(&wire::encode_envelope(&Envelope::Hello { peer: PeerId(9) }))
-        .unwrap();
+    conn.try_send(&wire::encode_envelope(&Envelope::Hello {
+        peer: PeerId(9),
+        version: wire::NODE_PROTOCOL_VERSION,
+    }))
+    .unwrap();
     // ...and then silence. The node must establish, wait out the idle
     // deadline, and close — which we observe as EOF on our side.
     let deadline = Instant::now() + Duration::from_secs(5);
@@ -93,8 +97,11 @@ fn bye_after_a_partially_decoded_frame_drains_cleanly() {
     let mut session = Session::new(7, accepted, Direction::Responder, Instant::now());
 
     // handshake: raw peer says Hello, session establishes
-    raw.try_send(&wire::encode_envelope(&Envelope::Hello { peer: PeerId(0) }))
-        .unwrap();
+    raw.try_send(&wire::encode_envelope(&Envelope::Hello {
+        peer: PeerId(0),
+        version: wire::NODE_PROTOCOL_VERSION,
+    }))
+    .unwrap();
     pump_settled(&mut session, &counters, &mut events);
     assert!(session.is_established());
 
@@ -168,10 +175,11 @@ fn bye_after_a_partially_decoded_frame_drains_cleanly() {
 /// Pump one session until it reports no further progress (with small
 /// real-time sleeps for the mem pipe's delivery).
 fn pump_settled(session: &mut Session, counters: &NodeCounters, events: &mut Vec<SessionEvent>) {
+    let mut pool = BufPool::new();
     let deadline = Instant::now() + Duration::from_secs(2);
     let mut idle = 0;
     while idle < 5 && Instant::now() < deadline {
-        if session.pump(PeerId(1), Instant::now(), counters, events) {
+        if session.pump(PeerId(1), Instant::now(), &mut pool, counters, events) {
             idle = 0;
         } else {
             idle += 1;

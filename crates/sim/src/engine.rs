@@ -66,6 +66,10 @@ pub struct Simulation {
     overall_speed_sharers: Running,
     overall_speed_freeriders: Running,
     messages_delivered: u64,
+    /// Records withheld because the recipient's delivered-frontier
+    /// cache already matched the sender's message (the sim analogue of
+    /// the node runtime's digest-gated sync concluding "in sync").
+    records_suppressed: u64,
     meetings: u64,
     pieces_transferred: u64,
     next_reputation_sample: Seconds,
@@ -77,6 +81,28 @@ pub struct Simulation {
     download_started: FxHashMap<(usize, usize), Seconds>,
     /// Per-swarm (completions, total completion seconds, peak members).
     swarm_stats: Vec<(usize, u64, usize)>,
+}
+
+/// Order-sensitive FNV-1a content hash of a message (sender plus every
+/// record). Deliberately *not* `DefaultHasher`: SipHash keys are
+/// randomized per process, and this hash feeds the deterministic
+/// delivered-frontier cache, so two runs must agree on it.
+fn message_hash(msg: &bartercast_core::BarterCastMessage) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(u64::from(msg.sender.0));
+    for r in &msg.records {
+        mix(u64::from(r.peer.0));
+        mix(r.up.0);
+        mix(r.down.0);
+    }
+    h
 }
 
 impl Simulation {
@@ -189,6 +215,7 @@ impl Simulation {
             overall_speed_sharers: Running::new(),
             overall_speed_freeriders: Running::new(),
             messages_delivered: 0,
+            records_suppressed: 0,
             meetings: 0,
             pieces_transferred: 0,
             next_reputation_sample: config.reputation_sample_interval,
@@ -642,22 +669,40 @@ impl Simulation {
         shuffle(&mut a.pss, &mut b.pss, &mut self.rng);
         a.history.touch(b.id, self.now);
         b.history.touch(a.id, self.now);
-        // message exchange, both directions, per conduct
+        // message exchange, both directions, per conduct. A message
+        // identical to the last one this recipient absorbed from the
+        // same sender models a digest round concluding "in sync": the
+        // records stay home (max-merge would make them no-ops anyway)
+        // and only the suppression counter moves. Auditors still see
+        // every message — the runtime's auditor sits on the receive
+        // path, and repeats are part of what it audits.
         let msg_ab = a.outgoing_message(bc, lie_claim);
         let msg_ba = b.outgoing_message(bc, lie_claim);
         if let Some(m) = msg_ab {
-            b.engine.absorb_message(&m);
-            if let Some(aud) = b.auditor.as_mut() {
-                aud.ingest(&m);
+            let hash = message_hash(&m);
+            if b.auditor.is_none() && b.delivered_frontier.get(&a.id) == Some(&hash) {
+                self.records_suppressed += m.records.len() as u64;
+            } else {
+                b.engine.absorb_message(&m);
+                if let Some(aud) = b.auditor.as_mut() {
+                    aud.ingest(&m);
+                }
+                b.delivered_frontier.insert(a.id, hash);
+                self.messages_delivered += 1;
             }
-            self.messages_delivered += 1;
         }
         if let Some(m) = msg_ba {
-            a.engine.absorb_message(&m);
-            if let Some(aud) = a.auditor.as_mut() {
-                aud.ingest(&m);
+            let hash = message_hash(&m);
+            if a.auditor.is_none() && a.delivered_frontier.get(&b.id) == Some(&hash) {
+                self.records_suppressed += m.records.len() as u64;
+            } else {
+                a.engine.absorb_message(&m);
+                if let Some(aud) = a.auditor.as_mut() {
+                    aud.ingest(&m);
+                }
+                a.delivered_frontier.insert(b.id, hash);
+                self.messages_delivered += 1;
             }
-            self.messages_delivered += 1;
         }
     }
 
@@ -804,6 +849,7 @@ impl Simulation {
             overall_speed_sharers: self.overall_speed_sharers.mean(),
             overall_speed_freeriders: self.overall_speed_freeriders.mean(),
             messages_delivered: self.messages_delivered,
+            records_suppressed: self.records_suppressed,
             meetings: self.meetings,
             pieces_transferred: self.pieces_transferred,
         }
@@ -857,6 +903,7 @@ mod tests {
         let b = Simulation::new(small_trace(3), small_config()).run();
         assert_eq!(a.pieces_transferred, b.pieces_transferred);
         assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.records_suppressed, b.records_suppressed);
         assert_eq!(a.overall_speed_sharers, b.overall_speed_sharers);
         let ra: Vec<f64> = a.outcomes.iter().map(|o| o.system_reputation).collect();
         let rb: Vec<f64> = b.outcomes.iter().map(|o| o.system_reputation).collect();

@@ -98,6 +98,10 @@ pub struct SimReport {
     pub overall_speed_freeriders: f64,
     /// Total BarterCast messages delivered.
     pub messages_delivered: u64,
+    /// Total records withheld by the delivered-frontier cache — the
+    /// sim analogue of the node runtime's digest-gated sync skipping a
+    /// redundant push.
+    pub records_suppressed: u64,
     /// Total gossip meetings that occurred.
     pub meetings: u64,
     /// Total pieces transferred.
@@ -208,6 +212,7 @@ mod tests {
             overall_speed_sharers: 800.0,
             overall_speed_freeriders: 400.0,
             messages_delivered: 10,
+            records_suppressed: 0,
             meetings: 5,
             pieces_transferred: 100,
         }

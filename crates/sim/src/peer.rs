@@ -40,6 +40,11 @@ pub struct SimPeer {
     /// Optional misreport auditor (extension; `None` in the paper's
     /// configuration).
     pub auditor: Option<Auditor>,
+    /// Content hash of the last message delivered by each sender —
+    /// the simulator's stand-in for the node runtime's per-peer
+    /// frontier cache. A repeat of an identical message models a
+    /// digest round that concluded "in sync" and is suppressed.
+    pub delivered_frontier: FxHashMap<PeerId, u64>,
     /// Reputation cache refreshed every `reputation_refresh` epoch:
     /// `target -> (epoch, value)`.
     rep_cache: FxHashMap<PeerId, (u64, f64)>,
@@ -78,6 +83,7 @@ impl SimPeer {
             next_gossip: Seconds::ZERO,
             last_partner_exchange: FxHashMap::default(),
             auditor: None,
+            delivered_frontier: FxHashMap::default(),
             rep_cache: FxHashMap::default(),
             real_up: Bytes::ZERO,
             real_down: Bytes::ZERO,

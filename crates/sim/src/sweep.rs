@@ -595,6 +595,7 @@ mod tests {
         for (p, s) in parallel.iter().zip(&sequential) {
             assert_eq!(p.pieces_transferred, s.pieces_transferred);
             assert_eq!(p.messages_delivered, s.messages_delivered);
+            assert_eq!(p.records_suppressed, s.records_suppressed);
         }
     }
 

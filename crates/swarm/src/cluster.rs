@@ -136,6 +136,12 @@ impl Default for SwarmClusterConfig {
                 backoff_base: Duration::from_millis(50),
                 backoff_max: Duration::from_secs(2),
                 outbound_queue: 64,
+                // push the full slice on every tick: choke decisions
+                // consult reputations live, and the policy-ladder
+                // dynamics are calibrated to push-cadence propagation —
+                // digest round-trips would add a tick of latency right
+                // where Fig 2–3 measures
+                full_sync_every: 1,
                 ..NodeConfig::default()
             },
             choke_interval: Duration::from_secs(2),

@@ -19,7 +19,7 @@ cargo test -q -p bartercast-graph --test boundedk_differential
 # across random mutation chains with long sync gaps), CSR adjacency vs
 # hash-map model equivalence, and a pinned 64-node patch fixture.
 cargo test -q -p bartercast-graph --test incremental_gomoryhu
-cargo test -q -p bartercast-core --test invalidation --test codec_fuzz
+cargo test -q -p bartercast-core --test invalidation --test codec_fuzz --test delta_fuzz
 cargo test -q -p bartercast-core --test reputation_bound
 # Sharded reputation service: shard-vs-monolith bit-identity at shard
 # counts {1,2,4,8} (interleaved queries, long sync gaps, node growth,
@@ -32,13 +32,18 @@ cargo test -q -p bartercast-sim four_shard_smoke
 # Node runtime convergence gate: 8 peers over the deterministic
 # in-process transport, 5% frame loss, one forced disconnect per node;
 # every subjective graph must converge to the gossip-reachable record
-# set, bit-identically across two seeded runs. MemTransport only — no
-# sockets — so it runs anywhere tier-1 runs.
+# set, bit-identically across two seeded runs. Includes the delta
+# anti-entropy duplicate-ratio regression gate: digest-gated sync must
+# keep redundant record deliveries under 35% of received traffic on
+# the same 8-node lossy schedule (blind pushing measures ~58%).
+# MemTransport only — no sockets — so it runs anywhere tier-1 runs.
 cargo test -q -p bartercast-node --test cluster
 # Reactor determinism: the same lossy 8-node population driven in
 # lockstep on virtual time, twice, must produce bitwise-identical
 # NodeStats and converged graphs; plus pump-order / redundant-poll
-# invariance of the MemTransport loss-and-delay schedule.
+# invariance of the MemTransport loss-and-delay schedule, and the
+# delta-sync path under elevated loss (dropped Digest/Delta frames
+# repaired by the periodic full sync, still bit-identical).
 cargo test -q -p bartercast-node --test determinism
 # Session-lifecycle edge cases: half-open peers hit the idle deadline,
 # a Bye behind a partially-decoded frame still drains cleanly, and

@@ -41,6 +41,16 @@ impl BytesMut {
     pub fn into_vec(self) -> Vec<u8> {
         self.inner
     }
+
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Spare capacity currently held by the buffer.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
 }
 
 impl Deref for BytesMut {
